@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Because
+pytest captures stdout, each benchmark also writes its report to
+``benchmarks/results/<name>.txt`` so the regenerated rows/series survive a
+quiet run; ``pytest benchmarks/ --benchmark-only -s`` shows them live.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class Report:
+    """Collects lines, prints them, and persists them per benchmark."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines: List[str] = []
+
+    def add(self, line: str = "") -> None:
+        """Append one line to the report."""
+        self.lines.append(line)
+
+    def table(self, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+        """Append an aligned text table."""
+        rows = [[str(c) for c in row] for row in rows]
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+        self.add(fmt.format(*headers))
+        self.add(fmt.format(*["-" * w for w in widths]))
+        for row in rows:
+            self.add(fmt.format(*row))
+
+    def emit(self) -> str:
+        """Print the report and write it under benchmarks/results/."""
+        text = "\n".join([f"=== {self.name} ===", *self.lines, ""])
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{self.name}.txt").write_text(text)
+        return text
+
+
+def once(benchmark, fn):
+    """Run a heavy simulation exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""Ablation: hysteresis thresholds x predictor memory (§5.3, DESIGN.md #3).
+
+The paper: "The AVG_N policy can be easily designed to ensure that very
+few deadlines will be missed, but this results in minimal energy savings"
+-- and the specific threshold values are "very sensitive to application
+behavior".  The sweep exposes the dilemma on MPEG with peg-peg scaling:
+
+- loose thresholds (50 %/70 %): every predictor is safe, because the
+  weighted utilization rarely drops below 50 % -- the clock stays pinned
+  high and nothing is saved;
+- tight thresholds (93 %/98 %): PAST stays safe (it reacts in one
+  quantum) and saves a little, but predictors with memory (AVG_3, AVG_9)
+  scale down and then need many quanta of full-busy history before the
+  weighted utilization re-crosses 98 % -- Table 1's lag -- and frames
+  drop.
+"""
+
+from repro.core.catalog import constant_speed, pering_avg
+from repro.core.hysteresis import ThresholdPair
+from repro.measure.runner import run_workload
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+from _util import Report, once
+
+CFG = MpegConfig(duration_s=30.0)
+PAIRS = [(0.50, 0.70), (0.70, 0.90), (0.93, 0.98)]
+N_VALUES = [0, 3, 9]
+
+
+def test_ablation_thresholds(benchmark):
+    def run():
+        baseline = run_workload(
+            mpeg_workload(CFG), lambda: constant_speed(206.4), seed=1, use_daq=False
+        )
+        rows = []
+        for n in N_VALUES:
+            for low, high in PAIRS:
+                factory = lambda n=n, lo=low, hi=high: pering_avg(
+                    n, up="peg", down="peg", thresholds=ThresholdPair(lo, hi)
+                )
+                res = run_workload(mpeg_workload(CFG), factory, seed=1, use_daq=False)
+                rows.append(
+                    (
+                        f"AVG_{n}",
+                        f"{low:.0%}/{high:.0%}",
+                        len(res.misses),
+                        res.exact_energy_j,
+                        100.0 * (1 - res.exact_energy_j / baseline.exact_energy_j),
+                    )
+                )
+        return baseline, rows
+
+    baseline, rows = once(benchmark, run)
+
+    report = Report("ablation_thresholds")
+    report.add(
+        f"Peg-peg on MPEG 30 s (const 206.4 MHz baseline: "
+        f"{baseline.exact_energy_j:.2f} J)"
+    )
+    report.table(
+        ["Predictor", "Thresholds", "Misses", "Energy (J)", "Saving vs 206.4"],
+        [(p, t, m, f"{e:.2f}", f"{s:+.2f} %") for p, t, m, e, s in rows],
+    )
+    report.emit()
+
+    def row(pred, pair):
+        return next(r for r in rows if r[0] == pred and r[1] == pair)
+
+    # The paper's best configuration: safe and saving something.
+    past_tight = row("AVG_0", "93%/98%")
+    assert past_tight[2] == 0
+    assert past_tight[4] > 0.0
+    # Memory + tight thresholds = Table 1's lag = dropped frames.
+    assert row("AVG_9", "93%/98%")[2] > 0
+    # Loose thresholds are safe for every predictor but save ~nothing.
+    for n in N_VALUES:
+        loose = row(f"AVG_{n}", "50%/70%")
+        assert loose[2] == 0
+        assert loose[4] < 1.0

@@ -1,0 +1,75 @@
+"""Section 5.4 across all applications: the best policy never misses.
+
+The paper's "best" criterion is defined across the whole workload suite:
+"it never misses any deadline (across all the applications) and it also
+saves a small but significant amount of energy."  This benchmark runs the
+best policy and the constant baselines against all four full-length
+workloads and reports energy, savings and deadline outcomes per
+application -- including the observation that the idle-heavy interactive
+workloads are where the heuristic actually earns its keep.
+"""
+
+from repro.core.catalog import best_policy, constant_speed
+from repro.measure.runner import run_workload
+from repro.workloads import all_workloads
+
+from _util import Report, once
+
+POLICIES = [
+    ("const 206.4", lambda: constant_speed(206.4)),
+    ("const 132.7", lambda: constant_speed(132.7)),
+    ("best policy", best_policy),
+    ("best + voltage", lambda: best_policy(True)),
+]
+
+
+def test_all_workloads(benchmark):
+    def run():
+        table = {}
+        for workload in all_workloads():
+            rows = []
+            for name, factory in POLICIES:
+                res = run_workload(workload, factory, seed=2, use_daq=False)
+                rows.append((name, res))
+            table[workload.name] = rows
+        return table
+
+    table = once(benchmark, run)
+
+    report = Report("all_workloads")
+    for workload_name, rows in table.items():
+        base = rows[0][1].exact_energy_j
+        report.add(f"{workload_name}:")
+        report.table(
+            ["Policy", "Energy (J)", "vs 206.4", "Misses", "Clk chg"],
+            [
+                (
+                    name,
+                    f"{res.exact_energy_j:.2f}",
+                    f"{100 * (1 - res.exact_energy_j / base):+.2f} %",
+                    len(res.misses),
+                    res.run.clock_changes,
+                )
+                for name, res in rows
+            ],
+        )
+        report.add()
+    report.emit()
+
+    for workload_name, rows in table.items():
+        by_name = dict(rows)
+        # the best policy never misses, on any application
+        assert not by_name["best policy"].missed, workload_name
+        assert not by_name["best + voltage"].missed, workload_name
+        # and saves energy everywhere
+        assert (
+            by_name["best policy"].exact_energy_j
+            < by_name["const 206.4"].exact_energy_j
+        ), workload_name
+    # the interactive (idle-heavy) workloads save much more than MPEG
+    def saving(name):
+        rows = dict(table[name])
+        return 1 - rows["best policy"].exact_energy_j / rows["const 206.4"].exact_energy_j
+
+    assert saving("Web") > 3 * saving("MPEG")
+    assert saving("TalkingEditor") > 2 * saving("MPEG")

@@ -1,0 +1,96 @@
+"""Section 2.1: battery behaviour.
+
+Three results from the paper's background section:
+
+1. the Itsy idle-battery anecdote: two AAA alkaline cells last ~2 h with
+   the system clock at 206 MHz but ~18 h at 59 MHz -- battery life rises
+   9x for a 3.5x clock reduction (the rate-capacity effect);
+2. the StrongARM SA-2 arithmetic: a 600-million-instruction task costs
+   500 mJ in 1 s at 600 MHz but only 160 mJ in 4 s at 150 MHz with voltage
+   scaling -- a 4x energy saving for tolerating delay;
+3. pulsed-power operation (Chiasserini & Rao): interspersing high-power
+   pulses with rest delivers more charge than the same constant drain.
+
+Plus Martin's computations-per-battery-lifetime metric over the clock
+table.
+"""
+
+from repro.battery.lifetime import (
+    best_step_for_computations,
+    idle_lifetime_hours,
+)
+from repro.battery.pulsed import PulsedDischargeModel
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.hw.power import IdleManagerParameters
+
+from _util import Report, once
+
+# StrongARM SA-2 figures quoted in the paper's introduction.
+SA2_FAST = dict(mhz=600.0, watts=0.500)
+SA2_SLOW = dict(mhz=150.0, watts=0.040)
+SA2_INSTRUCTIONS = 600e6
+
+
+def test_battery_lifetime(benchmark):
+    def run():
+        lifetimes = {
+            step.mhz: idle_lifetime_hours(step) for step in SA1100_CLOCK_TABLE
+        }
+        idle = IdleManagerParameters()
+        best, scored = best_step_for_computations(
+            lambda step: idle.idle_power_w(step) + 0.25
+        )
+        pulsed = PulsedDischargeModel(capacity_c=1000.0)
+        t_const = pulsed.time_to_death_s(power_w=6.0)
+        delivered_const = pulsed.delivered
+        pulsed2 = PulsedDischargeModel(capacity_c=1000.0)
+        pulsed2.time_to_death_s(power_w=6.0, pulse_s=30.0, rest_s=30.0)
+        delivered_pulsed = pulsed2.delivered
+        return lifetimes, best, scored, delivered_const, delivered_pulsed
+
+    lifetimes, best, scored, delivered_const, delivered_pulsed = once(benchmark, run)
+
+    report = Report("battery_lifetime")
+    report.add("Idle-Itsy battery lifetime vs system clock (2x AAA alkaline)")
+    report.table(
+        ["Clock (MHz)", "Lifetime (h)"],
+        [(f"{mhz:.1f}", f"{hours:.1f}") for mhz, hours in sorted(lifetimes.items())],
+    )
+    ratio = lifetimes[59.0] / lifetimes[206.4]
+    report.add(
+        f"-> {ratio:.1f}x battery life for a "
+        f"{206.4 / 59.0:.1f}x clock reduction (paper: 9x for 3.5x)"
+    )
+    report.add()
+
+    e_fast = SA2_FAST["watts"] * (SA2_INSTRUCTIONS / (SA2_FAST["mhz"] * 1e6))
+    e_slow = SA2_SLOW["watts"] * (SA2_INSTRUCTIONS / (SA2_SLOW["mhz"] * 1e6))
+    report.add("StrongARM SA-2 example (600 M instructions):")
+    report.add(
+        f"  600 MHz: {SA2_INSTRUCTIONS / (SA2_FAST['mhz'] * 1e6):.1f} s, "
+        f"{e_fast * 1000:.0f} mJ   |   150 MHz: "
+        f"{SA2_INSTRUCTIONS / (SA2_SLOW['mhz'] * 1e6):.1f} s, {e_slow * 1000:.0f} mJ"
+        f"   ({e_fast / e_slow:.2f}x saving)"
+    )
+    report.add()
+
+    report.add("Martin metric: computations per battery lifetime (idle+0.25 W)")
+    report.table(
+        ["Clock (MHz)", "Cycles per battery (x1e12)"],
+        [(f"{step.mhz:.1f}", f"{c / 1e12:.2f}") for step, c in scored],
+    )
+    report.add(f"-> best step: {best.mhz:.1f} MHz")
+    report.add()
+    report.add(
+        f"Pulsed discharge (KiBaM): constant 6 W delivers "
+        f"{delivered_const:.0f} C; 30 s/30 s pulsed delivers "
+        f"{delivered_pulsed:.0f} C under load"
+    )
+    report.emit()
+
+    assert 1.8 < lifetimes[206.4] < 2.2
+    assert 16.0 < lifetimes[59.0] < 20.0
+    assert 8.0 < ratio < 10.0
+    assert e_fast == 0.5 and abs(e_slow - 0.160) < 1e-9
+    assert delivered_pulsed > delivered_const
+    assert best.index > 0  # crawling wastes fixed power (Martin's point)

@@ -1,0 +1,121 @@
+"""Extension (§6 future work): deadline mechanisms vs heuristics.
+
+The paper's conclusion proposes kernel deadline mechanisms and asks how to
+synthesize deadlines automatically.  This benchmark runs the full MPEG
+workload under:
+
+- the paper's best heuristic (PAST peg-peg 98/93),
+- :class:`DeadlineGovernor` with application-declared demands (truthful
+  video frame + audio chunk specs),
+- :class:`SynthesizedDeadlineGovernor` (period detection, no app help),
+- Martin's battery-rational floor wrapped around the best heuristic,
+
+and compares energy, misses, and clock behaviour against the constant
+206.4 MHz baseline and the constant 132.7 MHz ideal.
+"""
+
+from repro.core.catalog import best_policy, constant_speed
+from repro.core.deadline import (
+    DeadlineGovernor,
+    DeadlineSpec,
+    SynthesizedDeadlineGovernor,
+)
+from repro.core.martin import martin_policy
+from repro.hw.power import IdleManagerParameters
+from repro.measure.runner import run_workload
+
+_IDLE = IdleManagerParameters()
+from repro.workloads.base import AUDIO_CHUNK_PROFILE, MPEG_FRAME_PROFILE
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+from _util import Report, once
+
+CFG = MpegConfig(duration_s=60.0)
+
+
+def declared_governor():
+    """Truthful MPEG demand declaration: worst-typical frame + audio."""
+    return DeadlineGovernor(
+        [
+            DeadlineSpec(
+                "video",
+                period_us=CFG.frame_interval_us,
+                work=MPEG_FRAME_PROFILE.work(1.0),
+            ),
+            DeadlineSpec(
+                "audio", period_us=100_000.0, work=AUDIO_CHUNK_PROFILE.work(1.0)
+            ),
+        ],
+        margin=1.05,
+    )
+
+
+def test_deadline_mechanisms(benchmark):
+    configs = [
+        ("const 206.4 (baseline)", lambda: constant_speed(206.4)),
+        ("const 132.7 (oracle ideal)", lambda: constant_speed(132.7)),
+        ("best heuristic (PAST peg 98/93)", best_policy),
+        ("declared deadlines", declared_governor),
+        ("synthesized deadlines", lambda: SynthesizedDeadlineGovernor()),
+        # Note: with the calibrated *full-system* power model the Martin
+        # metric always favours the top step (fixed power dominates, so
+        # racing maximizes computations per lifetime) -- the interior
+        # optimum only appears for power profiles that track the clock
+        # strongly, like the idle power manager's.  We use that profile to
+        # demonstrate a non-degenerate floor (162.2 MHz).
+        (
+            "best heuristic + Martin floor",
+            lambda: martin_policy(
+                best_policy,
+                power_of_step=lambda step: _IDLE.idle_power_w(step) + 0.25,
+            ),
+        ),
+    ]
+
+    def run():
+        return [
+            (name, run_workload(mpeg_workload(CFG), f, seed=1, use_daq=False))
+            for name, f in configs
+        ]
+
+    results = once(benchmark, run)
+
+    report = Report("deadline_mechanisms")
+    base = results[0][1].exact_energy_j
+    report.add("MPEG 60 s: heuristics vs deadline mechanisms (§6)")
+    report.table(
+        ["Governor", "Energy (J)", "vs 206.4", "Misses", "Clk chg", "Freqs"],
+        [
+            (
+                name,
+                f"{res.exact_energy_j:.2f}",
+                f"{100 * (1 - res.exact_energy_j / base):+.2f} %",
+                len(res.misses),
+                res.run.clock_changes,
+                ",".join(f"{m:.0f}" for m in sorted({q.mhz for q in res.run.quanta})),
+            )
+            for name, res in results
+        ],
+    )
+    report.emit()
+
+    by_name = dict(results)
+    ideal = by_name["const 132.7 (oracle ideal)"]
+    declared = by_name["declared deadlines"]
+    heuristic = by_name["best heuristic (PAST peg 98/93)"]
+    synth = by_name["synthesized deadlines"]
+
+    # Declared deadlines reach the ideal: no misses, energy within 1 % of
+    # the constant-132.7 run, nearly no switching.
+    assert not declared.missed
+    assert declared.exact_energy_j <= ideal.exact_energy_j * 1.01
+    assert declared.run.clock_changes <= 2
+    # And they beat every implementable heuristic.
+    assert declared.exact_energy_j < heuristic.exact_energy_j
+    # Synthesized deadlines are safe and save something, but can't match
+    # the declared version (the paper's "further challenge").
+    assert not synth.missed
+    assert synth.exact_energy_j <= by_name["const 206.4 (baseline)"].exact_energy_j
+    assert synth.exact_energy_j >= declared.exact_energy_j - 0.5
+    # Martin's floor never misses either (it only raises the clock).
+    assert not by_name["best heuristic + Martin floor"].missed

@@ -1,0 +1,73 @@
+"""Figure 3: per-10 ms-quantum utilization of each application at 206.4 MHz.
+
+Regenerates the raw utilization traces behind Figure 3's four panels and
+summarizes the structure the paper reads off them: quanta are mostly
+all-or-nothing busy, and each application runs at its own time-scale
+(MPEG's ~7-quantum frames, Chess's multi-second searches, the Java 30 ms
+poll).  The per-quantum series are saved as CSV next to the report.
+"""
+
+from repro.analysis.utilization import busy_idle_runs, utilization_series
+from repro.core.catalog import constant_speed
+from repro.measure.runner import run_workload
+from repro.traces.io import save_quanta_csv
+from repro.workloads import all_workloads
+
+from _util import RESULTS_DIR, Report, once
+
+
+def test_fig3_utilization(benchmark):
+    def run():
+        out = []
+        for workload in all_workloads():
+            res = run_workload(
+                workload, lambda: constant_speed(206.4), seed=1, use_daq=False
+            )
+            out.append((workload, res))
+        return out
+
+    results = once(benchmark, run)
+
+    report = Report("fig3_utilization")
+    report.add("Per-quantum utilization at a constant 206.4 MHz")
+    rows = []
+    for workload, res in results:
+        _, utils = utilization_series(res.run)
+        extreme = sum(1 for u in utils if u < 0.02 or u > 0.98) / len(utils)
+        runs = busy_idle_runs(utils)
+        busy_lengths = [n for busy, n in runs if busy]
+        rows.append(
+            (
+                workload.name,
+                f"{res.run.mean_utilization():.3f}",
+                f"{extreme:.2f}",
+                f"{sum(busy_lengths) / max(1, len(busy_lengths)):.1f}",
+                max(busy_lengths, default=0),
+                len(res.run.quanta),
+            )
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        save_quanta_csv(
+            RESULTS_DIR / f"fig3_{workload.name.lower()}_quanta.csv", res.run.quanta
+        )
+    report.table(
+        [
+            "Application",
+            "Mean util",
+            "All-or-nothing frac",
+            "Mean busy run (quanta)",
+            "Max busy run",
+            "Quanta",
+        ],
+        rows,
+    )
+    report.add()
+    report.add("Per-quantum CSV series saved as fig3_<app>_quanta.csv")
+    report.emit()
+
+    # §5.1: "the system is usually either completely idle or completely
+    # busy during a given quantum."
+    for workload, res in results:
+        _, utils = utilization_series(res.run)
+        extreme = sum(1 for u in utils if u < 0.02 or u > 0.98) / len(utils)
+        assert extreme > 0.5, workload.name

@@ -1,0 +1,62 @@
+"""Figure 9: non-linear change in utilization with clock frequency.
+
+MPEG's processor utilization at each constant clock step.  The curve is
+not linear in 1/f: Table 3's memory-cycle jumps bend it, producing the
+distinct plateau between 162.2 and 176.9 MHz that the paper attributes to
+the processor/memory speed mismatch.
+"""
+
+from repro.core.catalog import constant_speed
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.measure.runner import run_workload
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+from _util import Report, once
+
+
+def test_fig9_plateau(benchmark):
+    cfg = MpegConfig(duration_s=30.0)
+
+    def run():
+        out = {}
+        for step in SA1100_CLOCK_TABLE:
+            res = run_workload(
+                mpeg_workload(cfg),
+                lambda s=step: constant_speed(s.mhz),
+                seed=1,
+                use_daq=False,
+            )
+            out[step.mhz] = (res.run.mean_utilization(), len(res.misses))
+        return out
+
+    sweep = once(benchmark, run)
+
+    report = Report("fig9_plateau")
+    report.add("MPEG utilization vs clock frequency (30 s runs)")
+    rows = []
+    prev_util = None
+    for mhz, (util, misses) in sorted(sweep.items()):
+        delta = "" if prev_util is None else f"{util - prev_util:+.3f}"
+        rows.append((f"{mhz:.1f}", f"{util * 100:.1f} %", delta, misses))
+        prev_util = util
+    report.table(["Freq (MHz)", "Utilization", "step delta", "Misses"], rows)
+    drop_plateau = sweep[162.2][0] - sweep[176.9][0]
+    report.add()
+    report.add(
+        f"plateau: utilization changes only {drop_plateau * 100:.1f} points "
+        "from 162.2 to 176.9 MHz although the clock rises 9 %"
+    )
+    report.emit()
+
+    utils = {mhz: u for mhz, (u, _) in sweep.items()}
+    # saturated and missing deadlines below the feasibility knee
+    assert all(utils[m] > 0.99 for m in (59.0, 73.7, 88.5, 103.2, 118.0))
+    assert sweep[118.0][1] > 0 and sweep[132.7][1] == 0
+    # overall decreasing above the knee, with the 162.2-176.9 plateau
+    assert utils[206.4] < utils[162.2] < utils[132.7]
+    assert drop_plateau < 0.03
+    assert drop_plateau < utils[147.5] - utils[162.2]
+    assert drop_plateau < utils[176.9] - utils[191.7]
+    # paper magnitudes: ~71 % at 206.4, >90 % near the knee
+    assert 0.65 < utils[206.4] < 0.80
+    assert utils[132.7] > 0.90

@@ -1,0 +1,99 @@
+"""Related-work baselines: Weiser OPT/FUTURE/PAST and the Govil family.
+
+The paper positions itself against the trace-driven studies of Weiser et
+al. and Govil et al. (§3).  This benchmark extracts a per-interval work
+trace from our own MPEG run (busy fraction at full speed per 10 ms
+quantum) and feeds it to the trace-level algorithms, reporting the
+Weiser-style relative energy (voltage tracks speed, energy weight
+``speed^2``) and the carried backlog.  OPT bounds what any algorithm could
+do; PAST -- the only implementable one -- pays for every misprediction.
+"""
+
+import numpy as np
+
+from repro.core.catalog import constant_speed
+from repro.core.govil import (
+    AgedAveragesPredictor,
+    CyclePredictor,
+    FlatPredictor,
+    LongShortPredictor,
+    PatternPredictor,
+    PeakPredictor,
+    govil_schedule,
+)
+from repro.core.oracle import future_schedule, opt_schedule, past_schedule
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.measure.runner import run_workload
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+from _util import Report, once
+
+MIN_SPEED = 59.0 / 206.4
+
+
+def test_oracles(benchmark):
+    def run():
+        res = run_workload(
+            mpeg_workload(MpegConfig(duration_s=30.0, spin_enabled=False)),
+            lambda: constant_speed(206.4),
+            seed=1,
+            use_daq=False,
+        )
+        work = np.array(res.run.utilizations())
+        schedules = [
+            ("OPT (oracle)", opt_schedule(work, MIN_SPEED)),
+            ("FUTURE (peeks 1)", future_schedule(work, MIN_SPEED)),
+            ("PAST (implementable)", past_schedule(work, MIN_SPEED)),
+            (
+                "PAST quantized",
+                past_schedule(work, MIN_SPEED, quantize=SA1100_CLOCK_TABLE),
+            ),
+            ("Govil FLAT(0.7)", govil_schedule(work, FlatPredictor(0.7), MIN_SPEED)),
+            (
+                "Govil LONG_SHORT",
+                govil_schedule(work, LongShortPredictor(), MIN_SPEED),
+            ),
+            (
+                "Govil AGED_AVERAGES",
+                govil_schedule(work, AgedAveragesPredictor(0.9), MIN_SPEED),
+            ),
+            ("Govil CYCLE", govil_schedule(work, CyclePredictor(), MIN_SPEED)),
+            ("Govil PATTERN", govil_schedule(work, PatternPredictor(), MIN_SPEED)),
+            ("Govil PEAK", govil_schedule(work, PeakPredictor(), MIN_SPEED)),
+        ]
+        return work, schedules
+
+    work, schedules = once(benchmark, run)
+
+    report = Report("oracles")
+    report.add(
+        f"Trace: MPEG 30 s at 206.4 MHz, {len(work)} intervals, "
+        f"mean work {float(np.mean(work)):.3f}"
+    )
+    report.table(
+        ["Algorithm", "Energy vs full speed", "Mean speed", "Peak excess", "Unfinished"],
+        [
+            (
+                name,
+                f"{res.full_speed_energy_ratio:.3f}",
+                f"{float(np.mean(res.speeds)):.3f}",
+                f"{float(np.max(res.excess)):.2f}",
+                f"{res.missed_work:.2f}",
+            )
+            for name, res in schedules
+        ],
+    )
+    report.emit()
+
+    by_name = dict(schedules)
+    opt = by_name["OPT (oracle)"]
+    # OPT lower-bounds every algorithm's energy.
+    for name, res in schedules:
+        assert res.energy >= opt.energy - 1e-9, name
+    # Everything beats running flat out.
+    for name, res in schedules:
+        assert res.full_speed_energy_ratio < 1.0, name
+    # Quantization can only cost energy relative to continuous PAST.
+    assert (
+        by_name["PAST quantized"].energy >= by_name["PAST (implementable)"].energy - 1e-9
+    )

@@ -1,0 +1,76 @@
+"""Section 5.3: the comprehensive AVG_N x speed-setter study.
+
+The paper varied N from 0 (PAST) to 10 with each speed-setting policy and
+concluded that "the weighted average has undesirable behavior": no
+configuration settles at the 132.7 MHz optimum -- each one either misses
+deadlines (scaled down too eagerly / reacts too slowly) or burns nearly as
+much energy as constant full speed.  The benchmark regenerates the sweep
+on the MPEG workload and reports, per configuration: deadline misses,
+energy vs the 132.7 MHz ideal, clock changes, and 132.7 MHz residency.
+"""
+
+from repro.core.catalog import constant_speed, sweep_avg_policies
+from repro.measure.runner import run_workload
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+from _util import Report, once
+
+CFG = MpegConfig(duration_s=30.0)
+N_VALUES = tuple(range(0, 11, 2))  # 0, 2, 4, 6, 8, 10
+
+
+def test_policy_sweep(benchmark):
+    def run():
+        ideal = run_workload(
+            mpeg_workload(CFG), lambda: constant_speed(132.7), seed=1, use_daq=False
+        )
+        full = run_workload(
+            mpeg_workload(CFG), lambda: constant_speed(206.4), seed=1, use_daq=False
+        )
+        rows = []
+        for label, governor in sweep_avg_policies(n_values=N_VALUES):
+            res = run_workload(
+                mpeg_workload(CFG), lambda g=governor: g, seed=1, use_daq=False
+            )
+            at_132 = sum(1 for q in res.run.quanta if q.mhz == 132.7)
+            rows.append(
+                (
+                    label,
+                    len(res.misses),
+                    res.exact_energy_j,
+                    res.run.clock_changes,
+                    at_132 / len(res.run.quanta),
+                )
+            )
+        return ideal, full, rows
+
+    ideal, full, rows = once(benchmark, run)
+
+    report = Report("policy_sweep")
+    report.add(
+        f"MPEG 30 s | ideal (const 132.7): {ideal.exact_energy_j:.2f} J | "
+        f"const 206.4: {full.exact_energy_j:.2f} J"
+    )
+    report.table(
+        ["Policy", "Misses", "Energy (J)", "Clock chg", "132.7 residency"],
+        [
+            (label, misses, f"{energy:.2f}", changes, f"{res132:.2f}")
+            for label, misses, energy, changes, res132 in rows
+        ],
+    )
+    achieved = [
+        label
+        for label, misses, energy, _, __ in rows
+        if misses == 0 and energy <= ideal.exact_energy_j * 1.02
+    ]
+    report.add()
+    report.add(
+        "Configurations matching the ideal (no misses, within 2 % of the "
+        f"132.7 MHz energy): {achieved or 'NONE'}"
+    )
+    report.emit()
+
+    # The paper's conclusion: no heuristic achieves the ideal.
+    assert not achieved
+    # And none parks at the optimum step.
+    assert all(res132 < 0.9 for _, __, ___, ____, res132 in rows)

@@ -1,0 +1,67 @@
+"""Table 2: energy of the best clock scaling algorithms (MPEG, 60 s).
+
+Regenerates the paper's headline table: 95 % confidence intervals of the
+DAQ-measured energy for the five configurations, plus the deadline-miss
+check that defines "best".
+
+Paper rows (joules):
+    Constant 206.4 MHz, 1.5 V                      85.59 - 86.49
+    Constant 132.7 MHz, 1.5 V                      79.59 - 80.94
+    Constant 132.7 MHz, 1.23 V                     73.76 - 74.41
+    PAST peg-peg, >98 up / <93 down, 1.5 V         85.03 - 85.47
+    PAST peg-peg, voltage scaling @ 162.2 MHz      84.60 - 85.45
+"""
+
+from repro.core.catalog import best_policy, constant_speed
+from repro.hw.rails import VOLTAGE_LOW
+from repro.measure.runner import repeat_workload
+from repro.workloads.mpeg import mpeg_workload
+
+from _util import Report, once
+
+ROWS = [
+    ("Constant 206.4 MHz, 1.5 V", lambda: constant_speed(206.4), "85.59 - 86.49"),
+    ("Constant 132.7 MHz, 1.5 V", lambda: constant_speed(132.7), "79.59 - 80.94"),
+    (
+        "Constant 132.7 MHz, 1.23 V",
+        lambda: constant_speed(132.7, volts=VOLTAGE_LOW),
+        "73.76 - 74.41",
+    ),
+    ("PAST peg-peg 98/93, 1.5 V", lambda: best_policy(False), "85.03 - 85.47"),
+    ("PAST peg-peg + Vscale @162.2", lambda: best_policy(True), "84.60 - 85.45"),
+]
+
+
+def test_table2_energy(benchmark):
+    def run():
+        return [
+            (name, repeat_workload(mpeg_workload(), factory, runs=4), paper)
+            for name, factory, paper in ROWS
+        ]
+
+    results = once(benchmark, run)
+
+    report = Report("table2_energy")
+    report.add("MPEG 60 s playback, 4 runs each, DAQ-measured energy (J)")
+    report.table(
+        ["Algorithm", "Measured 95% CI", "Paper 95% CI", "Misses"],
+        [
+            (
+                name,
+                f"{agg.energy_ci.low:.2f} - {agg.energy_ci.high:.2f}",
+                paper,
+                agg.total_misses,
+            )
+            for name, agg, paper in results
+        ],
+    )
+    by_name = {name: agg for name, agg, _ in results}
+    base = by_name["Constant 206.4 MHz, 1.5 V"].mean_energy_j
+    report.add()
+    report.add("Relative to constant 206.4 MHz:")
+    for name, agg, _ in results:
+        saving = 100.0 * (1.0 - agg.mean_energy_j / base)
+        report.add(f"  {name:32s} saves {saving:5.2f} %")
+    report.emit()
+
+    assert all(agg.total_misses == 0 for _, agg, _ in results)

@@ -1,0 +1,122 @@
+"""Write and evaluate your own clock-scaling policy.
+
+The paper ends by arguing that implementable *heuristics* are a dead end
+and that applications must expose deadlines (§6).  This example shows both
+sides of that argument using the library's extension points:
+
+1. ``TwoLevelGovernor`` -- a custom heuristic built on the ``Governor``
+   interface: it watches a longer window and picks between three fixed
+   steps.  Like every heuristic in the paper, it trades misses against
+   savings.
+2. ``DeadlineOracleGovernor`` -- the paper's proposed future-work design,
+   approximated: the workload's deadline stream is made visible to the
+   governor (application-provided deadlines), which then selects the
+   slowest clock step that still meets the known per-period demand.
+
+Usage:
+    python examples/custom_policy.py
+"""
+
+from collections import deque
+from typing import Optional
+
+from repro.core.catalog import best_policy, constant_speed
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.kernel.governor import Governor, GovernorRequest, TickInfo
+from repro.measure.runner import run_workload
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+
+class TwoLevelGovernor(Governor):
+    """A hand-rolled heuristic: cruise / sprint / rest.
+
+    Keeps a 300 ms window of utilization.  Above 85 % mean it sprints
+    (206.4 MHz); below 30 % it rests (59 MHz); otherwise it cruises at
+    147.5 MHz.
+    """
+
+    def __init__(self):
+        self._window = deque(maxlen=30)
+
+    def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
+        self._window.append(info.utilization)
+        mean = sum(self._window) / len(self._window)
+        if mean > 0.85:
+            target = SA1100_CLOCK_TABLE.max_index
+        elif mean < 0.30:
+            target = 0
+        else:
+            target = SA1100_CLOCK_TABLE.step_for_mhz(147.5).index
+        if target == info.step_index:
+            return None
+        return GovernorRequest(step_index=target)
+
+    def reset(self):
+        self._window.clear()
+
+
+class DeadlineOracleGovernor(Governor):
+    """Application-provided deadlines (the paper's §6 proposal).
+
+    The application registers its period and per-period demand in cycles
+    (here: MPEG's mean frame at the current step).  The governor then runs
+    at the slowest step whose throughput covers the demand with a safety
+    margin -- no prediction at all.
+    """
+
+    def __init__(self, demand_units: float, period_us: float, margin: float = 1.10):
+        from repro.hw.memory import SA1100_MEMORY_TIMINGS
+        from repro.workloads.base import MPEG_FRAME_PROFILE
+
+        self._target_index = SA1100_CLOCK_TABLE.max_index
+        for step in SA1100_CLOCK_TABLE:
+            busy = MPEG_FRAME_PROFILE.work(demand_units).duration_us(
+                step, SA1100_MEMORY_TIMINGS
+            )
+            if busy * margin <= period_us:
+                self._target_index = step.index
+                break
+        self._applied = False
+
+    def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
+        if self._applied:
+            return None
+        self._applied = True
+        return GovernorRequest(step_index=self._target_index)
+
+    def reset(self):
+        self._applied = False
+
+
+def main():
+    cfg = MpegConfig(duration_s=30.0)
+    workload = mpeg_workload(cfg)
+    # The oracle knows the application's real demand: mean frame work plus
+    # the audio process, per 66.7 ms period.
+    oracle = lambda: DeadlineOracleGovernor(demand_units=1.05, period_us=cfg.frame_interval_us)
+
+    policies = [
+        ("const 206.4 (baseline)", lambda: constant_speed(206.4)),
+        ("paper best policy", best_policy),
+        ("custom: TwoLevelGovernor", TwoLevelGovernor),
+        ("custom: DeadlineOracle", oracle),
+    ]
+    print(f"{'policy':26s} {'energy J':>9s} {'misses':>7s} {'clk chg':>8s} {'freqs used':>22s}")
+    base = None
+    for name, factory in policies:
+        result = run_workload(workload, factory, seed=0, use_daq=False)
+        if base is None:
+            base = result.exact_energy_j
+        freqs = sorted({q.mhz for q in result.run.quanta})
+        print(
+            f"{name:26s} {result.exact_energy_j:9.2f} {len(result.misses):7d} "
+            f"{result.run.clock_changes:8d} {str([f'{f:.0f}' for f in freqs]):>22s}"
+        )
+    print(
+        "\nThe deadline oracle parks at the slowest feasible step without"
+        "\nany heuristic -- the information the kernel alone cannot infer."
+    )
+
+
+if __name__ == "__main__":
+    main()

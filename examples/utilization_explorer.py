@@ -1,0 +1,74 @@
+"""Explore the utilization structure of the four workloads (Figures 3/4).
+
+Renders ASCII strip charts of the per-quantum utilization and its 100 ms
+moving average for each application at a constant 206.4 MHz -- the data
+behind Figures 3 and 4 -- and prints the time-scale summary of §5.1
+(MPEG's ~7-quantum frames, the Java 30 ms poll, Chess's think/search
+phases, the TalkingEditor's burst-then-synthesis shape).
+
+Usage:
+    python examples/utilization_explorer.py [--window-s 20]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.utilization import (
+    busy_idle_runs,
+    moving_average,
+    utilization_series,
+)
+from repro.core.catalog import constant_speed
+from repro.measure.runner import run_workload
+from repro.workloads import all_workloads
+
+GLYPHS = " .:-=+*#%@"
+
+
+def strip_chart(values, width=100):
+    """Downsample a series into one text row of density glyphs."""
+    if len(values) == 0:
+        return ""
+    chunks = np.array_split(np.asarray(values), min(width, len(values)))
+    out = []
+    for chunk in chunks:
+        level = int(round(float(np.mean(chunk)) * (len(GLYPHS) - 1)))
+        out.append(GLYPHS[level])
+    return "".join(out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--window-s", type=float, default=30.0, help="display window length"
+    )
+    args = parser.parse_args()
+
+    for workload in all_workloads():
+        result = run_workload(
+            workload, lambda: constant_speed(206.4), seed=0, use_daq=False
+        )
+        times, utils = utilization_series(result.run)
+        n = min(len(utils), int(args.window_s * 100))
+        raw, smooth = utils[:n], moving_average(utils, 10)[:n]
+
+        print(f"\n=== {workload.name} (first {n / 100:.0f} s at 206.4 MHz) ===")
+        print(f"  raw 10 ms quanta : |{strip_chart(raw)}|")
+        print(f"  100 ms moving avg: |{strip_chart(smooth)}|")
+
+        runs = busy_idle_runs(utils)
+        busy_lengths = [length for busy, length in runs if busy]
+        idle_lengths = [length for busy, length in runs if not busy]
+        print(
+            f"  mean utilization {result.run.mean_utilization():.2f} | "
+            f"busy stretches: mean {np.mean(busy_lengths):.1f}, "
+            f"max {max(busy_lengths)} quanta | "
+            f"idle stretches: mean {np.mean(idle_lengths):.1f} quanta"
+            if busy_lengths and idle_lengths
+            else "  (degenerate)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,201 @@
+"""Closed-form energy/delay analysis (§2.1's arguments, made computable).
+
+The paper's background section walks through the fundamental tradeoffs:
+
+- without voltage scaling, finishing fixed work slower saves little --
+  power falls linearly with frequency but time grows linearly, so the
+  *busy* energy is nearly constant and only the idle-power difference
+  matters ("little or no energy will be saved");
+- with voltage scaling the busy energy falls roughly with ``V^2``
+  ("significant benefit to running slower when the application can
+  tolerate additional delay" -- the SA-2's 4x example);
+- racing to idle versus crawling is decided by how the idle power
+  compares to the busy-power savings.
+
+These helpers evaluate the tradeoffs exactly against the calibrated Itsy
+machine model, including the Table 3 memory effects that make work cost
+*more cycles* at higher clock steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hw.clocksteps import ClockStep, ClockTable, SA1100_CLOCK_TABLE
+from repro.hw.memory import MemoryTimings, SA1100_MEMORY_TIMINGS
+from repro.hw.power import CoreState, PowerModel, PowerParameters
+from repro.hw.rails import DEFAULT_LOW_VOLTAGE_MAX_MHZ, VOLTAGE_HIGH, VOLTAGE_LOW
+from repro.hw.work import Work
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """Energy/delay of completing fixed work one way.
+
+    Attributes:
+        step: the clock step used while busy.
+        volts: the core voltage used while busy.
+        busy_us: time spent computing.
+        total_us: busy time plus any idle tail (for deadline scenarios).
+        energy_j: whole-system energy over ``total_us``.
+    """
+
+    step: ClockStep
+    volts: float
+    busy_us: float
+    total_us: float
+    energy_j: float
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average power over the scenario window."""
+        if self.total_us <= 0:
+            return 0.0
+        return self.energy_j / (self.total_us * 1e-6)
+
+
+def energy_for_work(
+    work: Work,
+    step: ClockStep,
+    volts: float = VOLTAGE_HIGH,
+    deadline_us: Optional[float] = None,
+    idle_step: Optional[ClockStep] = None,
+    idle_volts: Optional[float] = None,
+    power: Optional[PowerModel] = None,
+    timings: MemoryTimings = SA1100_MEMORY_TIMINGS,
+) -> EnergyPoint:
+    """Whole-system energy to complete ``work`` at a constant setting.
+
+    With a ``deadline_us`` the scenario covers the full window: busy at
+    ``step``/``volts``, then napping (at ``idle_step``/``idle_volts``,
+    defaulting to the busy setting) until the deadline.  Without one, only
+    the busy time is charged.
+
+    Raises:
+        ValueError: if the work cannot finish by the deadline.
+    """
+    model = power if power is not None else PowerModel()
+    busy_us = work.duration_us(step, timings)
+    if deadline_us is None:
+        total_us = busy_us
+        idle_us = 0.0
+    else:
+        if busy_us > deadline_us + 1e-9:
+            raise ValueError(
+                f"work needs {busy_us:.0f} us at {step.mhz:.1f} MHz, "
+                f"deadline is {deadline_us:.0f} us"
+            )
+        total_us = deadline_us
+        idle_us = deadline_us - busy_us
+    e_busy = model.total_w(step, volts, CoreState.ACTIVE) * busy_us * 1e-6
+    nap_step = idle_step if idle_step is not None else step
+    nap_volts = idle_volts if idle_volts is not None else volts
+    e_idle = model.total_w(nap_step, nap_volts, CoreState.NAP) * idle_us * 1e-6
+    return EnergyPoint(
+        step=step,
+        volts=volts,
+        busy_us=busy_us,
+        total_us=total_us,
+        energy_j=e_busy + e_idle,
+    )
+
+
+def energy_delay_curve(
+    work: Work,
+    deadline_us: float,
+    voltage_scaling: bool = True,
+    clock_table: ClockTable = SA1100_CLOCK_TABLE,
+    low_voltage_max_mhz: float = DEFAULT_LOW_VOLTAGE_MAX_MHZ,
+    power: Optional[PowerModel] = None,
+    timings: MemoryTimings = SA1100_MEMORY_TIMINGS,
+) -> List[EnergyPoint]:
+    """Energy at every feasible constant step for a deadline scenario.
+
+    With ``voltage_scaling`` the core runs at 1.23 V whenever the step is
+    at or below the low-voltage bound, 1.5 V otherwise -- the modified
+    Itsy's capability.  Infeasible steps are omitted.
+    """
+    points: List[EnergyPoint] = []
+    for step in clock_table:
+        volts = VOLTAGE_HIGH
+        if voltage_scaling and step.mhz <= low_voltage_max_mhz + 1e-9:
+            volts = VOLTAGE_LOW
+        try:
+            points.append(
+                energy_for_work(
+                    work,
+                    step,
+                    volts,
+                    deadline_us=deadline_us,
+                    power=power,
+                    timings=timings,
+                )
+            )
+        except ValueError:
+            continue
+    return points
+
+
+def best_constant_step(
+    work: Work,
+    deadline_us: float,
+    voltage_scaling: bool = True,
+    **kwargs,
+) -> EnergyPoint:
+    """The energy-minimal feasible constant setting for the scenario.
+
+    Raises:
+        ValueError: when no step meets the deadline.
+    """
+    curve = energy_delay_curve(work, deadline_us, voltage_scaling, **kwargs)
+    if not curve:
+        raise ValueError("no clock step meets the deadline")
+    # Break floating-point ties toward the slower step: for pure-CPU work
+    # at a fixed voltage all steps cost identically, and the slow end is
+    # the canonical representative ("meet the deadline as late as
+    # possible", §6).
+    return min(curve, key=lambda p: (round(p.energy_j, 9), p.step.index))
+
+
+def race_vs_crawl(
+    work: Work,
+    deadline_us: float,
+    voltage_scaling: bool = True,
+    clock_table: ClockTable = SA1100_CLOCK_TABLE,
+    **kwargs,
+) -> "tuple[EnergyPoint, EnergyPoint]":
+    """Compare racing-to-idle against the best slower constant setting.
+
+    Returns ``(race, best)`` where ``race`` runs flat out then naps at the
+    top step, and ``best`` is the energy-minimal constant setting.  The
+    paper's §2.1: with voltage scaling ``best`` wins clearly; without it
+    the difference shrinks to the idle-power gap.
+    """
+    race = energy_for_work(
+        work, clock_table.max_step, VOLTAGE_HIGH, deadline_us=deadline_us, **kwargs
+    )
+    best = best_constant_step(
+        work, deadline_us, voltage_scaling, clock_table=clock_table, **kwargs
+    )
+    return race, best
+
+
+def processor_only_model() -> PowerModel:
+    """A power model with the platform (fixed + clock-tracking) terms
+    removed: processor energy in isolation, for the textbook curves.
+
+    The paper's SA-2 illustration assumes "an idle computer consumes no
+    energy"; this model reproduces that style of argument while the
+    default model answers the whole-system question the Itsy DAQ measures.
+    """
+    base = PowerParameters()
+    return PowerModel(
+        PowerParameters(
+            fixed_w=0.0,
+            system_w_per_mhz=0.0,
+            core_w_per_mhz_v2=base.core_w_per_mhz_v2,
+            pad_w_per_mhz_v2=base.pad_w_per_mhz_v2,
+            nap_w_per_mhz_v2=0.0,
+        )
+    )

@@ -1,0 +1,61 @@
+"""The frequency response of AVG_N (Figure 6, §5.3).
+
+The continuous-space idealization: AVG_N convolves the workload with
+``x(t) = e^(-a t) u(t)`` (``u`` the unit step).  Its Fourier transform is
+
+    X(w) = 1 / (i w + a),    |X(w)| = 1 / sqrt(w^2 + a^2)
+
+"The transform attenuates, but does not eliminate, higher frequency
+elements.  If the input signal oscillates, the output will oscillate as
+well."  Smaller ``a`` (larger N) attenuates more but lags more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def decaying_exponential(t: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """``x(t) = e^(-alpha t) u(t)``: the AVG_N weighting shape (Figure 6)."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    t = np.asarray(t, dtype=float)
+    return np.where(t >= 0, np.exp(-alpha * np.clip(t, 0, None)), 0.0)
+
+
+def fourier_magnitude(omega: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """``|X(w)| = 1 / sqrt(w^2 + alpha^2)`` for the decaying exponential."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    omega = np.asarray(omega, dtype=float)
+    return 1.0 / np.sqrt(omega**2 + alpha**2)
+
+
+def numeric_fourier_magnitude(
+    omega: np.ndarray, alpha: float = 1.0, t_max: float = 60.0, dt: float = 1e-3
+) -> np.ndarray:
+    """Numeric |FT| of the decaying exponential, to validate the closed form.
+
+    Integrates ``x(t) e^(-i w t)`` by the rectangle rule over [0, t_max].
+    """
+    t = np.arange(0.0, t_max, dt)
+    x = np.exp(-alpha * t)
+    omega = np.asarray(omega, dtype=float)
+    # outer product integration: for each w, sum x(t) e^{-iwt} dt
+    phases = np.exp(-1j * np.outer(omega, t))
+    return np.abs(phases @ x * dt)
+
+
+def alpha_for_avg_n(n: int, interval_s: float = 0.010) -> float:
+    """The continuous decay rate matching AVG_N at a given interval length.
+
+    One discrete step multiplies the weight by ``N/(N+1)``; the matching
+    continuous exponential has ``e^(-alpha * interval) = N/(N+1)``, i.e.
+    ``alpha = -ln(N/(N+1)) / interval``.  Larger N gives smaller alpha:
+    stronger attenuation, more lag (the paper's tradeoff).
+    """
+    if n <= 0:
+        raise ValueError("alpha is only defined for N >= 1")
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    return -float(np.log(n / (n + 1))) / interval_s

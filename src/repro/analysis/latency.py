@@ -1,0 +1,107 @@
+"""Response-latency analysis of application events.
+
+The paper's acceptance criterion is binary -- an event is on time "if
+delaying its completion did not adversely affect the user."  These helpers
+expose the underlying distribution so that criterion can be examined:
+per-kind lateness percentiles, worst cases, and the synchronization-drift
+series that decides whether MPEG audio and video have "become
+unsynchronized".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.traces.schema import AppEvent
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Lateness distribution for one event kind.
+
+    Attributes:
+        kind: event kind.
+        count: events with deadlines.
+        on_time: events with zero lateness.
+        mean_us / p95_us / max_us: lateness statistics (zero-clamped).
+    """
+
+    kind: str
+    count: int
+    on_time: int
+    mean_us: float
+    p95_us: float
+    max_us: float
+
+    @property
+    def on_time_fraction(self) -> float:
+        """Fraction of deadline-bearing events that were not late at all."""
+        if self.count == 0:
+            return 1.0
+        return self.on_time / self.count
+
+
+def latency_stats(events: Sequence[AppEvent]) -> Dict[str, LatencyStats]:
+    """Per-kind lateness statistics over deadline-bearing events."""
+    by_kind: Dict[str, List[float]] = {}
+    for event in events:
+        if event.deadline_us is None:
+            continue
+        by_kind.setdefault(event.kind, []).append(event.lateness_us)
+    out: Dict[str, LatencyStats] = {}
+    for kind, lateness in by_kind.items():
+        arr = np.asarray(lateness)
+        out[kind] = LatencyStats(
+            kind=kind,
+            count=len(arr),
+            on_time=int(np.sum(arr <= 0.0)),
+            mean_us=float(np.mean(arr)),
+            p95_us=float(np.percentile(arr, 95)),
+            max_us=float(np.max(arr)),
+        )
+    return out
+
+
+def sync_drift_series(
+    events: Sequence[AppEvent], kind: str = "frame"
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The A/V synchronization drift over time.
+
+    Returns ``(deadline_times_us, lateness_us)`` for the given kind in
+    deadline order; the paper's "MPEG audio and video became
+    unsynchronized" is this series exceeding the perceptual tolerance and
+    staying there.
+    """
+    stamped = [
+        (e.deadline_us, e.lateness_us)
+        for e in events
+        if e.kind == kind and e.deadline_us is not None
+    ]
+    stamped.sort()
+    if not stamped:
+        return np.array([]), np.array([])
+    times, lateness = zip(*stamped)
+    return np.asarray(times), np.asarray(lateness)
+
+
+def is_unsynchronized(
+    events: Sequence[AppEvent],
+    tolerance_us: float,
+    kind: str = "frame",
+    sustained: int = 3,
+) -> bool:
+    """True if the drift exceeds tolerance for ``sustained`` events in a row.
+
+    A single late I-frame that recovers is imperceptible; sustained drift
+    is what the user notices.
+    """
+    _, lateness = sync_drift_series(events, kind)
+    run = 0
+    for late in lateness:
+        run = run + 1 if late > tolerance_us else 0
+        if run >= sustained:
+            return True
+    return False

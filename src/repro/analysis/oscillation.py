@@ -1,0 +1,72 @@
+"""Oscillation metrics for filtered utilization signals (Figure 7).
+
+Figure 7 shows AVG_3 applied to the 9-busy/1-idle rectangle wave: the
+weighted utilization "oscillates over a surprisingly wide range", so any
+hysteresis band narrower than that range triggers speed changes forever.
+These helpers quantify the band and relate it to threshold pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.hysteresis import ThresholdPair
+
+
+@dataclass(frozen=True)
+class OscillationStats:
+    """Steady-state oscillation statistics of a weighted-utilization series.
+
+    Attributes:
+        minimum / maximum: extremes over the analysed (steady-state) tail.
+        amplitude: ``maximum - minimum`` -- the oscillation band width.
+        mean: average level.
+        crossings_per_step: how often the series crosses its own mean,
+            per step (0 for a settled series).
+    """
+
+    minimum: float
+    maximum: float
+    amplitude: float
+    mean: float
+    crossings_per_step: float
+
+    def escapes(self, thresholds: ThresholdPair) -> bool:
+        """True if the band leaves the hysteresis dead zone.
+
+        A policy is (necessarily) unstable on this signal when the weighted
+        utilization both rises above the high threshold and falls below the
+        low one -- it will keep commanding speed changes forever.
+        """
+        return self.maximum > thresholds.high and self.minimum < thresholds.low
+
+
+def oscillation_stats(
+    weighted: Sequence[float], settle_fraction: float = 0.5
+) -> OscillationStats:
+    """Analyse the steady-state tail of a weighted-utilization series.
+
+    Args:
+        weighted: the filtered series (e.g. from
+            :func:`repro.analysis.smoothing.avg_n_convolve`).
+        settle_fraction: fraction of the series discarded as transient.
+    """
+    arr = np.asarray(weighted, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty series")
+    if not 0.0 <= settle_fraction < 1.0:
+        raise ValueError("settle_fraction must be in [0, 1)")
+    tail = arr[int(arr.size * settle_fraction):]
+    mean = float(np.mean(tail))
+    above = tail > mean
+    crossings = int(np.sum(above[1:] != above[:-1]))
+    return OscillationStats(
+        minimum=float(np.min(tail)),
+        maximum=float(np.max(tail)),
+        amplitude=float(np.max(tail) - np.min(tail)),
+        mean=mean,
+        crossings_per_step=crossings / max(1, tail.size - 1),
+    )

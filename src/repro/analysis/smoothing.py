@@ -1,0 +1,105 @@
+"""AVG_N as a linear filter: recursive and convolution forms (§5.3).
+
+The paper derives, by recursively expanding ``W_t``:
+
+    W_t = (1/(N+1)) * sum_{k=0}^{t-1} (N/(N+1))^(k) * U_{t-1-k}
+
+(with a ``(N/(N+1))^t W_0`` term for the initial condition), i.e. the
+weighted output is the discrete convolution of the raw utilization with a
+decaying exponential.  These helpers compute both forms so tests can verify
+they agree exactly, and generate the idealized workloads of the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def avg_n_recursive(
+    utilizations: Sequence[float], n: int, initial: float = 0.0
+) -> np.ndarray:
+    """The implementation form: ``W_t = (N W_{t-1} + U_{t-1}) / (N+1)``.
+
+    Returns the array ``[W_1, ..., W_T]`` (one output per input).
+    """
+    if n < 0:
+        raise ValueError("N must be non-negative")
+    out = np.empty(len(utilizations))
+    w = initial
+    for i, u in enumerate(utilizations):
+        w = (n * w + u) / (n + 1)
+        out[i] = w
+    return out
+
+
+def avg_n_weights(n: int, length: int) -> np.ndarray:
+    """The first ``length`` taps of the AVG_N impulse response.
+
+    ``h[k] = (1/(N+1)) * (N/(N+1))^k`` -- a decaying exponential whose sum
+    converges to 1.
+    """
+    if n < 0:
+        raise ValueError("N must be non-negative")
+    if length <= 0:
+        raise ValueError("length must be positive")
+    decay = n / (n + 1)
+    return (1.0 / (n + 1)) * decay ** np.arange(length)
+
+
+def avg_n_convolve(
+    utilizations: Sequence[float], n: int, initial: float = 0.0
+) -> np.ndarray:
+    """The analysis form: convolution with the decaying exponential.
+
+    Equivalent to :func:`avg_n_recursive` (tests verify to machine
+    precision); the initial condition enters as ``(N/(N+1))^t * initial``.
+    """
+    u = np.asarray(utilizations, dtype=float)
+    t = len(u)
+    if t == 0:
+        return np.array([])
+    h = avg_n_weights(n, t)
+    full = np.convolve(u, h)[:t]
+    decay = n / (n + 1) if n > 0 else 0.0
+    init_term = initial * decay ** np.arange(1, t + 1)
+    return full + init_term
+
+
+def rectangle_wave(
+    busy: int, idle: int, periods: int, amplitude: float = 1.0
+) -> np.ndarray:
+    """A repeating 0/1 rectangle wave: ``busy`` ones then ``idle`` zeros.
+
+    The paper's Figure 7 input is busy=9, idle=1: "an idealized version of
+    our MPEG player running roughly at an optimal speed, i.e. just idle
+    enough to indicate that the system isn't saturated."
+    """
+    if busy <= 0 or idle < 0 or periods <= 0:
+        raise ValueError("busy/periods must be positive, idle non-negative")
+    one_period = np.concatenate([np.full(busy, amplitude), np.zeros(idle)])
+    return np.tile(one_period, periods)
+
+
+def steady_state_range(busy: int, idle: int, n: int) -> "tuple[float, float]":
+    """Analytic steady-state (min, max) of AVG_N on a rectangle wave.
+
+    In steady state the weighted utilization rises toward 1 for ``busy``
+    steps from its periodic minimum and decays for ``idle`` steps from its
+    maximum.  Solving the two-phase fixed point with ``a = N/(N+1)``:
+
+        W_max = (1 - a^busy) / (1 - a^(busy+idle))  ... after the busy run
+        W_min = W_max * a^idle                      ... after the idle run
+
+    This gives the oscillation band of Figure 7 in closed form; the
+    numeric convolution must converge to it.
+    """
+    if n == 0:
+        # PAST: the weighted value is just the previous sample.
+        return (0.0 if idle > 0 else 1.0, 1.0)
+    a = n / (n + 1)
+    period = busy + idle
+    w_max = (1.0 - a**busy) / (1.0 - a**period)
+    w_min = w_max * a**idle
+    return w_min, w_max

@@ -1,0 +1,64 @@
+"""Battery-lifetime figures of merit (§2.1, §3).
+
+Martin's thesis (cited by the paper) argues the lower bound on clock
+frequency should be chosen to maximize the number of *computations per
+battery lifetime*, not simply to minimize power: below some frequency the
+fixed system power dominates and slowing down loses both speed and
+lifetime-normalized work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.battery.model import AAA_ALKALINE_PAIR, Battery
+from repro.hw.clocksteps import ClockStep, ClockTable, SA1100_CLOCK_TABLE
+from repro.hw.power import IdleManagerParameters
+
+
+def lifetime_hours(
+    power_w: float, battery: Battery = AAA_ALKALINE_PAIR
+) -> float:
+    """Battery runtime at a constant system power."""
+    return battery.lifetime_hours(power_w)
+
+
+def idle_lifetime_hours(
+    step: ClockStep,
+    battery: Battery = AAA_ALKALINE_PAIR,
+    idle_params: IdleManagerParameters = IdleManagerParameters(),
+) -> float:
+    """Runtime of the idle Itsy at a given clock step (the 2 h/18 h anecdote)."""
+    return battery.lifetime_hours(idle_params.idle_power_w(step))
+
+
+def computations_per_lifetime(
+    step: ClockStep,
+    power_of_step: Callable[[ClockStep], float],
+    battery: Battery = AAA_ALKALINE_PAIR,
+) -> float:
+    """Martin's metric: total cycles executable on one battery.
+
+    ``cycles/s * lifetime(P(f))``; the argmax over the clock table is the
+    rational lower bound on clock frequency.
+    """
+    power = power_of_step(step)
+    hours = battery.lifetime_hours(power)
+    return step.hz * hours * 3600.0
+
+
+def best_step_for_computations(
+    power_of_step: Callable[[ClockStep], float],
+    table: ClockTable = SA1100_CLOCK_TABLE,
+    battery: Battery = AAA_ALKALINE_PAIR,
+) -> Tuple[ClockStep, List[Tuple[ClockStep, float]]]:
+    """The clock step maximizing computations per battery lifetime.
+
+    Returns the best step and the full ``(step, computations)`` table.
+    """
+    scored = [
+        (step, computations_per_lifetime(step, power_of_step, battery))
+        for step in table
+    ]
+    best = max(scored, key=lambda pair: pair[1])[0]
+    return best, scored

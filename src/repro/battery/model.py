@@ -1,0 +1,98 @@
+"""Rate-capacity battery model (§2.1).
+
+Batteries deliver less total energy at higher drain.  We use a
+Peukert-style law expressed in power terms:
+
+    E_eff(P) = E_ref * (P_ref / P)^(k - 1)
+
+clamped to the nominal (low-drain) capacity.  The exponent is calibrated to
+the Itsy anecdote -- two AAA alkaline cells power the idle system for about
+2 hours at a 206 MHz clock but about 18 hours at 59 MHz, a 9x lifetime
+ratio against a ~2.7x power ratio -- which needs ``k ~= 2.2``.  That is
+steeper than the textbook Peukert constant for alkaline cells at moderate
+drain, but alkaline capacity genuinely collapses at the multi-hundred-mA
+drains of the 206 MHz Itsy; the curve should be read as an empirical fit to
+the paper's reported behaviour, not as cell chemistry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RateCapacityCurve:
+    """Effective deliverable energy as a function of constant drain power.
+
+    Attributes:
+        e_ref_wh: deliverable energy at the reference power, in Wh.
+        p_ref_w: reference drain power, in W.
+        peukert_k: Peukert-style exponent (1.0 = ideal battery).
+        e_max_wh: nominal capacity ceiling, in Wh.
+    """
+
+    e_ref_wh: float
+    p_ref_w: float
+    peukert_k: float
+    e_max_wh: float
+
+    def __post_init__(self) -> None:
+        if self.e_ref_wh <= 0 or self.p_ref_w <= 0 or self.e_max_wh <= 0:
+            raise ValueError("energies and powers must be positive")
+        if self.peukert_k < 1.0:
+            raise ValueError("Peukert exponent must be >= 1")
+        if self.e_ref_wh > self.e_max_wh:
+            raise ValueError("reference energy exceeds the nominal capacity")
+
+    def effective_energy_wh(self, power_w: float) -> float:
+        """Deliverable energy at a constant drain of ``power_w`` watts."""
+        if power_w <= 0:
+            raise ValueError("drain power must be positive")
+        e = self.e_ref_wh * (self.p_ref_w / power_w) ** (self.peukert_k - 1.0)
+        return min(e, self.e_max_wh)
+
+    def lifetime_hours(self, power_w: float) -> float:
+        """Runtime at a constant drain of ``power_w`` watts."""
+        return self.effective_energy_wh(power_w) / power_w
+
+
+@dataclass(frozen=True)
+class Battery:
+    """A battery pack: chemistry curve plus pack parameters.
+
+    Attributes:
+        curve: the rate-capacity behaviour.
+        volts: nominal pack voltage (two AAA cells in series ~= 3.0 V).
+        name: label for reports.
+    """
+
+    curve: RateCapacityCurve
+    volts: float = 3.0
+    name: str = "battery"
+
+    def lifetime_hours(self, power_w: float) -> float:
+        """Runtime at a constant drain of ``power_w`` watts."""
+        return self.curve.lifetime_hours(power_w)
+
+    def effective_capacity_ah(self, power_w: float) -> float:
+        """Deliverable charge at the given drain, in amp-hours."""
+        return self.curve.effective_energy_wh(power_w) / self.volts
+
+    def drain_amps(self, power_w: float) -> float:
+        """Pack current at the given power."""
+        return power_w / self.volts
+
+
+#: Two AAA alkaline cells in series, calibrated to the Itsy anecdote:
+#: ~2 h at the idle system's 206 MHz drain (~0.34 W) and ~18 h at the
+#: 59 MHz drain (~0.13 W).  Nominal capacity ~1.15 Ah at 3 V = 3.45 Wh.
+AAA_ALKALINE_PAIR = Battery(
+    curve=RateCapacityCurve(
+        e_ref_wh=2.26,
+        p_ref_w=0.1256,
+        peukert_k=2.211,
+        e_max_wh=3.45,
+    ),
+    volts=3.0,
+    name="2x AAA alkaline",
+)

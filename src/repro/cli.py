@@ -1,0 +1,281 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage (after installation)::
+
+    python -m repro list-policies
+    python -m repro run mpeg --policy best
+    python -m repro run web --policy avg3-one --duration 60
+    python -m repro table2 --runs 3
+    python -m repro fig9
+    python -m repro battery
+
+Policies are named:
+
+- ``const-<mhz>`` -- constant speed (e.g. ``const-132.7``);
+- ``best`` / ``best-voltage`` -- the paper's best policy, optionally with
+  voltage scaling at 162.2 MHz;
+- ``avg<N>-<setter>`` -- AVG_N with one/double/peg both directions and
+  Pering's 50/70 thresholds (e.g. ``avg9-peg``);
+- ``cycleavg`` -- the naive busy-cycle averaging policy of Figure 5;
+- ``synth`` -- the synthesized-deadline governor (§6 future work).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Callable, List, Optional
+
+from repro.core.catalog import best_policy, constant_speed, cycle_average, pering_avg
+from repro.core.deadline import SynthesizedDeadlineGovernor
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.hw.rails import VOLTAGE_LOW
+from repro.kernel.governor import Governor
+from repro.measure.runner import repeat_workload, run_workload
+from repro.workloads import (
+    chess_workload,
+    editor_workload,
+    mpeg_workload,
+    web_workload,
+)
+from repro.workloads.base import Workload
+from repro.workloads.chess import ChessConfig
+from repro.workloads.editor import EditorConfig
+from repro.workloads.mpeg import MpegConfig
+from repro.workloads.web import WebConfig
+
+_AVG_PATTERN = re.compile(r"^avg(\d+)-(one|double|peg)$")
+_CONST_PATTERN = re.compile(r"^const-(\d+(?:\.\d+)?)$")
+
+
+def resolve_policy(name: str) -> Callable[[], Governor]:
+    """Map a policy name to a fresh-governor factory.
+
+    Raises:
+        ValueError: for unknown names.
+    """
+    if name == "best":
+        return lambda: best_policy(False)
+    if name == "best-voltage":
+        return lambda: best_policy(True)
+    if name == "cycleavg":
+        return lambda: cycle_average()
+    if name == "synth":
+        return lambda: SynthesizedDeadlineGovernor()
+    match = _CONST_PATTERN.match(name)
+    if match:
+        mhz = float(match.group(1))
+        return lambda: constant_speed(mhz)
+    match = _AVG_PATTERN.match(name)
+    if match:
+        n, setter = int(match.group(1)), match.group(2)
+        return lambda: pering_avg(n, up=setter, down=setter)
+    raise ValueError(f"unknown policy {name!r}; see 'list-policies'")
+
+
+def resolve_workload(name: str, duration_s: Optional[float]) -> Workload:
+    """Map a workload name (mpeg/web/chess/editor) to a descriptor.
+
+    Raises:
+        ValueError: for unknown names.
+    """
+    if name == "mpeg":
+        return mpeg_workload(
+            MpegConfig(duration_s=duration_s) if duration_s else MpegConfig()
+        )
+    if name == "web":
+        return web_workload(
+            WebConfig(duration_s=duration_s) if duration_s else WebConfig()
+        )
+    if name == "chess":
+        return chess_workload(
+            ChessConfig(duration_s=duration_s) if duration_s else ChessConfig()
+        )
+    if name == "editor":
+        return editor_workload(
+            EditorConfig(duration_s=duration_s) if duration_s else EditorConfig()
+        )
+    raise ValueError(f"unknown workload {name!r} (mpeg/web/chess/editor)")
+
+
+def cmd_list_policies(_args) -> int:
+    print("constant speeds : " + ", ".join(
+        f"const-{s.mhz:.1f}" for s in SA1100_CLOCK_TABLE
+    ))
+    print("paper policies  : best, best-voltage")
+    print("interval sweep  : avg<N>-<one|double|peg>  (N = 0..10, 50/70 thresholds)")
+    print("other           : cycleavg (Figure 5), synth (synthesized deadlines)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = resolve_workload(args.workload, args.duration)
+    factory = resolve_policy(args.policy)
+    result = run_workload(workload, factory, seed=args.seed, use_daq=not args.no_daq)
+    run = result.run
+    print(f"workload        : {workload.name} ({workload.duration_s:.0f} s)")
+    print(f"policy          : {args.policy}")
+    print(f"energy          : {result.energy_j:.2f} J "
+          f"(exact {result.exact_energy_j:.2f} J)")
+    print(f"mean power      : {result.mean_power_w:.3f} W")
+    print(f"mean utilization: {run.mean_utilization():.3f}")
+    print(f"clock changes   : {run.clock_changes} "
+          f"(stalled {run.clock_stall_us / 1000:.1f} ms)")
+    print(f"voltage changes : {run.voltage_changes}")
+    print(f"deadline misses : {len(result.misses)}")
+    if result.misses:
+        worst = max(result.misses, key=lambda e: e.lateness_us)
+        print(f"  worst: {worst.kind} late by {worst.lateness_us / 1000:.1f} ms")
+    return 1 if result.misses else 0
+
+
+def cmd_table2(args) -> int:
+    rows = [
+        ("Constant 206.4 MHz, 1.5 V", lambda: constant_speed(206.4)),
+        ("Constant 132.7 MHz, 1.5 V", lambda: constant_speed(132.7)),
+        ("Constant 132.7 MHz, 1.23 V",
+         lambda: constant_speed(132.7, volts=VOLTAGE_LOW)),
+        ("PAST peg-peg 98/93, 1.5 V", lambda: best_policy(False)),
+        ("PAST peg-peg + Vscale", lambda: best_policy(True)),
+    ]
+    print(f"{'Algorithm':30s} {'Energy 95% CI (J)':>20s} {'Misses':>7s}")
+    for name, factory in rows:
+        agg = repeat_workload(mpeg_workload(), factory, runs=args.runs)
+        ci = agg.energy_ci
+        print(f"{name:30s} {ci.low:9.2f} - {ci.high:5.2f} {agg.total_misses:7d}")
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    cfg = MpegConfig(duration_s=args.duration or 30.0)
+    print(f"{'MHz':>6s} {'Utilization':>12s} {'Misses':>7s}")
+    for step in SA1100_CLOCK_TABLE:
+        res = run_workload(
+            mpeg_workload(cfg),
+            lambda s=step: constant_speed(s.mhz),
+            seed=args.seed,
+            use_daq=False,
+        )
+        print(
+            f"{step.mhz:6.1f} {res.run.mean_utilization() * 100:11.1f}% "
+            f"{len(res.misses):7d}"
+        )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.measure.compare import energies, welch_compare
+
+    workload_a = resolve_workload(args.workload, args.duration)
+    agg_a = repeat_workload(workload_a, resolve_policy(args.policy_a), runs=args.runs)
+    workload_b = resolve_workload(args.workload, args.duration)
+    agg_b = repeat_workload(workload_b, resolve_policy(args.policy_b), runs=args.runs)
+    result = welch_compare(energies(agg_a), energies(agg_b))
+    print(f"{args.policy_a:24s} {agg_a.energy_ci}  misses={agg_a.total_misses}")
+    print(f"{args.policy_b:24s} {agg_b.energy_ci}  misses={agg_b.total_misses}")
+    print(
+        f"difference      : {result.difference:+.2f} J "
+        f"({result.relative_difference:+.2%})"
+    )
+    print(f"Welch p-value   : {result.p_value:.4g}")
+    print(
+        "verdict         : "
+        + ("statistically significant" if result.significant else "not significant")
+    )
+    return 0
+
+
+def cmd_ideal(args) -> int:
+    from repro.measure.runner import find_ideal_constant
+
+    workload = resolve_workload(args.workload, args.duration)
+    try:
+        result = find_ideal_constant(workload, seed=args.seed)
+    except ValueError as exc:
+        print(f"no feasible constant step: {exc}", file=sys.stderr)
+        return 1
+    step_mhz = result.run.quanta[-1].mhz
+    print(f"workload        : {workload.name} ({workload.duration_s:.0f} s)")
+    print(f"ideal constant  : {step_mhz:.1f} MHz")
+    print(f"energy          : {result.exact_energy_j:.2f} J")
+    print(f"mean utilization: {result.run.mean_utilization():.3f}")
+    return 0
+
+
+def cmd_battery(_args) -> int:
+    from repro.battery.lifetime import idle_lifetime_hours
+
+    print(f"{'MHz':>6s} {'Idle lifetime (h)':>18s}")
+    for step in SA1100_CLOCK_TABLE:
+        print(f"{step.mhz:6.1f} {idle_lifetime_hours(step):18.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Policies for Dynamic Clock Scheduling'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-policies", help="list policy names").set_defaults(
+        func=cmd_list_policies
+    )
+
+    run_parser = sub.add_parser("run", help="run one workload under one policy")
+    run_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
+    run_parser.add_argument("--policy", default="best")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--duration", type=float, default=None,
+                            help="override trace length (seconds)")
+    run_parser.add_argument("--no-daq", action="store_true",
+                            help="use the exact integral instead of the DAQ")
+    run_parser.set_defaults(func=cmd_run)
+
+    t2 = sub.add_parser("table2", help="regenerate Table 2")
+    t2.add_argument("--runs", type=int, default=3)
+    t2.set_defaults(func=cmd_table2)
+
+    f9 = sub.add_parser("fig9", help="regenerate Figure 9's sweep")
+    f9.add_argument("--seed", type=int, default=1)
+    f9.add_argument("--duration", type=float, default=None)
+    f9.set_defaults(func=cmd_fig9)
+
+    cmp_parser = sub.add_parser(
+        "compare", help="compare two policies on one workload (Welch t-test)"
+    )
+    cmp_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
+    cmp_parser.add_argument("policy_a")
+    cmp_parser.add_argument("policy_b")
+    cmp_parser.add_argument("--runs", type=int, default=3)
+    cmp_parser.add_argument("--duration", type=float, default=None)
+    cmp_parser.set_defaults(func=cmd_compare)
+
+    ideal_parser = sub.add_parser(
+        "ideal", help="find the cheapest feasible constant clock step"
+    )
+    ideal_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
+    ideal_parser.add_argument("--seed", type=int, default=0)
+    ideal_parser.add_argument("--duration", type=float, default=None)
+    ideal_parser.set_defaults(func=cmd_ideal)
+
+    sub.add_parser("battery", help="idle battery lifetimes").set_defaults(
+        func=cmd_battery
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

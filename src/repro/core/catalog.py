@@ -1,0 +1,102 @@
+"""Named policy configurations used in the paper's evaluation.
+
+Factories return fresh governor instances (policies carry predictor state,
+so they must not be shared between runs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.cycleavg import CycleAverageGovernor
+from repro.core.hysteresis import (
+    BEST_POLICY_THRESHOLDS,
+    PERING_THRESHOLDS,
+    ThresholdPair,
+)
+from repro.core.policy import IntervalPolicy, VoltageRule
+from repro.core.predictors import AvgN, Past
+from repro.core.speed import Double, OneStep, Peg, SpeedSetter
+from repro.hw.clocksteps import ClockTable, SA1100_CLOCK_TABLE
+from repro.hw.rails import VOLTAGE_HIGH
+from repro.kernel.governor import ConstantGovernor, Governor
+
+#: The speed setters of the paper, by name.
+SPEED_SETTERS: Dict[str, type] = {
+    "one": OneStep,
+    "double": Double,
+    "peg": Peg,
+}
+
+
+def make_setter(name: str) -> SpeedSetter:
+    """Instantiate a speed setter by its paper name (one / double / peg)."""
+    try:
+        return SPEED_SETTERS[name]()
+    except KeyError:
+        raise ValueError(f"unknown speed setter {name!r}") from None
+
+
+def constant_speed(
+    mhz: float,
+    volts: float = VOLTAGE_HIGH,
+    clock_table: ClockTable = SA1100_CLOCK_TABLE,
+) -> ConstantGovernor:
+    """A constant-speed control run (the first rows of Table 2)."""
+    step = clock_table.step_for_mhz(mhz)
+    return ConstantGovernor(step_index=step.index, volts=volts)
+
+
+def pering_avg(
+    n: int,
+    up: str = "one",
+    down: str = "one",
+    thresholds: ThresholdPair = PERING_THRESHOLDS,
+    voltage_rule: Optional[VoltageRule] = None,
+) -> IntervalPolicy:
+    """An AVG_N policy with Pering's 50 %/70 % starting-point thresholds."""
+    return IntervalPolicy(
+        predictor=AvgN(n),
+        thresholds=thresholds,
+        up=make_setter(up),
+        down=make_setter(down),
+        voltage_rule=voltage_rule,
+    )
+
+
+def best_policy(voltage_scaling: bool = False) -> IntervalPolicy:
+    """The best policy of the empirical study (§5.4).
+
+    PAST (= AVG_0) prediction, pegging both directions, scale up above 98 %
+    utilization and down below 93 %.  With ``voltage_scaling`` the core
+    rail drops to 1.23 V whenever the clock is at or below 162.2 MHz
+    (the last row of Table 2).
+    """
+    return IntervalPolicy(
+        predictor=Past(),
+        thresholds=BEST_POLICY_THRESHOLDS,
+        up=Peg(),
+        down=Peg(),
+        voltage_rule=VoltageRule() if voltage_scaling else None,
+    )
+
+
+def cycle_average(window: int = 4) -> CycleAverageGovernor:
+    """The naive busy-cycle averaging policy of Figure 5."""
+    return CycleAverageGovernor(window=window)
+
+
+def sweep_avg_policies(
+    n_values: Tuple[int, ...] = tuple(range(11)),
+    setter_names: Tuple[str, ...] = ("one", "double", "peg"),
+    thresholds: ThresholdPair = PERING_THRESHOLDS,
+) -> Iterator[Tuple[str, Governor]]:
+    """The comprehensive sweep of §5.3: AVG_N for N in 0..10 x setters.
+
+    Yields ``(label, governor)`` pairs; the same setter is used both
+    directions, as in the paper's summary sweep.
+    """
+    for n in n_values:
+        for name in setter_names:
+            label = f"AVG_{n}/{name}-{name}"
+            yield label, pering_avg(n, up=name, down=name, thresholds=thresholds)

@@ -1,0 +1,62 @@
+"""The naive busy-cycle averaging policy of Figure 5.
+
+One "simple" policy the paper examines before the interval schedulers:
+determine the number of busy instructions during the previous N scheduling
+quanta and set the clock just high enough to cover the same activity in the
+coming quantum.  Each past quantum contributes ``f * busy_fraction``
+delivered MHz; the target speed is the slowest clock step at or above the
+window mean.
+
+Figure 5 shows why this is poor: moving toward idle the average collapses
+quickly (idle quanta contribute zero regardless of the clock), but speeding
+up is pathologically slow -- while stuck at 59 MHz a fully busy quantum can
+only ever contribute 59 MHz to the average, so the mean can never exceed
+59 MHz and the policy never escapes the lowest step on its own.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.hw.clocksteps import ClockTable, SA1100_CLOCK_TABLE
+from repro.kernel.governor import Governor, GovernorRequest, TickInfo
+
+
+class CycleAverageGovernor(Governor):
+    """Targets the mean delivered MHz of the last ``window`` quanta.
+
+    Args:
+        window: number of quanta to average over (the paper's illustration
+            uses 4).
+        clock_table: the machine's clock table.
+    """
+
+    def __init__(self, window: int = 4, clock_table: ClockTable = SA1100_CLOCK_TABLE):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.clock_table = clock_table
+        self._delivered_mhz: Deque[float] = deque(maxlen=window)
+        #: history of (time_us, average_mhz, chosen_mhz), for Figure 5.
+        self.decisions: list[tuple[float, float, float]] = []
+
+    @property
+    def average_mhz(self) -> float:
+        """Current window mean of delivered MHz (0.0 with no history)."""
+        if not self._delivered_mhz:
+            return 0.0
+        return sum(self._delivered_mhz) / len(self._delivered_mhz)
+
+    def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
+        self._delivered_mhz.append(info.mhz * info.utilization)
+        avg = self.average_mhz
+        target = self.clock_table.lowest_step_at_least(avg)
+        self.decisions.append((info.now_us, avg, target.mhz))
+        if target.index == info.step_index:
+            return None
+        return GovernorRequest(step_index=target.index)
+
+    def reset(self) -> None:
+        self._delivered_mhz.clear()
+        self.decisions.clear()

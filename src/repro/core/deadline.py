@@ -1,0 +1,242 @@
+"""Deadline-driven voltage scheduling (the paper's §6 future work).
+
+The paper's conclusion: heuristics are a dead end, so "our immediate
+future work is to provide 'deadline' mechanisms in Linux" -- and "a
+further challenge will be to find a way to automatically synthesize those
+deadlines for complex applications."  This module implements both sides:
+
+- :class:`DeadlineSpec` / :class:`DeadlineGovernor`: applications declare
+  periodic demands (period + work per period); the governor solves for the
+  slowest clock step whose *wall-clock* throughput covers the sum of all
+  declared demands with a safety margin, accounting for the
+  frequency-dependent memory costs of Table 3.  Unlike a hard-real-time
+  scheduler, the energy goal prefers deadlines met *as late as possible*
+  (paper §6), which is exactly the slowest feasible step.
+- :class:`SynthesizedDeadlineGovernor`: no application help.  It watches
+  the delivered work (MHz x busy fraction per quantum), detects the
+  dominant demand period by autocorrelation of the utilization signal,
+  and targets the observed per-period work with a margin -- a concrete
+  attempt at "synthesizing" deadlines, with the failure modes the paper
+  predicts when the workload has no clean period.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hw.clocksteps import ClockStep, ClockTable, SA1100_CLOCK_TABLE
+from repro.hw.memory import MemoryTimings, SA1100_MEMORY_TIMINGS
+from repro.hw.work import Work
+from repro.kernel.governor import Governor, GovernorRequest, TickInfo
+
+
+@dataclass(frozen=True)
+class DeadlineSpec:
+    """A periodic demand declared by an application.
+
+    Attributes:
+        name: label for reports.
+        period_us: deadline period (e.g. 66,667 us for 15 fps video).
+        work: the work that must complete within each period.
+    """
+
+    name: str
+    period_us: float
+    work: Work
+
+    def __post_init__(self) -> None:
+        if self.period_us <= 0:
+            raise ValueError("period must be positive")
+
+    def busy_fraction(self, step: ClockStep, timings: MemoryTimings) -> float:
+        """Fraction of the period this demand occupies at ``step``."""
+        return self.work.duration_us(step, timings) / self.period_us
+
+
+def slowest_feasible_step(
+    specs: Sequence[DeadlineSpec],
+    margin: float = 1.10,
+    clock_table: ClockTable = SA1100_CLOCK_TABLE,
+    timings: MemoryTimings = SA1100_MEMORY_TIMINGS,
+) -> ClockStep:
+    """The slowest step whose capacity covers all declared demands.
+
+    Feasibility per step: the summed busy fractions, scaled by ``margin``
+    (headroom for scheduling interference and demand jitter), must not
+    exceed 1.  If nothing is feasible the fastest step is returned --
+    deadlines will be missed, but as few as possible.
+
+    Args:
+        specs: the declared periodic demands.
+        margin: multiplicative safety factor on the demand (>= 1).
+
+    Raises:
+        ValueError: for an empty spec list or a margin below 1.
+    """
+    if not specs:
+        raise ValueError("need at least one deadline spec")
+    if margin < 1.0:
+        raise ValueError("margin must be at least 1")
+    for step in clock_table:
+        load = sum(spec.busy_fraction(step, timings) for spec in specs)
+        if load * margin <= 1.0:
+            return step
+    return clock_table.max_step
+
+
+class DeadlineGovernor(Governor):
+    """Runs at the slowest step covering the declared periodic demands.
+
+    This is not a heuristic: with truthful specs it parks at the energy-
+    optimal constant step (the paper's measured ideal, 132.7 MHz for
+    MPEG) and never needs to move again.  Specs may be updated at run
+    time (:meth:`declare` / :meth:`retract`), after which the governor
+    re-solves on the next tick.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[DeadlineSpec] = (),
+        margin: float = 1.10,
+        clock_table: ClockTable = SA1100_CLOCK_TABLE,
+        timings: MemoryTimings = SA1100_MEMORY_TIMINGS,
+    ):
+        if margin < 1.0:
+            raise ValueError("margin must be at least 1")
+        self.margin = margin
+        self.clock_table = clock_table
+        self.timings = timings
+        self._specs: List[DeadlineSpec] = list(specs)
+        self._dirty = True
+        self._target: Optional[int] = None
+
+    @property
+    def specs(self) -> List[DeadlineSpec]:
+        """The currently declared demands."""
+        return list(self._specs)
+
+    def declare(self, spec: DeadlineSpec) -> None:
+        """Register (or replace, by name) a periodic demand."""
+        self._specs = [s for s in self._specs if s.name != spec.name]
+        self._specs.append(spec)
+        self._dirty = True
+
+    def retract(self, name: str) -> None:
+        """Remove a demand; unknown names are ignored."""
+        before = len(self._specs)
+        self._specs = [s for s in self._specs if s.name != name]
+        if len(self._specs) != before:
+            self._dirty = True
+
+    def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
+        if self._dirty:
+            if self._specs:
+                self._target = slowest_feasible_step(
+                    self._specs, self.margin, self.clock_table, self.timings
+                ).index
+            else:
+                self._target = 0  # nothing declared: idle at the bottom
+            self._dirty = False
+        if self._target is None or self._target == info.step_index:
+            return None
+        return GovernorRequest(step_index=self._target)
+
+    def reset(self) -> None:
+        self._dirty = True
+        self._target = None
+
+
+def dominant_period_quanta(
+    utilization: Sequence[float], max_period: int, min_strength: float = 0.25
+) -> Optional[int]:
+    """Detect the dominant period of a utilization signal, in quanta.
+
+    Uses the autocorrelation of the mean-removed signal; the first
+    local-maximum lag whose normalized autocorrelation exceeds
+    ``min_strength`` wins.  Returns None when no clean period exists
+    (exactly the situation the paper predicts for Web-like workloads).
+    """
+    x = np.asarray(utilization, dtype=float)
+    if len(x) < 4 or max_period < 2:
+        return None
+    x = x - x.mean()
+    denom = float(np.dot(x, x))
+    if denom < 1e-12:
+        return None
+    limit = min(max_period, len(x) - 1)
+    best_lag, best_score = None, min_strength
+    for lag in range(2, limit + 1):
+        score = float(np.dot(x[:-lag], x[lag:])) / denom
+        if score > best_score:
+            best_lag, best_score = lag, score
+    return best_lag
+
+
+class SynthesizedDeadlineGovernor(Governor):
+    """Synthesizes deadlines from observed behaviour (§6's open challenge).
+
+    Maintains a window of per-quantum delivered work (``mhz * busy``).
+    Once per ``resolve_every`` quanta it looks for a dominant period; if
+    one exists, the demand per period is estimated as the windowed mean
+    delivered work times the period, and the clock is set to the slowest
+    step delivering that much per period with ``margin`` headroom.  With
+    no detectable period it falls back to the fastest step (safe but
+    unsaving -- the honest failure mode).
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        resolve_every: int = 32,
+        margin: float = 1.25,
+        clock_table: ClockTable = SA1100_CLOCK_TABLE,
+    ):
+        if window < 8 or resolve_every < 1:
+            raise ValueError("window too small")
+        if margin < 1.0:
+            raise ValueError("margin must be at least 1")
+        self.window = window
+        self.resolve_every = resolve_every
+        self.margin = margin
+        self.clock_table = clock_table
+        self._delivered: Deque[float] = deque(maxlen=window)
+        self._utils: Deque[float] = deque(maxlen=window)
+        self._ticks = 0
+        self._target = clock_table.max_index
+        #: (time_us, detected period in quanta or None, target mhz)
+        self.synthesis_log: List[tuple] = []
+
+    def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
+        self._delivered.append(info.mhz * info.utilization)
+        self._utils.append(info.utilization)
+        self._ticks += 1
+        if self._ticks % self.resolve_every == 0 and len(self._utils) >= 32:
+            period = dominant_period_quanta(
+                list(self._utils), max_period=len(self._utils) // 3
+            )
+            if period is None:
+                self._target = self.clock_table.max_index
+            else:
+                mean_delivered = sum(self._delivered) / len(self._delivered)
+                # demand per quantum in MHz-equivalents, with headroom
+                target_mhz = mean_delivered * self.margin
+                self._target = self.clock_table.lowest_step_at_least(
+                    target_mhz
+                ).index
+            self.synthesis_log.append(
+                (info.now_us, period, self.clock_table[self._target].mhz)
+            )
+        if self._target == info.step_index:
+            return None
+        return GovernorRequest(step_index=self._target)
+
+    def reset(self) -> None:
+        self._delivered.clear()
+        self._utils.clear()
+        self._ticks = 0
+        self._target = self.clock_table.max_index
+        self.synthesis_log.clear()

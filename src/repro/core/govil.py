@@ -1,0 +1,224 @@
+"""Predictive algorithms from Govil, Chan & Wasserman (MobiCom '95), §3.
+
+Govil et al. extended Weiser's trace-driven study with a family of
+speed-setting heuristics.  The paper under reproduction cites this work as
+the source of the AVG_N scheduler; the rest of the family is implemented
+here as trace-level baselines sharing the Weiser simulation semantics of
+:mod:`repro.core.oracle` (per-interval work, carry-over backlog,
+``speed^2`` energy weight).
+
+Each algorithm is a *work predictor*: given the history of per-interval
+arriving work, predict the next interval's work; the speed is then set to
+cover the prediction plus the current backlog.
+
+- ``PAST``: next = last (Weiser's PAST; in :mod:`repro.core.oracle`).
+- ``FLAT(u)``: predict a constant ``u`` regardless of history -- try to
+  smooth speed to a flat level.
+- ``LONG_SHORT(s, l)``: average of a short-term (last 3) and a long-term
+  (last 12) utilization average.
+- ``AGED_AVERAGES(g)``: geometrically aged average -- the trace-level
+  twin of the kernel AVG_N predictor.
+- ``CYCLE(x)``: if the last ``x`` intervals look periodic with period p,
+  predict the value one period back; else fall back to aged averages.
+- ``PATTERN(m)``: find the most recent previous occurrence of the last
+  ``m``-interval pattern and predict what followed it.
+- ``PEAK``: pattern-matching specialized to narrow peaks: rising runs are
+  predicted to fall, falling runs to keep falling.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.oracle import TraceScheduleResult, _simulate
+from repro.hw.clocksteps import ClockTable
+
+
+class WorkPredictor(abc.ABC):
+    """Predicts the next interval's arriving work from history."""
+
+    @abc.abstractmethod
+    def predict(self, history: Sequence[float]) -> float:
+        """Predicted work for the coming interval (history may be empty)."""
+
+    def name(self) -> str:
+        """Short label for reports."""
+        return type(self).__name__
+
+
+class FlatPredictor(WorkPredictor):
+    """FLAT: always predict the same utilization level."""
+
+    def __init__(self, level: float = 0.7):
+        if not 0.0 <= level <= 1.0:
+            raise ValueError("level must be in [0, 1]")
+        self.level = level
+
+    def predict(self, history: Sequence[float]) -> float:
+        return self.level
+
+
+class LongShortPredictor(WorkPredictor):
+    """LONG_SHORT: mean of short- and long-window utilization averages."""
+
+    def __init__(self, short: int = 3, long: int = 12):
+        if short <= 0 or long <= 0:
+            raise ValueError("window lengths must be positive")
+        self.short = short
+        self.long = long
+
+    def predict(self, history: Sequence[float]) -> float:
+        if not history:
+            return 0.0
+        short = history[-self.short:]
+        long = history[-self.long:]
+        return 0.5 * (sum(short) / len(short) + sum(long) / len(long))
+
+
+class AgedAveragesPredictor(WorkPredictor):
+    """AGED_AVERAGES: geometric aging, the trace twin of AVG_N.
+
+    ``W = sum(g^k * U_{t-1-k}) * (1 - g)`` with aging factor
+    ``g = N/(N+1)``.
+    """
+
+    def __init__(self, aging: float = 0.9):
+        if not 0.0 <= aging < 1.0:
+            raise ValueError("aging factor must be in [0, 1)")
+        self.aging = aging
+
+    def predict(self, history: Sequence[float]) -> float:
+        w = 0.0
+        weight = 1.0 - self.aging
+        for u in reversed(history):
+            w += weight * u
+            weight *= self.aging
+            if weight < 1e-12:
+                break
+        return w
+
+
+class CyclePredictor(WorkPredictor):
+    """CYCLE: detect a periodic pattern in the recent window.
+
+    Tries periods 2..window//2 over the last ``window`` samples; if some
+    period's self-mismatch is below ``tolerance`` (mean absolute
+    difference), predict the sample one period back.  Otherwise fall back
+    to aged averages.
+    """
+
+    def __init__(self, window: int = 16, tolerance: float = 0.1, aging: float = 0.9):
+        if window < 4:
+            raise ValueError("window must be at least 4")
+        self.window = window
+        self.tolerance = tolerance
+        self._fallback = AgedAveragesPredictor(aging)
+
+    def predict(self, history: Sequence[float]) -> float:
+        if len(history) < 4:
+            return self._fallback.predict(history)
+        recent = np.asarray(history[-self.window:], dtype=float)
+        n = len(recent)
+        best_period: Optional[int] = None
+        best_err = self.tolerance
+        for period in range(2, n // 2 + 1):
+            a = recent[period:]
+            b = recent[:-period]
+            err = float(np.mean(np.abs(a - b)))
+            if err < best_err:
+                best_err = err
+                best_period = period
+        if best_period is None:
+            return self._fallback.predict(history)
+        return float(recent[n - best_period])
+
+
+class PatternPredictor(WorkPredictor):
+    """PATTERN: match the last ``m`` intervals against earlier history.
+
+    Finds the most recent earlier position where the ``m``-gram is closest
+    (mean absolute difference below ``tolerance``) and predicts the value
+    that followed it; falls back to aged averages when nothing matches.
+    """
+
+    def __init__(self, m: int = 4, tolerance: float = 0.15, aging: float = 0.9):
+        if m <= 0:
+            raise ValueError("pattern length must be positive")
+        self.m = m
+        self.tolerance = tolerance
+        self._fallback = AgedAveragesPredictor(aging)
+
+    def predict(self, history: Sequence[float]) -> float:
+        if len(history) <= self.m:
+            return self._fallback.predict(history)
+        hist = np.asarray(history, dtype=float)
+        probe = hist[-self.m:]
+        best_err = self.tolerance
+        best_next: Optional[float] = None
+        # newest candidates first: prefer recent behaviour
+        for start in range(len(hist) - self.m - 1, -1, -1):
+            window = hist[start : start + self.m]
+            err = float(np.mean(np.abs(window - probe)))
+            if err < best_err:
+                best_err = err
+                best_next = float(hist[start + self.m])
+                if err == 0.0:
+                    break
+        if best_next is None:
+            return self._fallback.predict(history)
+        return best_next
+
+
+class PeakPredictor(WorkPredictor):
+    """PEAK: expect narrow peaks -- after a rise, predict a fall.
+
+    If the last interval rose above its predecessor, predict a return to
+    the pre-rise level; if it fell, predict it keeps the lower level;
+    otherwise repeat the last value.
+    """
+
+    def predict(self, history: Sequence[float]) -> float:
+        if not history:
+            return 0.0
+        if len(history) == 1:
+            return history[-1]
+        last, prev = history[-1], history[-2]
+        if last > prev:
+            return prev  # the peak is assumed narrow: fall back down
+        return last
+
+
+def govil_schedule(
+    work: Sequence[float],
+    predictor: WorkPredictor,
+    min_speed: float = 0.0,
+    quantize: Optional[ClockTable] = None,
+) -> TraceScheduleResult:
+    """Run a Govil-style predictor as a trace-level speed schedule.
+
+    Speed for each interval covers the prediction plus current backlog,
+    clamped to [min_speed, 1.0], optionally snapped up to the clock table.
+    """
+    work_arr = np.asarray(work, dtype=float)
+    fractions = (
+        None
+        if quantize is None
+        else np.array([s.mhz for s in quantize]) / quantize.max_step.mhz
+    )
+    history: List[float] = []
+    backlog = 0.0
+    speeds: List[float] = []
+    for w in work_arr:
+        predicted = predictor.predict(history)
+        s = min(1.0, max(min_speed, backlog + predicted))
+        if fractions is not None:
+            idx = int(np.searchsorted(fractions, s - 1e-12))
+            s = float(fractions[min(idx, len(fractions) - 1)])
+        done = min(backlog + w, s)
+        backlog = backlog + w - done
+        history.append(w)
+        speeds.append(s)
+    return _simulate(work_arr, speeds)

@@ -1,0 +1,61 @@
+"""Hysteresis thresholds: *when* to scale.
+
+The decision of whether to scale the clock is determined by a pair of
+boundary values (paper §2.2): if the weighted utilization rises above the
+high value the clock is scaled up; if it drops below the low value the
+clock is scaled down; in between, nothing happens.
+
+Pering et al. set these to 50 % / 70 %; the paper found the values "very
+sensitive to application behavior" and its best policy uses 93 % / 98 %.
+Table 1 also shows the asymmetry the 70 % boundary induces for AVG_9: from
+a weighted utilization of 70 %, one fully active quantum raises it only to
+73 % while one fully idle quantum drops it to 63 % -- a systematic tendency
+to scale down.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Direction(enum.Enum):
+    """Scaling decision for one interval."""
+
+    DOWN = -1
+    HOLD = 0
+    UP = 1
+
+
+@dataclass(frozen=True)
+class ThresholdPair:
+    """A (low, high) hysteresis boundary pair on weighted utilization.
+
+    Attributes:
+        low: scale down when weighted utilization is strictly below this.
+        high: scale up when weighted utilization is strictly above this.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low <= 1.0 or not 0.0 <= self.high <= 1.0:
+            raise ValueError("thresholds must lie in [0, 1]")
+        if self.low > self.high:
+            raise ValueError("low threshold must not exceed high threshold")
+
+    def decide(self, weighted_utilization: float) -> Direction:
+        """Map a weighted utilization to a scaling direction."""
+        if weighted_utilization > self.high:
+            return Direction.UP
+        if weighted_utilization < self.low:
+            return Direction.DOWN
+        return Direction.HOLD
+
+
+#: The starting-point thresholds of Pering et al. (50 % / 70 %).
+PERING_THRESHOLDS = ThresholdPair(low=0.50, high=0.70)
+
+#: The thresholds of the paper's best policy (93 % / 98 %, §5.4).
+BEST_POLICY_THRESHOLDS = ThresholdPair(low=0.93, high=0.98)

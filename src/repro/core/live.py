@@ -1,0 +1,69 @@
+"""Live (in-kernel) versions of the Govil et al. predictors.
+
+:mod:`repro.core.govil` implements the Govil family as *trace-level*
+schedulers, faithful to their original trace-driven study.  This module
+closes the loop the paper closes for AVG_N: it runs the same predictors
+inside the kernel, where the feedback the trace studies miss becomes real
+-- observed work depends on the clock the policy itself chose, the
+workload spins or sleeps in response, and mispredictions cost deadlines.
+
+The adapter keeps a history of *delivered demand* per quantum, expressed
+as speed fractions (``mhz * utilization / max_mhz``), asks the predictor
+for the next interval's demand, and sets the slowest step covering the
+prediction with a target utilization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.govil import WorkPredictor
+from repro.hw.clocksteps import ClockTable, SA1100_CLOCK_TABLE
+from repro.kernel.governor import Governor, GovernorRequest, TickInfo
+
+
+class LivePredictorGovernor(Governor):
+    """Runs a :class:`~repro.core.govil.WorkPredictor` as a kernel governor.
+
+    Args:
+        predictor: the work predictor (FLAT, LONG_SHORT, AGED_AVERAGES,
+            CYCLE, PATTERN, PEAK, ...).
+        target_utilization: desired busy fraction at the chosen step; the
+            clock is set so the predicted demand lands at this level
+            (Govil et al. aim near but below saturation).
+        history_limit: bound on retained history (PATTERN/CYCLE scan it).
+    """
+
+    def __init__(
+        self,
+        predictor: WorkPredictor,
+        target_utilization: float = 0.85,
+        history_limit: int = 512,
+        clock_table: ClockTable = SA1100_CLOCK_TABLE,
+    ):
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError("target utilization must be in (0, 1]")
+        if history_limit < 1:
+            raise ValueError("history limit must be positive")
+        self.predictor = predictor
+        self.target_utilization = target_utilization
+        self.history_limit = history_limit
+        self.clock_table = clock_table
+        self._history: List[float] = []
+
+    def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
+        max_mhz = self.clock_table.max_step.mhz
+        observed = info.mhz * info.utilization / max_mhz
+        self._history.append(min(1.0, observed))
+        if len(self._history) > self.history_limit:
+            del self._history[: -self.history_limit]
+
+        predicted = self.predictor.predict(self._history)
+        needed_mhz = predicted * max_mhz / self.target_utilization
+        target = self.clock_table.lowest_step_at_least(needed_mhz)
+        if target.index == info.step_index:
+            return None
+        return GovernorRequest(step_index=target.index)
+
+    def reset(self) -> None:
+        self._history.clear()

@@ -1,0 +1,82 @@
+"""Martin's battery-rational lower bound on clock frequency (§3).
+
+Martin's thesis (cited by the paper) revised Weiser's PAST "to account for
+the non-ideal properties of batteries and the non-linear relationship
+between system power and clock frequency", arguing "the lower bound on
+clock frequency should be chosen such that the number of computations per
+battery lifetime is maximized."  This module computes that bound from the
+battery model and a power function, and wraps any interval policy so it
+never scales below it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.battery.lifetime import best_step_for_computations
+from repro.battery.model import AAA_ALKALINE_PAIR, Battery
+from repro.hw.clocksteps import ClockStep, ClockTable, SA1100_CLOCK_TABLE
+from repro.hw.itsy import ItsyConfig, ItsyMachine
+from repro.hw.power import CoreState
+from repro.kernel.governor import Governor, GovernorRequest, TickInfo
+
+
+def martin_floor_step(
+    power_of_step: Optional[Callable[[ClockStep], float]] = None,
+    battery: Battery = AAA_ALKALINE_PAIR,
+    table: ClockTable = SA1100_CLOCK_TABLE,
+    active_fraction: float = 0.7,
+) -> ClockStep:
+    """The clock step maximizing computations per battery lifetime.
+
+    Args:
+        power_of_step: system power as a function of the step; defaults to
+            the calibrated Itsy model at the given ``active_fraction``.
+        battery: the battery whose rate-capacity behaviour applies.
+        active_fraction: assumed busy fraction for the default power model.
+    """
+    if power_of_step is None:
+        machine = ItsyMachine(ItsyConfig())
+
+        def power_of_step(step: ClockStep) -> float:
+            active = machine.power.total_w(step, machine.volts, CoreState.ACTIVE)
+            nap = machine.power.total_w(step, machine.volts, CoreState.NAP)
+            return active_fraction * active + (1 - active_fraction) * nap
+
+    best, _ = best_step_for_computations(power_of_step, table, battery)
+    return best
+
+
+class FlooredGovernor(Governor):
+    """Wraps a governor so it never requests a step below the floor.
+
+    The inner policy keeps its own dynamics; only its downward requests
+    are clamped.  (Voltage requests pass through unchanged -- the kernel
+    still enforces rail safety.)
+    """
+
+    def __init__(self, inner: Governor, floor_index: int):
+        if floor_index < 0:
+            raise ValueError("floor index must be non-negative")
+        self.inner = inner
+        self.floor_index = floor_index
+
+    def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
+        request = self.inner.on_tick(info)
+        if request is None or request.step_index is None:
+            return request
+        clamped = max(request.step_index, self.floor_index)
+        if clamped == request.step_index:
+            return request
+        if clamped == info.step_index and request.volts is None:
+            return None
+        return GovernorRequest(step_index=clamped, volts=request.volts)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+def martin_policy(inner_factory: Callable[[], Governor], **floor_kwargs) -> Governor:
+    """A governor factory helper: ``inner`` clamped at Martin's floor."""
+    floor = martin_floor_step(**floor_kwargs)
+    return FlooredGovernor(inner_factory(), floor.index)

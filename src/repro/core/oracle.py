@@ -1,0 +1,196 @@
+"""Trace-based baselines from Weiser et al. (OSDI '94), §3 of the paper.
+
+Weiser's algorithms operate on traces of per-interval *work* (the fraction
+of a full-speed interval the CPU was busy) and choose a speed for each
+interval; unfinished work carries over as *excess*.  Of the three, only
+PAST is implementable -- OPT and FUTURE use future knowledge -- and even
+Weiser's PAST needs the amount of left-over work, which a real kernel
+cannot observe without application help (the paper's central criticism).
+
+They are reproduced here as offline baselines:
+
+- ``OPT``: perfect knowledge of the whole trace; runs at the single
+  constant speed that completes all work exactly by the end of the trace
+  (maximally smoothed, never idle until the work runs out).
+- ``FUTURE``: peeks one interval ahead: each interval runs just fast
+  enough to finish the backlog plus that interval's arriving work.
+- ``PAST``: assumes the coming interval repeats the last one: speed is set
+  to finish the previous interval's arriving work plus any backlog.
+
+The energy model follows Weiser: voltage scales linearly with speed, so
+energy per unit work is proportional to ``speed^2`` (``P ~ V^2 f``, energy
+= power x time, work = speed x time).
+
+Speeds are continuous in [min_speed, 1.0]; ``quantize`` snaps them up to
+the SA-1100 clock table (as fractions of 206.4 MHz) to show the effect of
+discrete clock steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.hw.clocksteps import ClockTable
+
+
+@dataclass(frozen=True)
+class TraceScheduleResult:
+    """Outcome of scheduling a work trace.
+
+    Attributes:
+        speeds: chosen speed per interval (fraction of full speed).
+        excess: backlog carried *out* of each interval (work units).
+        energy: Weiser-style relative energy ``sum(done_i * speed_i^2)``.
+        total_work: total work in the trace.
+        missed_work: backlog remaining after the final interval.
+        idle_time: total idle fraction-intervals.
+    """
+
+    speeds: np.ndarray
+    excess: np.ndarray
+    energy: float
+    total_work: float
+    missed_work: float
+    idle_time: float
+
+    @property
+    def full_speed_energy_ratio(self) -> float:
+        """Energy relative to running every interval's work at full speed."""
+        if self.total_work <= 0:
+            return 0.0
+        return self.energy / self.total_work  # full speed: sum(work * 1^2)
+
+
+def _simulate(
+    work: Sequence[float],
+    speeds: Sequence[float],
+) -> TraceScheduleResult:
+    """Run a speed schedule against a work trace, carrying excess."""
+    work_arr = np.asarray(work, dtype=float)
+    speeds_arr = np.clip(np.asarray(speeds, dtype=float), 0.0, 1.0)
+    if work_arr.shape != speeds_arr.shape:
+        raise ValueError("work and speed traces must have equal length")
+    if np.any(work_arr < 0):
+        raise ValueError("work must be non-negative")
+    excess = np.zeros_like(work_arr)
+    backlog = 0.0
+    energy = 0.0
+    idle = 0.0
+    for i, (w, s) in enumerate(zip(work_arr, speeds_arr)):
+        capacity = s  # one interval at speed s completes s work units
+        demand = backlog + w
+        done = min(demand, capacity)
+        energy += done * s * s
+        idle += (capacity - done) / s if s > 0 else 1.0
+        backlog = demand - done
+        excess[i] = backlog
+    return TraceScheduleResult(
+        speeds=speeds_arr,
+        excess=excess,
+        energy=float(energy),
+        total_work=float(np.sum(work_arr)),
+        missed_work=float(backlog),
+        idle_time=float(idle),
+    )
+
+
+def _quantize_up(speeds: np.ndarray, table: ClockTable) -> np.ndarray:
+    """Snap each speed up to the nearest clock-table fraction."""
+    fractions = np.array([s.mhz for s in table]) / table.max_step.mhz
+    out = np.empty_like(speeds)
+    for i, s in enumerate(speeds):
+        idx = int(np.searchsorted(fractions, min(s, 1.0) - 1e-12))
+        out[i] = fractions[min(idx, len(fractions) - 1)]
+    return out
+
+
+def opt_schedule(
+    work: Sequence[float],
+    min_speed: float = 0.0,
+    quantize: Optional[ClockTable] = None,
+) -> TraceScheduleResult:
+    """Weiser's OPT: the slowest constant speed finishing all work on time.
+
+    Work cannot run before it arrives, so the binding constraint is the
+    busiest *suffix*: ``speed = max_j (sum of work after j) / (n - j)``.
+    For a feasible trace this completes everything exactly by the end with
+    perfectly smoothed speed -- unrealizable in practice, as Weiser notes.
+
+    Note that OPT is optimal among *constant* speeds (maximal smoothing,
+    which by convexity of ``speed^2`` energy is globally optimal whenever
+    arrivals do not bind, i.e. the chosen speed equals the trace mean).
+    When a late burst forces the constant above the mean, a variable
+    schedule that tracks demand can undercut it -- the property tests
+    pin down both regimes.
+    """
+    work_arr = np.asarray(work, dtype=float)
+    n = len(work_arr)
+    if n == 0:
+        raise ValueError("empty trace")
+    suffix = np.cumsum(work_arr[::-1])[::-1]  # work arriving at or after j
+    lengths = np.arange(n, 0, -1, dtype=float)
+    speed = max(min_speed, float(np.max(suffix / lengths)))
+    speeds = np.full(n, min(1.0, speed))
+    if quantize is not None:
+        speeds = _quantize_up(speeds, quantize)
+    return _simulate(work_arr, speeds)
+
+
+def future_schedule(
+    work: Sequence[float],
+    min_speed: float = 0.0,
+    quantize: Optional[ClockTable] = None,
+) -> TraceScheduleResult:
+    """Weiser's FUTURE: peek one interval ahead, finish backlog + arrivals."""
+    work_arr = np.asarray(work, dtype=float)
+    speeds: List[float] = []
+    backlog = 0.0
+    fractions = (
+        None
+        if quantize is None
+        else np.array([s.mhz for s in quantize]) / quantize.max_step.mhz
+    )
+    for w in work_arr:
+        s = min(1.0, max(min_speed, backlog + w))
+        if fractions is not None:
+            idx = int(np.searchsorted(fractions, s - 1e-12))
+            s = float(fractions[min(idx, len(fractions) - 1)])
+        done = min(backlog + w, s)
+        backlog = backlog + w - done
+        speeds.append(s)
+    return _simulate(work_arr, speeds)
+
+
+def past_schedule(
+    work: Sequence[float],
+    min_speed: float = 0.0,
+    quantize: Optional[ClockTable] = None,
+) -> TraceScheduleResult:
+    """Weiser's PAST: the coming interval is predicted to repeat the last.
+
+    Speed covers the *previous* interval's arriving work plus the current
+    backlog -- this needs the amount of unfinished work, which is exactly
+    the quantity the paper shows a real kernel cannot know (§3).
+    """
+    work_arr = np.asarray(work, dtype=float)
+    speeds: List[float] = []
+    backlog = 0.0
+    prev_work = 0.0
+    fractions = (
+        None
+        if quantize is None
+        else np.array([s.mhz for s in quantize]) / quantize.max_step.mhz
+    )
+    for w in work_arr:
+        s = min(1.0, max(min_speed, backlog + prev_work))
+        if fractions is not None:
+            idx = int(np.searchsorted(fractions, s - 1e-12))
+            s = float(fractions[min(idx, len(fractions) - 1)])
+        done = min(backlog + w, s)
+        backlog = backlog + w - done
+        prev_work = w
+        speeds.append(s)
+    return _simulate(work_arr, speeds)

@@ -1,0 +1,118 @@
+"""IntervalPolicy: predictor x thresholds x speed setters as a governor.
+
+This is the complete interval scheduler of the paper: on every 10 ms clock
+interrupt it
+
+1. feeds the just-ended quantum's utilization to the predictor,
+2. compares the weighted utilization to the hysteresis thresholds,
+3. if scaling is called for, asks the (direction-specific) speed setter for
+   the new clock-step index, and
+4. applies the optional voltage-scaling rule: on the modified Itsy the core
+   rail may drop to 1.23 V whenever the clock is at or below 162.2 MHz
+   (and must return to 1.5 V before the clock rises above it -- the kernel
+   sequences the transitions safely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.hysteresis import Direction, ThresholdPair
+from repro.core.predictors import Predictor
+from repro.core.speed import SpeedSetter
+from repro.hw.clocksteps import ClockTable, SA1100_CLOCK_TABLE
+from repro.hw.rails import VOLTAGE_HIGH, VOLTAGE_LOW
+from repro.kernel.governor import Governor, GovernorRequest, TickInfo
+
+
+@dataclass(frozen=True)
+class VoltageRule:
+    """When to use the reduced core voltage.
+
+    Attributes:
+        bound_mhz: run at ``low_volts`` when the clock frequency is at or
+            below this bound, ``high_volts`` above it.  The paper's
+            configuration scales the voltage at 162.2 MHz.
+        low_volts: the reduced voltage (1.23 V).
+        high_volts: the nominal voltage (1.5 V).
+    """
+
+    bound_mhz: float = 162.2
+    low_volts: float = VOLTAGE_LOW
+    high_volts: float = VOLTAGE_HIGH
+
+    def volts_for_mhz(self, mhz: float) -> float:
+        """The voltage this rule prescribes for a clock frequency."""
+        return self.low_volts if mhz <= self.bound_mhz + 1e-9 else self.high_volts
+
+
+class IntervalPolicy(Governor):
+    """The paper's interval-based clock (and voltage) scheduler.
+
+    Args:
+        predictor: utilization predictor (PAST, AVG_N, ...).
+        thresholds: hysteresis boundary pair.
+        up: speed setter used when scaling up.
+        down: speed setter used when scaling down (defaults to ``up`` --
+            the paper allows separate policies per direction).
+        voltage_rule: optional voltage-scaling rule (None = stay at 1.5 V).
+        clock_table: the machine's clock table, used to translate step
+            indices to frequencies for the voltage rule.
+    """
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        thresholds: ThresholdPair,
+        up: SpeedSetter,
+        down: Optional[SpeedSetter] = None,
+        voltage_rule: Optional[VoltageRule] = None,
+        clock_table: ClockTable = SA1100_CLOCK_TABLE,
+    ):
+        self.predictor = predictor
+        self.thresholds = thresholds
+        self.up = up
+        self.down = down if down is not None else up
+        self.voltage_rule = voltage_rule
+        self.clock_table = clock_table
+        #: history of (time_us, weighted utilization, direction) decisions,
+        #: for offline inspection (Table 1-style traces).
+        self.decisions: list[tuple[float, float, Direction]] = []
+
+    def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
+        weighted = self.predictor.observe(info.utilization)
+        direction = self.thresholds.decide(weighted)
+        self.decisions.append((info.now_us, weighted, direction))
+
+        if direction is Direction.HOLD:
+            new_index = info.step_index
+        else:
+            setter = self.up if direction is Direction.UP else self.down
+            new_index = self.clock_table.clamp_index(
+                setter.next_index(info.step_index, direction, info.max_step_index)
+            )
+
+        request_index = new_index if new_index != info.step_index else None
+
+        request_volts: Optional[float] = None
+        if self.voltage_rule is not None:
+            target_volts = self.voltage_rule.volts_for_mhz(
+                self.clock_table[new_index].mhz
+            )
+            if target_volts != info.volts:
+                request_volts = target_volts
+
+        if request_index is None and request_volts is None:
+            return None
+        return GovernorRequest(step_index=request_index, volts=request_volts)
+
+    def reset(self) -> None:
+        self.predictor.reset()
+        self.decisions.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IntervalPolicy({self.predictor!r}, {self.thresholds}, "
+            f"up={self.up!r}, down={self.down!r}, voltage={self.voltage_rule})"
+        )

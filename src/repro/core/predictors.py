@@ -1,0 +1,147 @@
+"""Utilization predictors.
+
+A predictor turns the stream of observed per-interval utilizations
+``U_0, U_1, ...`` into the *weighted utilization* ``W_t`` that the policy
+compares against its hysteresis thresholds.
+
+The paper's predictors (after Weiser et al.):
+
+- ``PAST``: the coming interval is assumed as busy as the last one
+  (``W_t = U_{t-1}``); this is exactly ``AVG_0``.
+- ``AVG_N``: an exponential moving average with decay ``N``:
+  ``W_t = (N * W_{t-1} + U_{t-1}) / (N + 1)``.
+
+Section 5.3 of the paper analyses AVG_N as a signal-processing filter: it
+convolves the utilization signal with a decaying exponential, attenuating
+but never eliminating oscillatory components -- see
+:mod:`repro.analysis.smoothing` for that equivalent form and
+:mod:`repro.analysis.fourier` for the frequency response.
+
+``WindowAverage`` (the plain mean of the last ``n`` intervals) is included
+because the paper also "simulated interval-based averaging policies that
+used a pure average rather than an exponentially decaying weighting
+function" and found it no better.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, Iterable, List
+
+
+class Predictor(abc.ABC):
+    """Streaming utilization predictor."""
+
+    @abc.abstractmethod
+    def observe(self, utilization: float) -> float:
+        """Feed the utilization of the interval that just ended.
+
+        Args:
+            utilization: busy fraction in [0, 1].
+
+        Returns:
+            The weighted utilization ``W_t`` to use for the coming interval.
+        """
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all history."""
+
+    def feed(self, utilizations: Iterable[float]) -> List[float]:
+        """Observe a whole sequence; return the weighted series.
+
+        Convenience for offline analysis (Table 1, Figure 7).
+        """
+        return [self.observe(u) for u in utilizations]
+
+
+def _check_utilization(utilization: float) -> float:
+    if not 0.0 <= utilization <= 1.0 + 1e-9:
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    return min(utilization, 1.0)
+
+
+class AvgN(Predictor):
+    """Exponential moving average with decay ``N`` (the paper's AVG_N).
+
+    ``W_t = (N * W_{t-1} + U_{t-1}) / (N + 1)``.  Larger ``N`` smooths more
+    but lags more; the paper's Table 1 walks through AVG_9 showing a 120 ms
+    lag from idle to full speed, and §5.3 shows the filter cannot settle on
+    periodic workloads.
+
+    Attributes:
+        n: the decay parameter (``n = 0`` degenerates to PAST).
+        initial: starting weighted utilization (0.0 = assume idle history).
+    """
+
+    def __init__(self, n: int, initial: float = 0.0):
+        if n < 0:
+            raise ValueError("AVG_N decay must be non-negative")
+        self.n = n
+        self.initial = _check_utilization(initial)
+        self._weighted = self.initial
+
+    @property
+    def weighted(self) -> float:
+        """The current weighted utilization ``W_t``."""
+        return self._weighted
+
+    def observe(self, utilization: float) -> float:
+        utilization = _check_utilization(utilization)
+        self._weighted = (self.n * self._weighted + utilization) / (self.n + 1)
+        return self._weighted
+
+    def reset(self) -> None:
+        self._weighted = self.initial
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AvgN(n={self.n})"
+
+
+class Past(AvgN):
+    """The PAST predictor: the next interval mirrors the previous one.
+
+    Identical to ``AVG_0``; provided as its own name because the paper (and
+    Weiser et al.) treat it as the canonical implementable policy.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(n=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Past()"
+
+
+class WindowAverage(Predictor):
+    """Plain mean of the last ``window`` interval utilizations.
+
+    The paper reports that pure averaging "suffers from the same problems
+    experienced by the weighted averaging if you do not average the
+    appropriate period"; this class exists to reproduce that comparison.
+    An empty history predicts ``initial``.
+    """
+
+    def __init__(self, window: int, initial: float = 0.0):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.initial = _check_utilization(initial)
+        self._values: Deque[float] = deque(maxlen=window)
+
+    def observe(self, utilization: float) -> float:
+        self._values.append(_check_utilization(utilization))
+        return sum(self._values) / len(self._values)
+
+    @property
+    def weighted(self) -> float:
+        """Current mean of the stored window."""
+        if not self._values:
+            return self.initial
+        return sum(self._values) / len(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WindowAverage(window={self.window})"

@@ -1,0 +1,88 @@
+"""Speed setters: *how far* to scale through the discrete clock table.
+
+Deciding how much to scale is separate from deciding when (paper §2.2).
+The SA-1100 offers 11 discrete clock steps, so a speed setter is pure index
+arithmetic:
+
+- ``one``: increment or decrement the step index by one;
+- ``double``: double (or halve) the step.  Because the lowest step index is
+  zero, the index is incremented before doubling on the way up (so step 0
+  goes to step 2, not step 0); halving inverts that mapping;
+- ``peg``: jump straight to the highest (or lowest) step.
+
+Separate setters may be used for the up and down directions; the paper's
+best policy pegs in both.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.hysteresis import Direction
+
+
+class SpeedSetter(abc.ABC):
+    """Maps (current step index, direction) to a new step index.
+
+    Implementations may return out-of-range indices; callers clamp into the
+    clock table (pegging at the extremes is the defined behaviour).
+    """
+
+    @abc.abstractmethod
+    def next_index(self, current: int, direction: Direction, max_index: int) -> int:
+        """Return the new step index for a scaling decision.
+
+        Args:
+            current: the current clock-step index.
+            direction: UP or DOWN (HOLD must be handled by the caller).
+
+        Raises:
+            ValueError: if called with ``Direction.HOLD``.
+        """
+
+    @staticmethod
+    def _require_motion(direction: Direction) -> None:
+        if direction is Direction.HOLD:
+            raise ValueError("speed setters are only consulted for UP or DOWN")
+
+
+class OneStep(SpeedSetter):
+    """The ``one`` policy: move a single clock step at a time."""
+
+    def next_index(self, current: int, direction: Direction, max_index: int) -> int:
+        self._require_motion(direction)
+        return current + (1 if direction is Direction.UP else -1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "OneStep()"
+
+
+class Double(SpeedSetter):
+    """The ``double`` policy: double or halve the clock step.
+
+    Scaling up computes ``(index + 1) * 2 - 1``: the index is incremented
+    before doubling (the paper's rule, since the lowest index is 0), then
+    mapped back to 0-based.  Step 0 -> 1, 1 -> 3, 3 -> 7, 7 -> 15 (pegs at
+    the table maximum).  Scaling down inverts the map:
+    ``(index + 1) // 2 - 1``: 10 -> 4, 4 -> 1, 1 -> 0.
+    """
+
+    def next_index(self, current: int, direction: Direction, max_index: int) -> int:
+        self._require_motion(direction)
+        if direction is Direction.UP:
+            return (current + 1) * 2 - 1
+        return (current + 1) // 2 - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Double()"
+
+
+class Peg(SpeedSetter):
+    """The ``peg`` policy: jump to the fastest (or slowest) step."""
+
+    def next_index(self, current: int, direction: Direction, max_index: int) -> int:
+        self._require_motion(direction)
+        return max_index if direction is Direction.UP else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Peg()"

@@ -1,0 +1,53 @@
+"""Hardware model of the Itsy pocket computer (StrongARM SA-1100).
+
+This package models every hardware property the paper's policies and
+measurements depend on:
+
+- :mod:`repro.hw.clocksteps` -- the 11 discrete clock steps of the SA-1100
+  (59.0 .. 206.4 MHz) and index arithmetic over them.
+- :mod:`repro.hw.memory` -- the frequency-dependent memory timings of
+  Table 3 (cycles per single-word reference and per cache-line fill).
+- :mod:`repro.hw.work` -- the unit of application demand: a mix of core
+  cycles, memory references and cache-line fills, whose wall-clock duration
+  depends on the clock step through the memory model.
+- :mod:`repro.hw.rails` -- the two power rails (1.5 V / 1.23 V core,
+  3.3 V peripherals) and voltage transition behaviour (about 250 us to
+  settle downward, effectively instantaneous upward).
+- :mod:`repro.hw.power` -- the calibrated power model (core dynamic,
+  pad/bus, frequency-tracking system power, fixed peripherals, nap).
+- :mod:`repro.hw.cpu` -- the CPU execution model, including the ~200 us
+  stall on every clock-frequency change and the "nap" idle mode.
+- :mod:`repro.hw.itsy` -- whole-machine composition and presets.
+"""
+
+from repro.hw.clocksteps import (
+    SA1100_CLOCK_TABLE,
+    ClockStep,
+    ClockTable,
+)
+from repro.hw.cpu import CoreState, CpuModel, CLOCK_CHANGE_STALL_US
+from repro.hw.itsy import ItsyConfig, ItsyMachine
+from repro.hw.memory import MemoryTimings, SA1100_MEMORY_TIMINGS
+from repro.hw.power import PowerModel, PowerParameters
+from repro.hw.rails import CoreRail, VOLTAGE_HIGH, VOLTAGE_LOW, VOLTAGE_IO
+from repro.hw.work import Work
+
+__all__ = [
+    "SA1100_CLOCK_TABLE",
+    "SA1100_MEMORY_TIMINGS",
+    "CLOCK_CHANGE_STALL_US",
+    "ClockStep",
+    "ClockTable",
+    "CoreRail",
+    "CoreState",
+    "CpuModel",
+    "ItsyConfig",
+    "ItsyMachine",
+    "MemoryTimings",
+    "PowerModel",
+    "PowerParameters",
+    "VOLTAGE_HIGH",
+    "VOLTAGE_IO",
+    "VOLTAGE_LOW",
+    "Work",
+]

@@ -1,0 +1,128 @@
+"""Voltage rails of the Itsy and their transition behaviour.
+
+The Itsy drives the SA-1100 core from a 1.5 V rail and the peripherals from
+a 3.3 V rail; both hang off a single 3.1 V supply.  The units used in the
+paper were modified so the core rail can also be driven at 1.23 V -- below
+the manufacturer's specification, but safe at moderate clock speeds.  The
+paper measured the transition costs (section 5.4):
+
+- reducing the voltage from 1.5 V to 1.23 V takes about **250 us** to
+  settle (the rail sags slowly because of the decoupling capacitors,
+  briefly undershoots, then settles);
+- raising the voltage is **effectively instantaneous**.
+
+Because 1.23 V is out of spec, it may only be used at moderate clock
+speeds: the paper's voltage-scaling configuration drops the core voltage
+only when the clock is below 162.2 MHz.  The rail model enforces a
+configurable maximum safe frequency for the low voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.clocksteps import ClockStep
+
+#: Nominal SA-1100 core voltage on the Itsy.
+VOLTAGE_HIGH = 1.5
+
+#: The below-spec reduced core voltage of the modified Itsy units.
+VOLTAGE_LOW = 1.23
+
+#: Peripheral / I/O pad rail voltage.
+VOLTAGE_IO = 3.3
+
+#: Measured settle time when *reducing* the core voltage (paper section 5.4).
+VOLTAGE_DOWN_SETTLE_US = 250.0
+
+#: Voltage increases are effectively instantaneous (paper section 5.4).
+VOLTAGE_UP_SETTLE_US = 0.0
+
+#: Highest clock frequency at which 1.23 V is considered safe.  The paper's
+#: voltage-scaling experiments scale the voltage when the clock drops below
+#: 162.2 MHz.
+DEFAULT_LOW_VOLTAGE_MAX_MHZ = 162.2
+
+
+class VoltageError(ValueError):
+    """Raised when a rail transition would violate a safety constraint."""
+
+
+@dataclass
+class CoreRail:
+    """The SA-1100 core supply rail.
+
+    Tracks the present voltage and validates transitions against the
+    low-voltage frequency bound.  The rail itself does not know about time;
+    :meth:`set_voltage` *returns* the settle duration so the caller (the CPU
+    model / kernel) can account for it.
+
+    Attributes:
+        high_volts: the nominal voltage (1.5 V).
+        low_volts: the reduced voltage (1.23 V).
+        low_voltage_max_mhz: fastest clock at which ``low_volts`` is safe.
+        volts: present rail voltage.
+    """
+
+    high_volts: float = VOLTAGE_HIGH
+    low_volts: float = VOLTAGE_LOW
+    low_voltage_max_mhz: float = DEFAULT_LOW_VOLTAGE_MAX_MHZ
+    volts: float = field(default=VOLTAGE_HIGH)
+    down_settle_us: float = VOLTAGE_DOWN_SETTLE_US
+    up_settle_us: float = VOLTAGE_UP_SETTLE_US
+
+    def __post_init__(self) -> None:
+        if self.low_volts >= self.high_volts:
+            raise ValueError("low voltage must be below high voltage")
+        if self.volts not in (self.high_volts, self.low_volts):
+            raise VoltageError(f"unsupported core voltage {self.volts}")
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def is_low(self) -> bool:
+        """True when the rail is at the reduced voltage."""
+        return self.volts == self.low_volts
+
+    def allows(self, volts: float, step: ClockStep) -> bool:
+        """True if running ``step`` at ``volts`` is within the safe envelope."""
+        if volts == self.high_volts:
+            return True
+        if volts == self.low_volts:
+            return step.mhz <= self.low_voltage_max_mhz + 1e-9
+        return False
+
+    def settle_us_for(self, volts: float) -> float:
+        """Settle time for a transition to ``volts`` (0 if no change)."""
+        if volts == self.volts:
+            return 0.0
+        return self.down_settle_us if volts < self.volts else self.up_settle_us
+
+    # -- transitions --------------------------------------------------------------
+
+    def set_voltage(self, volts: float, step: ClockStep) -> float:
+        """Change the rail voltage; return the settle time in microseconds.
+
+        Args:
+            volts: target voltage; must be the high or low rail setting.
+            step: clock step that will be (or is) in effect, used to check
+                the low-voltage safety bound.
+
+        Returns:
+            The settle duration in microseconds (0 when unchanged or when
+            raising the voltage).
+
+        Raises:
+            VoltageError: if ``volts`` is not a supported setting or the
+                clock is too fast for the low voltage.
+        """
+        if volts not in (self.high_volts, self.low_volts):
+            raise VoltageError(f"unsupported core voltage {volts}")
+        if not self.allows(volts, step):
+            raise VoltageError(
+                f"{volts} V is unsafe at {step.mhz:.1f} MHz "
+                f"(limit {self.low_voltage_max_mhz:.1f} MHz)"
+            )
+        settle = self.settle_us_for(volts)
+        self.volts = volts
+        return settle

@@ -1,0 +1,59 @@
+"""Discrete-event simulator of the Itsy's Linux 2.0.30 kernel.
+
+The paper's measurements rely on two kernel modifications (§4.3):
+
+1. a *scheduler activity log* recording every scheduling decision with
+   microsecond resolution, and
+2. an *extensible clock-scaling policy module* called from the clock
+   interrupt handler, fed by per-quantum CPU-utilization accounting (the
+   idle process is pid 0; non-idle execution time is summed and cleared on
+   every clock interrupt).
+
+This package reproduces that environment in simulation:
+
+- :mod:`repro.kernel.process` -- processes as generator coroutines yielding
+  actions (compute, sleep, spin, yield, exit);
+- :mod:`repro.kernel.scheduler` -- the kernel proper: 100 Hz tick, 10 ms
+  quanta with the scheduler forced every tick (the paper sets the process
+  counter to 1), round-robin run queue, nap-mode idle, utilization
+  accounting, power recording, governor invocation;
+- :mod:`repro.kernel.governor` -- the clock-scaling module interface.
+"""
+
+from repro.kernel.governor import (
+    ConstantGovernor,
+    Governor,
+    GovernorRequest,
+    TickInfo,
+)
+from repro.kernel.process import (
+    Compute,
+    Exit,
+    Process,
+    ProcessContext,
+    ProcessState,
+    Sleep,
+    SleepUntil,
+    SpinUntil,
+    Yield,
+)
+from repro.kernel.scheduler import Kernel, KernelConfig, KernelRun
+
+__all__ = [
+    "Compute",
+    "ConstantGovernor",
+    "Exit",
+    "Governor",
+    "GovernorRequest",
+    "Kernel",
+    "KernelConfig",
+    "KernelRun",
+    "Process",
+    "ProcessContext",
+    "ProcessState",
+    "Sleep",
+    "SleepUntil",
+    "SpinUntil",
+    "TickInfo",
+    "Yield",
+]

@@ -1,0 +1,102 @@
+"""The clock-scaling module interface (paper §4.3).
+
+The paper modifies the Linux clock interrupt handler to call an installed
+clock-scaling module on every 10 ms tick, handing it the CPU utilization of
+the quantum that just ended.  The module may then request a new clock step
+and/or core voltage; the kernel applies the request, charging the measured
+transition costs.
+
+:class:`Governor` is that module interface.  Policy implementations live in
+:mod:`repro.core.policy`; this module only defines the kernel-facing
+contract plus trivial governors used as controls (constant speed).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TickInfo:
+    """What the clock interrupt handler passes to the scaling module.
+
+    Attributes:
+        now_us: time of the clock interrupt.
+        utilization: busy fraction of the quantum that just ended, in [0,1].
+        busy_us: raw non-idle time of that quantum.
+        quantum_us: nominal quantum length (10,000 us).
+        step_index: index of the clock step in effect during the quantum.
+        mhz: frequency of that step.
+        volts: core voltage in effect during the quantum.
+        max_step_index: index of the fastest available step.
+    """
+
+    now_us: float
+    utilization: float
+    busy_us: float
+    quantum_us: float
+    step_index: int
+    mhz: float
+    volts: float
+    max_step_index: int
+
+
+@dataclass(frozen=True)
+class GovernorRequest:
+    """A requested machine reconfiguration.
+
+    ``None`` fields mean "leave unchanged".  The kernel clamps step indices
+    into range and sequences voltage/frequency changes safely (voltage is
+    raised before a frequency increase and lowered after a decrease).
+    """
+
+    step_index: Optional[int] = None
+    volts: Optional[float] = None
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the request changes nothing."""
+        return self.step_index is None and self.volts is None
+
+
+class Governor(abc.ABC):
+    """A clock-scaling policy module installed into the kernel."""
+
+    @abc.abstractmethod
+    def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
+        """Called from the clock interrupt handler once per quantum.
+
+        Args:
+            info: observation of the quantum that just ended.
+
+        Returns:
+            A reconfiguration request, or None/no-op to leave the machine
+            alone.
+        """
+
+    def reset(self) -> None:
+        """Clear internal predictor state (called at run start)."""
+
+
+class ConstantGovernor(Governor):
+    """Pins the machine at a fixed step (and optionally voltage).
+
+    This is the paper's constant-speed control configuration (the first
+    three rows of Table 2).  The request is issued on the first tick only.
+    """
+
+    def __init__(self, step_index: int, volts: Optional[float] = None):
+        self.step_index = step_index
+        self.volts = volts
+        self._applied = False
+
+    def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
+        if self._applied:
+            return None
+        self._applied = True
+        return GovernorRequest(step_index=self.step_index, volts=self.volts)
+
+    def reset(self) -> None:
+        self._applied = False

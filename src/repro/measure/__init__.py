@@ -1,0 +1,40 @@
+"""Measurement methodology (§4.1).
+
+The paper measures whole-system power with a data-acquisition system: the
+Itsy's supply current is sensed across a 0.02 ohm precision resistor,
+sampled 5000 times per second as 16-bit values, and triggered by a GPIO pin
+the workload toggles when it starts.  Energy is the rectangle sum
+``E = sum(p_i * 0.0002)``.
+
+- :mod:`repro.measure.daq` -- the sampling/quantization/trigger model;
+- :mod:`repro.measure.energy` -- the paper's energy and average-power
+  estimators;
+- :mod:`repro.measure.stats` -- 95 % confidence intervals over repeated
+  runs;
+- :mod:`repro.measure.runner` -- the repeated-run experiment harness.
+"""
+
+from repro.measure.compare import Comparison, welch_compare
+from repro.measure.daq import DaqConfig, DaqSystem, DaqCapture
+from repro.measure.energy import energy_from_samples, mean_power_from_samples
+from repro.measure.profile import PowerProfile, burst_profile, profile_timeline
+from repro.measure.runner import ExperimentResult, run_workload, repeat_workload
+from repro.measure.stats import ConfidenceInterval, confidence_interval
+
+__all__ = [
+    "Comparison",
+    "ConfidenceInterval",
+    "DaqCapture",
+    "DaqConfig",
+    "DaqSystem",
+    "ExperimentResult",
+    "PowerProfile",
+    "burst_profile",
+    "confidence_interval",
+    "energy_from_samples",
+    "mean_power_from_samples",
+    "profile_timeline",
+    "repeat_workload",
+    "run_workload",
+    "welch_compare",
+]

@@ -1,0 +1,91 @@
+"""Statistical comparison of repeated experiments.
+
+The paper reasons about Table 2 through 95 % confidence-interval overlap
+("statistically significant reduction", "no statistical decrease").  This
+module adds the sharper standard tool -- Welch's unequal-variance t-test
+-- so configurations can be compared with explicit p-values, plus a small
+report type used by benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing two samples of measured energies.
+
+    Attributes:
+        mean_a / mean_b: sample means.
+        difference: ``mean_a - mean_b``.
+        relative_difference: difference as a fraction of ``mean_b``.
+        t_statistic: Welch's t.
+        p_value: two-sided p-value.
+        significant: whether p < alpha.
+        alpha: the significance level used.
+    """
+
+    mean_a: float
+    mean_b: float
+    difference: float
+    relative_difference: float
+    t_statistic: float
+    p_value: float
+    significant: bool
+    alpha: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "significant" if self.significant else "not significant"
+        return (
+            f"{self.mean_a:.2f} vs {self.mean_b:.2f} "
+            f"(diff {self.difference:+.2f}, p={self.p_value:.4f}, {verdict})"
+        )
+
+
+def welch_compare(
+    sample_a: Sequence[float],
+    sample_b: Sequence[float],
+    alpha: float = 0.05,
+) -> Comparison:
+    """Welch's two-sided t-test on two samples.
+
+    Args:
+        sample_a / sample_b: at least two observations each.
+        alpha: significance level.
+
+    Raises:
+        ValueError: with fewer than two observations or a bad alpha.
+    """
+    a = np.asarray(sample_a, dtype=float)
+    b = np.asarray(sample_b, dtype=float)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("need at least two observations per sample")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    if np.std(a, ddof=1) == 0.0 and np.std(b, ddof=1) == 0.0:
+        identical = float(np.mean(a)) == float(np.mean(b))
+        t_stat, p_value = (0.0, 1.0) if identical else (float("inf"), 0.0)
+    else:
+        t_stat, p_value = _scipy_stats.ttest_ind(a, b, equal_var=False)
+    mean_a, mean_b = float(np.mean(a)), float(np.mean(b))
+    diff = mean_a - mean_b
+    return Comparison(
+        mean_a=mean_a,
+        mean_b=mean_b,
+        difference=diff,
+        relative_difference=diff / mean_b if mean_b else float("inf"),
+        t_statistic=float(t_stat),
+        p_value=float(p_value),
+        significant=bool(p_value < alpha),
+        alpha=alpha,
+    )
+
+
+def energies(results) -> "list[float]":
+    """Extract the measured energies from a RepeatedResult."""
+    return [r.energy_j for r in results.results]

@@ -1,0 +1,53 @@
+"""Energy and average-power estimators (§4.1).
+
+The paper computes energy from the DAQ samples as a rectangle sum: "the
+power measured at time t represents the average power of the Itsy for the
+interval t to t + 0.0002 seconds", so ``E = sum(p_i * 0.0002)``.  These
+helpers apply the same estimator to arbitrary sample arrays and provide the
+window-selection logic (the GPIO-trigger analogue is in
+:mod:`repro.measure.daq`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def energy_from_samples(power_w: Sequence[float], sample_period_s: float) -> float:
+    """The paper's rectangle-sum energy estimator, in joules.
+
+    Args:
+        power_w: power samples, in watts.
+        sample_period_s: seconds between successive samples (0.0002).
+    """
+    if sample_period_s <= 0:
+        raise ValueError("sample period must be positive")
+    return float(np.sum(np.asarray(power_w, dtype=float)) * sample_period_s)
+
+
+def mean_power_from_samples(power_w: Sequence[float]) -> float:
+    """Average power over the samples, in watts."""
+    arr = np.asarray(power_w, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.mean(arr))
+
+
+def select_window(
+    times_us: np.ndarray,
+    power_w: np.ndarray,
+    start_us: float,
+    end_us: float,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Select the samples inside [start_us, end_us).
+
+    This is the paper's "determine the relevant part of the power-usage
+    profile" step: the workload is timed with ``gettimeofday`` and only the
+    matching measurement window is analysed.
+    """
+    if end_us <= start_us:
+        raise ValueError("window is empty")
+    mask = (times_us >= start_us) & (times_us < end_us)
+    return times_us[mask], power_w[mask]

@@ -1,0 +1,120 @@
+"""Power-profile statistics.
+
+The paper's battery discussion (§2.1) turns on properties of the power
+*profile*, not just its mean: peak demand reduces deliverable capacity,
+and pulsed profiles (bursts separated by quiet) can exploit recovery.
+These helpers summarize a recorded :class:`~repro.traces.schema.PowerTimeline`
+into the quantities those arguments need: percentiles, peak, time above a
+threshold, and a burst/quiet decomposition suitable for feeding the
+pulsed-discharge battery model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.traces.schema import PowerTimeline
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Summary statistics of a power signal.
+
+    All statistics are *time-weighted* (a 1 s segment counts 100x more
+    than a 10 ms one).
+
+    Attributes:
+        mean_w / peak_w / min_w: central and extreme powers.
+        p50_w / p95_w / p99_w: time-weighted percentiles.
+        duration_s: profile length.
+        energy_j: total energy.
+    """
+
+    mean_w: float
+    peak_w: float
+    min_w: float
+    p50_w: float
+    p95_w: float
+    p99_w: float
+    duration_s: float
+    energy_j: float
+
+    @property
+    def peak_to_mean(self) -> float:
+        """Crest factor of the demand (battery peak-demand argument)."""
+        if self.mean_w <= 0:
+            return float("inf")
+        return self.peak_w / self.mean_w
+
+
+def _weighted_percentile(powers, durations, q: float) -> float:
+    order = np.argsort(powers)
+    p_sorted = powers[order]
+    w_sorted = durations[order]
+    cum = np.cumsum(w_sorted)
+    target = q * cum[-1]
+    idx = int(np.searchsorted(cum, target))
+    return float(p_sorted[min(idx, len(p_sorted) - 1)])
+
+
+def profile_timeline(timeline: PowerTimeline) -> PowerProfile:
+    """Summarize a power timeline.
+
+    Raises:
+        ValueError: for an empty timeline.
+    """
+    segments = list(timeline)
+    if not segments:
+        raise ValueError("empty timeline")
+    powers = np.array([w for _, __, w in segments])
+    durations = np.array([e - s for s, e, _ in segments])
+    total_s = float(np.sum(durations)) * 1e-6
+    energy = float(np.sum(powers * durations)) * 1e-6
+    return PowerProfile(
+        mean_w=energy / total_s,
+        peak_w=float(np.max(powers)),
+        min_w=float(np.min(powers)),
+        p50_w=_weighted_percentile(powers, durations, 0.50),
+        p95_w=_weighted_percentile(powers, durations, 0.95),
+        p99_w=_weighted_percentile(powers, durations, 0.99),
+        duration_s=total_s,
+        energy_j=energy,
+    )
+
+
+def time_above_w(timeline: PowerTimeline, threshold_w: float) -> float:
+    """Seconds the power spends at or above ``threshold_w``."""
+    total_us = sum(e - s for s, e, w in timeline if w >= threshold_w)
+    return total_us * 1e-6
+
+
+def burst_profile(
+    timeline: PowerTimeline, threshold_w: float
+) -> List[Tuple[float, float]]:
+    """Decompose the signal into (power, duration_s) phases by threshold.
+
+    Contiguous time above the threshold becomes one "burst" phase at its
+    mean power; below-threshold time becomes "quiet" phases.  The result
+    feeds :meth:`repro.battery.pulsed.PulsedDischargeModel.run_profile`
+    directly, linking measured runs to the battery recovery model.
+    """
+    phases: List[Tuple[float, float]] = []
+    cur_high: "bool | None" = None
+    cur_energy = 0.0
+    cur_us = 0.0
+    for start, end, watts in timeline:
+        high = watts >= threshold_w
+        if cur_high is None or high != cur_high:
+            if cur_high is not None and cur_us > 0:
+                phases.append((cur_energy / cur_us, cur_us * 1e-6))
+            cur_high = high
+            cur_energy = 0.0
+            cur_us = 0.0
+        cur_energy += watts * (end - start)
+        cur_us += end - start
+    if cur_high is not None and cur_us > 0:
+        phases.append((cur_energy / cur_us, cur_us * 1e-6))
+    return phases

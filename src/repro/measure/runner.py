@@ -1,0 +1,196 @@
+"""The repeated-run experiment harness.
+
+Mirrors the paper's procedure: boot the machine, install the clock-scaling
+module, start the workload with the GPIO trigger, record power with the
+DAQ, time the run, and compute energy over the window; repeat several times
+and report the 95 % confidence interval.
+
+Governors and kernels carry state, so experiments take *factories*; each
+run builds a fresh machine, kernel and governor, and perturbs the workload
+seed (run-to-run variation "from interactions between application threads,
+other processes and system daemons" is modelled by the workloads' seeded
+jitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.hw.itsy import ItsyConfig, ItsyMachine
+from repro.kernel.governor import Governor
+from repro.kernel.scheduler import Kernel, KernelConfig, KernelRun
+from repro.measure.daq import DaqCapture, DaqSystem
+from repro.measure.stats import ConfidenceInterval, confidence_interval
+from repro.traces.schema import AppEvent
+from repro.workloads.base import Workload
+
+GovernorFactory = Callable[[], Governor]
+MachineFactory = Callable[[], ItsyMachine]
+
+
+def default_machine() -> ItsyMachine:
+    """A modified Itsy booted at 206.4 MHz / 1.5 V."""
+    return ItsyMachine(ItsyConfig())
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one workload run.
+
+    Attributes:
+        run: the full kernel record.
+        energy_j: DAQ-estimated energy over the run (the paper's number).
+        exact_energy_j: the analytic integral, for validating the DAQ.
+        mean_power_w: DAQ-estimated average power.
+        misses: deadline misses beyond the workload's tolerance.
+        capture: the raw DAQ capture (None if the DAQ was disabled).
+    """
+
+    run: KernelRun
+    energy_j: float
+    exact_energy_j: float
+    mean_power_w: float
+    misses: List[AppEvent]
+    capture: Optional[DaqCapture]
+
+    @property
+    def missed(self) -> bool:
+        """True if any deadline was perceptibly missed."""
+        return bool(self.misses)
+
+
+def run_workload(
+    workload: Workload,
+    governor_factory: GovernorFactory,
+    machine_factory: MachineFactory = default_machine,
+    seed: int = 0,
+    kernel_config: KernelConfig = KernelConfig(),
+    use_daq: bool = True,
+    daq_seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one workload under one governor and measure it.
+
+    Args:
+        workload: the workload descriptor (spawns its own processes).
+        governor_factory: builds a fresh governor for this run.
+        machine_factory: builds a fresh machine for this run.
+        seed: workload jitter seed.
+        kernel_config: kernel tunables.
+        use_daq: measure energy through the DAQ model (True, as in the
+            paper) or use the analytic integral only.
+        daq_seed: DAQ noise seed (defaults to ``seed``).
+    """
+    machine = machine_factory()
+    kernel = Kernel(machine, governor=governor_factory(), config=kernel_config)
+    workload.setup(kernel, seed)
+    run = kernel.run(workload.duration_us)
+
+    exact = run.energy_joules()
+    capture = None
+    if use_daq:
+        daq = DaqSystem(seed=daq_seed if daq_seed is not None else seed)
+        capture = daq.capture(run.timeline)
+        energy = capture.energy_joules()
+        mean_power = capture.mean_power_w()
+    else:
+        energy = exact
+        mean_power = run.mean_power_w()
+
+    misses = run.deadline_misses(tolerance_us=workload.tolerance_us)
+    return ExperimentResult(
+        run=run,
+        energy_j=energy,
+        exact_energy_j=exact,
+        mean_power_w=mean_power,
+        misses=misses,
+        capture=capture,
+    )
+
+
+def find_ideal_constant(
+    workload: Workload,
+    machine_factory: MachineFactory = default_machine,
+    seed: int = 0,
+    kernel_config: KernelConfig = KernelConfig(),
+) -> ExperimentResult:
+    """The energy-minimal *feasible* constant clock step for a workload.
+
+    This is the oracle the paper measures against ("the best possible
+    scheduling goal for MPEG would be to switch to a 132.7MHz speed"):
+    run the workload at every constant step, discard runs with deadline
+    misses, return the cheapest survivor.
+
+    Raises:
+        ValueError: if no constant step meets the workload's deadlines.
+    """
+    from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+    from repro.kernel.governor import ConstantGovernor
+
+    best: Optional[ExperimentResult] = None
+    for step in SA1100_CLOCK_TABLE:
+        result = run_workload(
+            workload,
+            lambda s=step: ConstantGovernor(step_index=s.index),
+            machine_factory,
+            seed=seed,
+            kernel_config=kernel_config,
+            use_daq=False,
+        )
+        if result.missed:
+            continue
+        if best is None or result.exact_energy_j < best.exact_energy_j:
+            best = result
+    if best is None:
+        raise ValueError(f"no constant step meets {workload.name}'s deadlines")
+    return best
+
+
+@dataclass
+class RepeatedResult:
+    """Aggregate of several runs of the same experiment."""
+
+    results: List[ExperimentResult]
+    energy_ci: ConfidenceInterval
+
+    @property
+    def any_missed(self) -> bool:
+        """True if any run missed any deadline."""
+        return any(r.missed for r in self.results)
+
+    @property
+    def total_misses(self) -> int:
+        """Total deadline misses across runs."""
+        return sum(len(r.misses) for r in self.results)
+
+    @property
+    def mean_energy_j(self) -> float:
+        """Mean measured energy."""
+        return self.energy_ci.mean
+
+
+def repeat_workload(
+    workload: Workload,
+    governor_factory: GovernorFactory,
+    machine_factory: MachineFactory = default_machine,
+    runs: int = 5,
+    base_seed: int = 0,
+    kernel_config: KernelConfig = KernelConfig(),
+    use_daq: bool = True,
+) -> RepeatedResult:
+    """Run the experiment ``runs`` times and report the 95 % energy CI."""
+    if runs < 2:
+        raise ValueError("need at least two runs for a confidence interval")
+    results = [
+        run_workload(
+            workload,
+            governor_factory,
+            machine_factory,
+            seed=base_seed + 1000 * i,
+            kernel_config=kernel_config,
+            use_daq=use_daq,
+        )
+        for i in range(runs)
+    ]
+    ci = confidence_interval([r.energy_j for r in results])
+    return RepeatedResult(results=results, energy_ci=ci)

@@ -1,0 +1,25 @@
+"""Trace records and persistence.
+
+Everything the instrumented Itsy of the paper logs -- scheduling decisions,
+per-quantum utilization, clock/voltage changes, application events, and the
+power signal -- is represented here as plain record types, with CSV/JSON
+round-trip in :mod:`repro.traces.io`.
+"""
+
+from repro.traces.schema import (
+    AppEvent,
+    FreqChange,
+    PowerTimeline,
+    QuantumRecord,
+    SchedDecision,
+    VoltChange,
+)
+
+__all__ = [
+    "AppEvent",
+    "FreqChange",
+    "PowerTimeline",
+    "QuantumRecord",
+    "SchedDecision",
+    "VoltChange",
+]

@@ -1,0 +1,58 @@
+"""The paper's workloads (§4.2), rebuilt as scripted processes.
+
+Four applications drive the evaluation: MPEG video+audio playback, the
+IceWeb Java browser, a Java GUI around the Crafty chess engine, and the
+TalkingEditor (mpedit + DECtalk speech synthesis).  Interactive workloads
+replay timestamped input-event traces with millisecond accuracy
+(:mod:`repro.workloads.events`); MPEG is untraced, as in the paper.
+
+:mod:`repro.workloads.synthetic` adds the idealized signals of the
+stability analysis (§5.3).
+"""
+
+from repro.workloads.base import Workload, WorkProfile, combine_workloads
+from repro.workloads.chess import ChessConfig, chess_workload, setup_chess
+from repro.workloads.editor import EditorConfig, editor_workload, setup_editor
+from repro.workloads.events import InputEvent, InputTrace
+from repro.workloads.java import JavaConfig, spawn_jvm_poller
+from repro.workloads.mpeg import MpegConfig, mpeg_workload, setup_mpeg
+from repro.workloads.replay import (
+    RecordedQuantum,
+    ReplayMode,
+    record_from_run,
+    replay_workload,
+)
+from repro.workloads.web import WebConfig, setup_web, web_workload
+
+
+def all_workloads() -> "list[Workload]":
+    """The paper's four workloads with default configurations."""
+    return [mpeg_workload(), web_workload(), chess_workload(), editor_workload()]
+
+
+__all__ = [
+    "ChessConfig",
+    "EditorConfig",
+    "InputEvent",
+    "InputTrace",
+    "JavaConfig",
+    "MpegConfig",
+    "RecordedQuantum",
+    "ReplayMode",
+    "WebConfig",
+    "Workload",
+    "WorkProfile",
+    "all_workloads",
+    "chess_workload",
+    "combine_workloads",
+    "editor_workload",
+    "mpeg_workload",
+    "record_from_run",
+    "replay_workload",
+    "setup_chess",
+    "setup_editor",
+    "setup_mpeg",
+    "setup_web",
+    "spawn_jvm_poller",
+    "web_workload",
+]

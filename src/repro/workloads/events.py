@@ -1,0 +1,165 @@
+"""Timestamped input-event traces: record and replay.
+
+The paper captures repeatable interactive behaviour with "a tracing
+mechanism that recorded timestamped input events and then allowed us to
+replay those events with millisecond accuracy" (§4.2).  We reproduce that:
+an :class:`InputTrace` is an ordered list of :class:`InputEvent` with
+millisecond-quantized times; generators build the Web, Chess and
+TalkingEditor traces from seeded randomness so each run is repeatable yet
+distinct runs (different seeds) vary realistically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+
+@dataclass(frozen=True)
+class InputEvent:
+    """One user-input event.
+
+    Attributes:
+        time_us: replay time, quantized to whole milliseconds.
+        kind: event name (``"page_load"``, ``"scroll"``, ``"move"``,
+            ``"dialog"``, ``"open_file"`` ...).
+        magnitude: free-form size parameter (e.g. render-burst scale).
+    """
+
+    time_us: float
+    kind: str
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time_us < 0:
+            raise ValueError("event times must be non-negative")
+
+
+def quantize_ms(time_us: float) -> float:
+    """Quantize a time to whole milliseconds (replay accuracy of §4.2)."""
+    return round(time_us / 1000.0) * 1000.0
+
+
+class InputTrace:
+    """An ordered, millisecond-accurate input event trace."""
+
+    def __init__(self, events: Iterable[InputEvent]):
+        quantized = [
+            InputEvent(quantize_ms(e.time_us), e.kind, e.magnitude) for e in events
+        ]
+        quantized.sort(key=lambda e: e.time_us)
+        self._events: List[InputEvent] = quantized
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[InputEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, i: int) -> InputEvent:
+        return self._events[i]
+
+    @property
+    def duration_us(self) -> float:
+        """Time of the last event (0.0 for an empty trace)."""
+        return self._events[-1].time_us if self._events else 0.0
+
+    def of_kind(self, kind: str) -> List[InputEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self._events if e.kind == kind]
+
+
+def web_trace(seed: int, duration_s: float = 190.0) -> InputTrace:
+    """The Web workload's input trace (§4.2).
+
+    Two page loads (the news article, then the table-heavy TN-56 report)
+    with human-paced scrolling through each; reading pauses of a few
+    seconds between scrolls.  Total activity ~190 s.
+    """
+    rng = random.Random(seed)
+    events: List[InputEvent] = []
+    t = 1.5e6  # first page opened shortly after start
+
+    def browse_page(t: float, n_scrolls: int, heavy: float) -> float:
+        events.append(InputEvent(t, "page_load", magnitude=heavy))
+        t += rng.uniform(2.0e6, 4.0e6)  # initial read of the top
+        for _ in range(n_scrolls):
+            events.append(
+                InputEvent(t, "scroll", magnitude=heavy * rng.uniform(0.7, 1.4))
+            )
+            t += rng.uniform(1.2e6, 4.5e6)  # reading pause
+        return t
+
+    t = browse_page(t, n_scrolls=16, heavy=1.0)  # news article
+    t += rng.uniform(2.0e6, 4.0e6)
+    events.append(InputEvent(t, "back", magnitude=0.6))
+    t += rng.uniform(1.5e6, 3.0e6)
+    # TN-56 has many tables: heavier rendering per scroll.
+    t = browse_page(t, n_scrolls=22, heavy=1.6)
+
+    horizon = duration_s * 1e6 - 2.0e6
+    return InputTrace(e for e in events if e.time_us < horizon)
+
+
+def chess_trace(
+    seed: int, duration_s: float = 218.0
+) -> InputTrace:
+    """The Chess workload's input trace: a full game vs a novice.
+
+    Alternating user moves (preceded by think time) and engine replies.
+    The engine's search time is attached to each ``engine_move`` event as
+    its magnitude, in seconds: Crafty "plays for specific periods of time"
+    in the mid-game and quickly from book early on.
+    """
+    rng = random.Random(seed)
+    events: List[InputEvent] = []
+    t = 2.0e6
+    move_no = 0
+    horizon = duration_s * 1e6 - 3.0e6
+    while t < horizon:
+        move_no += 1
+        # The novice thinks; utilization stays low except GUI polling.
+        think = rng.uniform(2.5e6, 9.0e6) if move_no > 3 else rng.uniform(1.0e6, 2.5e6)
+        t += think
+        if t >= horizon:
+            break
+        events.append(InputEvent(t, "user_move", magnitude=1.0))
+        t += rng.uniform(0.15e6, 0.4e6)  # GUI animates the move
+        # Book moves early (fast), timed search later (several seconds).
+        if move_no <= 3:
+            search_s = rng.uniform(0.1, 0.4)
+        else:
+            search_s = rng.uniform(2.0, 6.5)
+        events.append(InputEvent(t, "engine_move", magnitude=search_s))
+        t += search_s * 1e6 + rng.uniform(0.1e6, 0.3e6)
+    return InputTrace(events)
+
+
+def editor_trace(seed: int, duration_s: float = 70.0) -> InputTrace:
+    """The TalkingEditor input trace (§4.2).
+
+    The user navigates the file dialogue to a short text file, has it
+    spoken aloud, then opens a second, longer file and has it read too.
+    ``speak`` events carry the text length (seconds of speech) as
+    magnitude.
+    """
+    rng = random.Random(seed)
+    events: List[InputEvent] = []
+    t = 1.0e6
+    # File dialogue interaction: clicks and directory moves, bursty UI.
+    for _ in range(5):
+        events.append(InputEvent(t, "dialog", magnitude=rng.uniform(0.6, 1.4)))
+        t += rng.uniform(0.5e6, 1.6e6)
+    events.append(InputEvent(t, "open_file", magnitude=1.0))
+    t += rng.uniform(0.8e6, 1.5e6)
+    events.append(InputEvent(t, "speak", magnitude=rng.uniform(14.0, 18.0)))
+    t += 20.0e6  # while it speaks, the user listens
+    for _ in range(3):
+        events.append(InputEvent(t, "dialog", magnitude=rng.uniform(0.6, 1.4)))
+        t += rng.uniform(0.5e6, 1.4e6)
+    events.append(InputEvent(t, "open_file", magnitude=1.3))
+    t += rng.uniform(0.8e6, 1.5e6)
+    events.append(InputEvent(t, "speak", magnitude=rng.uniform(24.0, 30.0)))
+    horizon = duration_s * 1e6 - 1.0e6
+    return InputTrace(e for e in events if e.time_us < horizon)

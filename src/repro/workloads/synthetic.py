@@ -1,0 +1,120 @@
+"""Synthetic workloads for controlled policy analysis (§5.3).
+
+The paper's stability analysis uses idealized signals: quanta that are
+either fully busy or fully idle.  These processes reproduce them inside the
+kernel simulator:
+
+- :func:`rectangle_wave_body`: busy for ``busy_quanta`` quanta, idle for
+  ``idle_quanta``, repeating.  With 9 busy / 1 idle this is "an idealized
+  version of our MPEG player running roughly at an optimal speed"
+  (Figure 7's input signal).
+- :func:`step_body`: fully busy for a period, then fully idle -- the
+  Table 1 scenario (15 active quanta, then idle) and Figure 5's
+  going-to-idle / speeding-up transitions.
+
+Both are built on busy-*waiting* (time-based, not work-based) so their
+utilization pattern is identical at every clock step: the analysis isolates
+the policy dynamics from the work/frequency feedback.  For the feedback
+case (demand in cycles, so slowing the clock raises utilization) use
+:func:`cycle_demand_body`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.hw.work import Work
+from repro.kernel.process import (
+    Action,
+    Compute,
+    ProcessContext,
+    SleepUntil,
+    SpinUntil,
+)
+
+
+def rectangle_wave_body(
+    busy_quanta: int,
+    idle_quanta: int,
+    duration_us: float,
+    quantum_us: float = 10_000.0,
+):
+    """A periodic rectangle-wave load: busy b quanta, idle i quanta.
+
+    Args:
+        busy_quanta: fully-busy quanta per period.
+        idle_quanta: fully-idle quanta per period.
+        duration_us: how long to keep the pattern up.
+        quantum_us: the kernel's quantum (the wave is quantum-aligned).
+    """
+    if busy_quanta <= 0 or idle_quanta < 0:
+        raise ValueError("need at least one busy quantum and idle >= 0")
+
+    def body(ctx: ProcessContext) -> Generator[Action, None, None]:
+        start = ctx.now_us
+        end = start + duration_us
+        t = start
+        while t < end:
+            busy_end = min(t + busy_quanta * quantum_us, end)
+            yield SpinUntil(busy_end)
+            t = busy_end + idle_quanta * quantum_us
+            if idle_quanta and busy_end < end:
+                yield SleepUntil(min(t, end))
+
+    return body
+
+
+def step_body(
+    busy_us: float,
+    idle_us: float,
+    start_delay_us: float = 0.0,
+    repeat: int = 1,
+):
+    """A step load: (optionally delayed) busy period, then idle, repeated.
+
+    With ``repeat=1`` this is the Table 1 scenario: one active stretch
+    followed by idleness.
+    """
+    if busy_us <= 0 or idle_us < 0 or start_delay_us < 0:
+        raise ValueError("durations must be positive (idle/delay >= 0)")
+
+    def body(ctx: ProcessContext) -> Generator[Action, None, None]:
+        if start_delay_us > 0:
+            yield SleepUntil(ctx.now_us + start_delay_us)
+        for _ in range(repeat):
+            yield SpinUntil(ctx.now_us + busy_us)
+            if idle_us > 0:
+                yield SleepUntil(ctx.now_us + idle_us)
+
+    return body
+
+
+def cycle_demand_body(
+    work_per_period: Work,
+    period_us: float,
+    duration_us: float,
+    deadline_kind: Optional[str] = "job",
+):
+    """A periodic *cycle* demand: fixed work each period, then sleep.
+
+    Unlike the busy-wait signals above, the work is expressed in cycles, so
+    a slower clock raises utilization and can overrun the period -- the
+    feedback loop real policies face.  Each completed job emits an event
+    with the period end as its deadline.
+    """
+    if period_us <= 0:
+        raise ValueError("period must be positive")
+
+    def body(ctx: ProcessContext) -> Generator[Action, None, None]:
+        start = ctx.now_us
+        n = 0
+        while start + n * period_us < start + duration_us - 1e-9:
+            yield Compute(work_per_period)
+            deadline = start + (n + 1) * period_us
+            if deadline_kind is not None:
+                ctx.emit(deadline_kind, deadline_us=deadline, payload=float(n))
+            if ctx.now_us < deadline:
+                yield SleepUntil(deadline)
+            n += 1
+
+    return body

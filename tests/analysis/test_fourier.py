@@ -1,0 +1,75 @@
+"""Tests for the Fourier analysis of the AVG_N weighting function."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fourier import (
+    alpha_for_avg_n,
+    decaying_exponential,
+    fourier_magnitude,
+    numeric_fourier_magnitude,
+)
+
+
+class TestDecayingExponential:
+    def test_unit_step_gating(self):
+        t = np.array([-1.0, 0.0, 1.0])
+        x = decaying_exponential(t, alpha=1.0)
+        assert x[0] == 0.0
+        assert x[1] == 1.0
+        assert x[2] == pytest.approx(np.exp(-1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decaying_exponential(np.array([0.0]), alpha=0.0)
+
+
+class TestClosedForm:
+    def test_magnitude_formula(self):
+        omega = np.array([0.0, 1.0, 3.0])
+        mag = fourier_magnitude(omega, alpha=1.0)
+        assert mag[0] == pytest.approx(1.0)
+        assert mag[1] == pytest.approx(1.0 / np.sqrt(2.0))
+        assert mag[2] == pytest.approx(1.0 / np.sqrt(10.0))
+
+    def test_matches_numeric_integration(self):
+        """The closed form 1/sqrt(w^2+a^2) must match direct integration."""
+        omega = np.linspace(0.0, 10.0, 15)
+        closed = fourier_magnitude(omega, alpha=2.0)
+        numeric = numeric_fourier_magnitude(omega, alpha=2.0, t_max=40.0, dt=1e-3)
+        assert numeric == pytest.approx(closed, rel=2e-3)
+
+    def test_attenuates_but_never_eliminates(self):
+        """Figure 6's point: high frequencies are attenuated, not removed."""
+        omega = np.linspace(0.1, 100.0, 200)
+        mag = fourier_magnitude(omega, alpha=1.0)
+        assert np.all(np.diff(mag) < 0)  # strictly decreasing
+        assert np.all(mag > 0)  # never zero
+
+    def test_smaller_alpha_attenuates_more(self):
+        """Smaller alpha (larger N) suppresses high frequencies more --
+        relative to its own DC gain -- at the cost of more lag."""
+        omega = np.array([5.0])
+        wide = fourier_magnitude(omega, alpha=2.0) / fourier_magnitude(
+            np.array([0.0]), alpha=2.0
+        )
+        narrow = fourier_magnitude(omega, alpha=0.5) / fourier_magnitude(
+            np.array([0.0]), alpha=0.5
+        )
+        assert narrow[0] < wide[0]
+
+
+class TestAlphaMapping:
+    def test_alpha_matches_discrete_decay(self):
+        # One 10 ms step at AVG_9 multiplies the weight by 0.9.
+        alpha = alpha_for_avg_n(9, interval_s=0.010)
+        assert np.exp(-alpha * 0.010) == pytest.approx(0.9)
+
+    def test_larger_n_smaller_alpha(self):
+        assert alpha_for_avg_n(9) < alpha_for_avg_n(3) < alpha_for_avg_n(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            alpha_for_avg_n(0)
+        with pytest.raises(ValueError):
+            alpha_for_avg_n(3, interval_s=0.0)

@@ -1,0 +1,142 @@
+"""Tests for response-latency analysis."""
+
+import pytest
+
+from repro.analysis.latency import (
+    is_unsynchronized,
+    latency_stats,
+    sync_drift_series,
+)
+from repro.traces.schema import AppEvent
+
+
+def event(kind, time_us, deadline_us):
+    return AppEvent(time_us=time_us, pid=1, kind=kind, deadline_us=deadline_us)
+
+
+class TestLatencyStats:
+    def test_per_kind_statistics(self):
+        events = [
+            event("frame", 90.0, 100.0),   # on time
+            event("frame", 150.0, 100.0),  # 50 late
+            event("frame", 300.0, 200.0),  # 100 late
+            event("audio", 110.0, 100.0),  # 10 late
+            AppEvent(time_us=1.0, pid=1, kind="note"),  # no deadline
+        ]
+        stats = latency_stats(events)
+        assert set(stats) == {"frame", "audio"}
+        frame = stats["frame"]
+        assert frame.count == 3
+        assert frame.on_time == 1
+        assert frame.on_time_fraction == pytest.approx(1 / 3)
+        assert frame.mean_us == pytest.approx(50.0)
+        assert frame.max_us == 100.0
+
+    def test_empty(self):
+        assert latency_stats([]) == {}
+
+    def test_from_kernel_run(self):
+        from repro.core.catalog import constant_speed
+        from repro.measure.runner import run_workload
+        from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+        res = run_workload(
+            mpeg_workload(MpegConfig(duration_s=4.0)),
+            lambda: constant_speed(132.7),
+            seed=0,
+            use_daq=False,
+        )
+        stats = latency_stats(res.run.events)
+        assert "frame" in stats and "audio_chunk" in stats
+        # 4 s at 15 fps = 60 frames; the last may be cut off by run end.
+        assert stats["frame"].count in (59, 60)
+
+
+class TestSyncDrift:
+    def test_series_sorted_by_deadline(self):
+        events = [
+            event("frame", 250.0, 200.0),
+            event("frame", 90.0, 100.0),
+        ]
+        times, lateness = sync_drift_series(events)
+        assert list(times) == [100.0, 200.0]
+        assert list(lateness) == [0.0, 50.0]
+
+    def test_empty_series(self):
+        times, lateness = sync_drift_series([])
+        assert len(times) == len(lateness) == 0
+
+    def test_transient_spike_not_unsynchronized(self):
+        events = [
+            event("frame", 100.0 + (200.0 if i == 5 else 0.0), 100.0 * (i + 1))
+            for i in range(10)
+        ]
+        # one isolated late frame recovers: not a sync loss
+        assert not is_unsynchronized(events, tolerance_us=50.0, sustained=3)
+
+    def test_sustained_drift_detected(self):
+        events = []
+        for i in range(10):
+            deadline = 100.0 * (i + 1)
+            lateness = 80.0 if i >= 4 else 0.0
+            events.append(event("frame", deadline + lateness, deadline))
+        assert is_unsynchronized(events, tolerance_us=50.0, sustained=3)
+
+    def test_infeasible_clock_is_unsynchronized(self):
+        from repro.core.catalog import constant_speed
+        from repro.measure.runner import run_workload
+        from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+        res = run_workload(
+            mpeg_workload(MpegConfig(duration_s=6.0)),
+            lambda: constant_speed(118.0),
+            seed=0,
+            use_daq=False,
+        )
+        assert is_unsynchronized(res.run.events, tolerance_us=80_000.0)
+
+    def test_feasible_clock_stays_synchronized(self):
+        from repro.core.catalog import constant_speed
+        from repro.measure.runner import run_workload
+        from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+        res = run_workload(
+            mpeg_workload(MpegConfig(duration_s=6.0)),
+            lambda: constant_speed(132.7),
+            seed=0,
+            use_daq=False,
+        )
+        assert not is_unsynchronized(res.run.events, tolerance_us=80_000.0)
+
+
+class TestElasticPlayer:
+    def test_elastic_drops_instead_of_drifting(self):
+        from repro.core.catalog import constant_speed
+        from repro.measure.runner import run_workload
+        from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+        cfg = MpegConfig(duration_s=6.0, elastic=True)
+        res = run_workload(
+            mpeg_workload(cfg), lambda: constant_speed(103.2), seed=0, use_daq=False
+        )
+        drops = res.run.events_of_kind("frame_drop")
+        rendered = res.run.events_of_kind("frame")
+        assert drops  # too slow: frames get dropped
+        # every frame is accounted for (the final one may be cut off by
+        # the end of the simulated run)
+        assert len(drops) + len(rendered) >= cfg.n_frames - 1
+        # and the *rendered* frames stay roughly on schedule
+        assert not is_unsynchronized(
+            res.run.events, tolerance_us=80_000.0, sustained=5
+        )
+
+    def test_elastic_drops_nothing_when_feasible(self):
+        from repro.core.catalog import constant_speed
+        from repro.measure.runner import run_workload
+        from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+        cfg = MpegConfig(duration_s=6.0, elastic=True)
+        res = run_workload(
+            mpeg_workload(cfg), lambda: constant_speed(206.4), seed=0, use_daq=False
+        )
+        assert not res.run.events_of_kind("frame_drop")

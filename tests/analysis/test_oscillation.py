@@ -1,0 +1,72 @@
+"""Tests for oscillation metrics (Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.oscillation import oscillation_stats
+from repro.analysis.smoothing import avg_n_recursive, rectangle_wave
+from repro.core.hysteresis import BEST_POLICY_THRESHOLDS, PERING_THRESHOLDS, ThresholdPair
+
+
+class TestStats:
+    def test_constant_series(self):
+        stats = oscillation_stats([0.5] * 100)
+        assert stats.amplitude == 0.0
+        assert stats.crossings_per_step == 0.0
+        assert stats.mean == pytest.approx(0.5)
+
+    def test_alternating_series(self):
+        stats = oscillation_stats([0.0, 1.0] * 100)
+        assert stats.amplitude == pytest.approx(1.0)
+        assert stats.crossings_per_step > 0.9
+
+    def test_settle_fraction_drops_transient(self):
+        series = [0.0] * 50 + [1.0] * 50
+        stats = oscillation_stats(series, settle_fraction=0.6)
+        assert stats.amplitude == 0.0  # only the settled tail remains
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            oscillation_stats([])
+        with pytest.raises(ValueError):
+            oscillation_stats([1.0], settle_fraction=1.0)
+
+
+class TestFigure7:
+    def test_avg3_on_mpeg_wave_oscillates_widely(self):
+        """Figure 7: the filtered 9/1 wave keeps swinging over a wide band
+        (its steady-state range is ~0.74-0.98)."""
+        wave = rectangle_wave(9, 1, periods=80)
+        filtered = avg_n_recursive(wave, 3)
+        stats = oscillation_stats(filtered)
+        assert stats.amplitude > 0.2
+        assert stats.crossings_per_step > 0.1
+
+    def test_avg3_on_half_duty_wave_escapes_pering_thresholds(self):
+        """A wave straddling the 50/70 band keeps the policy scaling both
+        ways forever under Pering's thresholds."""
+        wave = rectangle_wave(6, 4, periods=80)
+        filtered = avg_n_recursive(wave, 3)
+        stats = oscillation_stats(filtered)
+        assert stats.escapes(PERING_THRESHOLDS)
+
+    def test_avg3_also_escapes_best_policy_thresholds(self):
+        wave = rectangle_wave(9, 1, periods=80)
+        filtered = avg_n_recursive(wave, 3)
+        stats = oscillation_stats(filtered)
+        assert stats.escapes(BEST_POLICY_THRESHOLDS)
+
+    def test_wide_dead_zone_contains_oscillation(self):
+        wave = rectangle_wave(9, 1, periods=80)
+        filtered = avg_n_recursive(wave, 9)
+        stats = oscillation_stats(filtered)
+        generous = ThresholdPair(low=0.05, high=0.99)
+        assert not stats.escapes(generous)
+
+    def test_oscillation_persists_at_large_n(self):
+        """Raising N shrinks but never removes the oscillation (§5.3)."""
+        wave = rectangle_wave(9, 1, periods=400)
+        amp_small = oscillation_stats(avg_n_recursive(wave, 1)).amplitude
+        amp_large = oscillation_stats(avg_n_recursive(wave, 20)).amplitude
+        assert amp_large < amp_small
+        assert amp_large > 0.005

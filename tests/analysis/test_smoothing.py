@@ -1,0 +1,97 @@
+"""Tests for the AVG_N filter analysis (§5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.smoothing import (
+    avg_n_convolve,
+    avg_n_recursive,
+    avg_n_weights,
+    rectangle_wave,
+    steady_state_range,
+)
+from repro.core.predictors import AvgN
+
+
+class TestForms:
+    def test_recursive_matches_predictor_class(self):
+        series = np.array([1.0, 0.0, 1.0, 1.0, 0.5, 0.0])
+        filt = avg_n_recursive(series, n=3)
+        pred = AvgN(3).feed(series)
+        assert filt == pytest.approx(pred)
+
+    def test_convolution_equals_recursion(self):
+        """The paper's expanded form must match the implementation form."""
+        rng = np.random.default_rng(0)
+        series = rng.uniform(0, 1, 300)
+        for n in (0, 1, 3, 9):
+            assert avg_n_convolve(series, n) == pytest.approx(
+                avg_n_recursive(series, n), abs=1e-12
+            )
+
+    def test_convolution_equals_recursion_with_initial(self):
+        series = np.array([0.5, 0.1, 0.9, 0.9])
+        assert avg_n_convolve(series, 4, initial=0.7) == pytest.approx(
+            avg_n_recursive(series, 4, initial=0.7)
+        )
+
+    def test_weights_are_normalized_decaying_exponential(self):
+        w = avg_n_weights(9, 2000)
+        assert w[0] == pytest.approx(0.1)
+        assert w[1] / w[0] == pytest.approx(0.9)
+        assert float(np.sum(w)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            avg_n_weights(-1, 10)
+        with pytest.raises(ValueError):
+            avg_n_weights(3, 0)
+
+    def test_empty_series(self):
+        assert len(avg_n_convolve([], 3)) == 0
+
+
+class TestRectangleWave:
+    def test_nine_one_shape(self):
+        wave = rectangle_wave(9, 1, periods=2)
+        assert len(wave) == 20
+        assert list(wave[:9]) == [1.0] * 9
+        assert wave[9] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rectangle_wave(0, 1, 1)
+        with pytest.raises(ValueError):
+            rectangle_wave(1, -1, 1)
+        with pytest.raises(ValueError):
+            rectangle_wave(1, 1, 0)
+
+
+class TestSteadyState:
+    def test_closed_form_matches_numeric(self):
+        """The analytic Figure 7 band equals the converged convolution."""
+        wave = rectangle_wave(9, 1, periods=100)
+        for n in (1, 3, 9):
+            filtered = avg_n_recursive(wave, n)
+            tail = filtered[500:]
+            w_min, w_max = steady_state_range(9, 1, n)
+            assert float(np.max(tail)) == pytest.approx(w_max, abs=1e-6)
+            assert float(np.min(tail)) == pytest.approx(w_min, abs=1e-6)
+
+    def test_figure7_band_is_wide(self):
+        """AVG_3 on the 9/1 wave oscillates over a wide band (Figure 7)."""
+        w_min, w_max = steady_state_range(9, 1, 3)
+        assert w_max - w_min > 0.2
+        assert w_max > 0.95
+        assert w_min < 0.75
+
+    def test_larger_n_narrows_but_never_closes_the_band(self):
+        widths = []
+        for n in (1, 3, 9, 30):
+            w_min, w_max = steady_state_range(9, 1, n)
+            widths.append(w_max - w_min)
+        assert widths == sorted(widths, reverse=True)
+        assert widths[-1] > 0.0  # attenuated, never eliminated
+
+    def test_past_band_is_full_scale(self):
+        assert steady_state_range(9, 1, 0) == (0.0, 1.0)

@@ -1,0 +1,52 @@
+"""Tests for battery-lifetime figures of merit."""
+
+import pytest
+
+from repro.battery.lifetime import (
+    best_step_for_computations,
+    computations_per_lifetime,
+    idle_lifetime_hours,
+    lifetime_hours,
+)
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.hw.power import IdleManagerParameters
+
+
+class TestLifetime:
+    def test_lifetime_monotone_in_power(self):
+        assert lifetime_hours(0.1) > lifetime_hours(0.2) > lifetime_hours(0.4)
+
+    def test_idle_lifetime_anecdote(self):
+        t206 = idle_lifetime_hours(SA1100_CLOCK_TABLE.max_step)
+        t59 = idle_lifetime_hours(SA1100_CLOCK_TABLE.min_step)
+        assert 1.8 < t206 < 2.2
+        assert 16.0 < t59 < 20.0
+
+
+class TestMartinMetric:
+    def test_computations_balance_speed_and_lifetime(self):
+        idle = IdleManagerParameters()
+
+        def power(step):
+            return idle.idle_power_w(step) + 0.25  # busy adds constant power
+
+        best, scored = best_step_for_computations(power)
+        # With a large fixed power component, crawling at 59 MHz wastes
+        # battery on the fixed draw: the best step is above the minimum.
+        assert best.index > 0
+        assert len(scored) == len(SA1100_CLOCK_TABLE)
+
+    def test_pure_frequency_power_favours_slow(self):
+        # With power exactly proportional to frequency and a steep
+        # rate-capacity curve, slower clocks win computations/lifetime.
+        def power(step):
+            return 1.6e-3 * step.mhz
+
+        best, _ = best_step_for_computations(power)
+        assert best.index == 0
+
+    def test_computations_positive_and_finite(self):
+        idle = IdleManagerParameters()
+        for step in SA1100_CLOCK_TABLE:
+            c = computations_per_lifetime(step, idle.idle_power_w)
+            assert 0 < c < 1e16

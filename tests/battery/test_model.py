@@ -1,0 +1,64 @@
+"""Tests for the rate-capacity battery model."""
+
+import pytest
+
+from repro.battery.model import AAA_ALKALINE_PAIR, Battery, RateCapacityCurve
+
+
+class TestRateCapacityCurve:
+    def test_capacity_falls_with_drain(self):
+        curve = AAA_ALKALINE_PAIR.curve
+        assert curve.effective_energy_wh(0.3) < curve.effective_energy_wh(0.15)
+
+    def test_ideal_battery_constant_capacity(self):
+        curve = RateCapacityCurve(e_ref_wh=3.0, p_ref_w=0.2, peukert_k=1.0, e_max_wh=3.0)
+        assert curve.effective_energy_wh(0.1) == curve.effective_energy_wh(1.0) == 3.0
+
+    def test_capacity_clamped_at_nominal(self):
+        curve = AAA_ALKALINE_PAIR.curve
+        assert curve.effective_energy_wh(1e-6) == curve.e_max_wh
+
+    def test_lifetime_decreases_superlinearly(self):
+        curve = AAA_ALKALINE_PAIR.curve
+        t1 = curve.lifetime_hours(0.15)
+        t2 = curve.lifetime_hours(0.30)
+        # doubling the power more than halves the lifetime
+        assert t2 < t1 / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateCapacityCurve(e_ref_wh=0.0, p_ref_w=0.1, peukert_k=1.5, e_max_wh=3.0)
+        with pytest.raises(ValueError):
+            RateCapacityCurve(e_ref_wh=1.0, p_ref_w=0.1, peukert_k=0.5, e_max_wh=3.0)
+        with pytest.raises(ValueError):
+            RateCapacityCurve(e_ref_wh=5.0, p_ref_w=0.1, peukert_k=1.5, e_max_wh=3.0)
+        with pytest.raises(ValueError):
+            AAA_ALKALINE_PAIR.curve.effective_energy_wh(0.0)
+
+
+class TestBattery:
+    def test_drain_amps(self):
+        assert AAA_ALKALINE_PAIR.drain_amps(0.3) == pytest.approx(0.1)
+
+    def test_effective_capacity_ah(self):
+        b = AAA_ALKALINE_PAIR
+        assert b.effective_capacity_ah(0.3) == pytest.approx(
+            b.curve.effective_energy_wh(0.3) / 3.0
+        )
+
+    def test_anecdote_calibration(self):
+        """§2.1: ~2 h at the idle 206 MHz drain, ~18 h at 59 MHz."""
+        from repro.hw.power import IdleManagerParameters
+        from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+
+        idle = IdleManagerParameters()
+        t206 = AAA_ALKALINE_PAIR.lifetime_hours(
+            idle.idle_power_w(SA1100_CLOCK_TABLE.max_step)
+        )
+        t59 = AAA_ALKALINE_PAIR.lifetime_hours(
+            idle.idle_power_w(SA1100_CLOCK_TABLE.min_step)
+        )
+        assert t206 == pytest.approx(2.0, rel=0.10)
+        assert t59 == pytest.approx(18.0, rel=0.10)
+        # 9x battery life for a 3.5x clock reduction.
+        assert t59 / t206 == pytest.approx(9.0, rel=0.10)

@@ -1,0 +1,97 @@
+"""Tests for the naive busy-cycle averaging policy (Figure 5)."""
+
+import pytest
+
+from repro.core.cycleavg import CycleAverageGovernor
+from repro.hw.rails import VOLTAGE_HIGH
+from repro.kernel.governor import TickInfo
+
+
+def info(mhz, utilization, step_index):
+    return TickInfo(
+        now_us=10_000.0,
+        utilization=utilization,
+        busy_us=utilization * 10_000.0,
+        quantum_us=10_000.0,
+        step_index=step_index,
+        mhz=mhz,
+        volts=VOLTAGE_HIGH,
+        max_step_index=10,
+    )
+
+
+class TestGoingIdle:
+    def test_figure5a_going_to_idle(self):
+        """Figure 5(a): from full speed, idle quanta collapse the average.
+
+        Quanta: 206/1, 206/1, 206/1, 206/0 -> avg 154.5 -> next step is the
+        lowest step at or above 154.5 MHz (162.2 on the real table).
+        """
+        gov = CycleAverageGovernor(window=4)
+        for _ in range(3):
+            gov.on_tick(info(206.4, 1.0, 10))
+        req = gov.on_tick(info(206.4, 0.0, 10))
+        assert gov.average_mhz == pytest.approx(206.4 * 3 / 4)
+        assert req is not None and req.step_index == 7  # 162.2 MHz
+
+    def test_reaches_59_quickly_when_idle(self):
+        from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+
+        gov = CycleAverageGovernor(window=4)
+        for _ in range(4):
+            gov.on_tick(info(206.4, 1.0, 10))
+        idx = 10
+        steps = [idx]
+        for _ in range(4):
+            req = gov.on_tick(info(SA1100_CLOCK_TABLE[idx].mhz, 0.0, idx))
+            if req is not None:
+                idx = req.step_index
+            steps.append(idx)
+        # Within four idle quanta the policy is at the lowest step.
+        assert steps[-1] == 0
+        # And the descent is monotone.
+        assert steps == sorted(steps, reverse=True)
+
+
+class TestSpeedingUp:
+    def test_figure5b_stuck_at_59(self):
+        """Figure 5(b): once at 59 MHz, a busy quantum contributes at most
+        59 MHz to the average, so the policy can never exceed 59 MHz."""
+        gov = CycleAverageGovernor(window=4)
+        # History: idle at 59.
+        for _ in range(4):
+            gov.on_tick(info(59.0, 0.0, 0))
+        # Now fully busy at 59, forever.
+        for _ in range(50):
+            req = gov.on_tick(info(59.0, 1.0, 0))
+            assert req is None  # target stays 59 -> no change requested
+        assert gov.average_mhz == pytest.approx(59.0)
+
+    def test_figure5b_first_busy_quantum_average(self):
+        gov = CycleAverageGovernor(window=4)
+        for _ in range(3):
+            gov.on_tick(info(59.0, 0.0, 0))
+        gov.on_tick(info(59.0, 1.0, 0))
+        assert gov.average_mhz == pytest.approx(14.75)
+
+
+class TestMechanics:
+    def test_decision_history(self):
+        gov = CycleAverageGovernor(window=2)
+        gov.on_tick(info(206.4, 1.0, 10))
+        gov.on_tick(info(206.4, 0.5, 10))
+        assert len(gov.decisions) == 2
+        __, avg, chosen = gov.decisions[-1]
+        assert avg == pytest.approx(206.4 * 0.75)
+        assert chosen == pytest.approx(162.2)
+
+    def test_reset(self):
+        gov = CycleAverageGovernor(window=2)
+        gov.on_tick(info(206.4, 1.0, 10))
+        gov.reset()
+        assert gov.average_mhz == 0.0
+        assert gov.decisions == []
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            CycleAverageGovernor(window=0)

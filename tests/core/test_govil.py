@@ -1,0 +1,140 @@
+"""Tests for the Govil et al. predictor family."""
+
+import numpy as np
+import pytest
+
+from repro.core.govil import (
+    AgedAveragesPredictor,
+    CyclePredictor,
+    FlatPredictor,
+    LongShortPredictor,
+    PatternPredictor,
+    PeakPredictor,
+    govil_schedule,
+)
+
+
+class TestFlat:
+    def test_constant_prediction(self):
+        p = FlatPredictor(0.7)
+        assert p.predict([]) == 0.7
+        assert p.predict([0.1, 0.9]) == 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlatPredictor(1.5)
+
+
+class TestLongShort:
+    def test_mixes_short_and_long_windows(self):
+        p = LongShortPredictor(short=2, long=4)
+        history = [0.0, 0.0, 1.0, 1.0]
+        # short mean = 1.0, long mean = 0.5 -> 0.75
+        assert p.predict(history) == pytest.approx(0.75)
+
+    def test_empty_history(self):
+        assert LongShortPredictor().predict([]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LongShortPredictor(short=0)
+
+
+class TestAgedAverages:
+    def test_matches_avg_n_fixed_point(self):
+        # aging g converges to the input level on constant series.
+        p = AgedAveragesPredictor(aging=0.9)
+        history = [0.6] * 400
+        assert p.predict(history) == pytest.approx(0.6, abs=1e-3)
+
+    def test_recent_samples_dominate(self):
+        p = AgedAveragesPredictor(aging=0.5)
+        rising = p.predict([0.0] * 10 + [1.0])
+        falling = p.predict([1.0] * 10 + [0.0])
+        assert rising > 0.45
+        assert falling < 0.55
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgedAveragesPredictor(aging=1.0)
+
+
+class TestCycle:
+    def test_detects_period(self):
+        p = CyclePredictor(window=12, tolerance=0.05)
+        wave = [1.0, 1.0, 0.0] * 8  # period 3
+        # After ...1,1,0 the next value one period back is 1.0.
+        assert p.predict(wave) == pytest.approx(1.0)
+        assert p.predict(wave[:-1]) == pytest.approx(0.0)
+
+    def test_falls_back_on_noise(self):
+        rng = np.random.default_rng(7)
+        noisy = list(rng.uniform(0, 1, 40))
+        p = CyclePredictor(window=16, tolerance=0.01, aging=0.9)
+        fallback = AgedAveragesPredictor(aging=0.9)
+        assert p.predict(noisy) == pytest.approx(fallback.predict(noisy))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CyclePredictor(window=2)
+
+
+class TestPattern:
+    def test_recalls_following_value(self):
+        p = PatternPredictor(m=3, tolerance=0.05)
+        history = [0.1, 0.2, 0.3, 0.9, 0.5, 0.5, 0.1, 0.2, 0.3]
+        # the probe (0.1, 0.2, 0.3) occurred before, followed by 0.9.
+        assert p.predict(history) == pytest.approx(0.9)
+
+    def test_short_history_falls_back(self):
+        p = PatternPredictor(m=4)
+        assert p.predict([0.5]) == AgedAveragesPredictor().predict([0.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PatternPredictor(m=0)
+
+
+class TestPeak:
+    def test_rise_predicts_fall(self):
+        p = PeakPredictor()
+        assert p.predict([0.2, 0.9]) == pytest.approx(0.2)
+
+    def test_fall_predicts_stay_low(self):
+        p = PeakPredictor()
+        assert p.predict([0.9, 0.2]) == pytest.approx(0.2)
+
+    def test_flat_repeats(self):
+        p = PeakPredictor()
+        assert p.predict([0.5, 0.5]) == pytest.approx(0.5)
+        assert p.predict([0.4]) == pytest.approx(0.4)
+        assert p.predict([]) == 0.0
+
+
+class TestGovilSchedule:
+    def test_schedule_runs_all_predictors(self):
+        rng = np.random.default_rng(3)
+        work = rng.uniform(0, 0.9, 120)
+        for predictor in (
+            FlatPredictor(0.7),
+            LongShortPredictor(),
+            AgedAveragesPredictor(),
+            CyclePredictor(),
+            PatternPredictor(),
+            PeakPredictor(),
+        ):
+            res = govil_schedule(work, predictor)
+            assert len(res.speeds) == len(work)
+            assert res.energy > 0
+            # Backlog must not exceed the total work seen.
+            assert res.missed_work <= float(np.sum(work))
+
+    def test_flat_full_speed_never_misses(self):
+        work = [0.9, 0.3, 0.8, 0.1]
+        res = govil_schedule(work, FlatPredictor(1.0))
+        assert np.allclose(res.excess, 0.0)
+
+    def test_aged_averages_saves_energy_on_steady_load(self):
+        work = [0.4] * 200
+        res = govil_schedule(work, AgedAveragesPredictor(aging=0.8))
+        assert res.full_speed_energy_ratio < 0.5

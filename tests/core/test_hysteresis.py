@@ -1,0 +1,63 @@
+"""Tests for hysteresis threshold pairs."""
+
+import pytest
+
+from repro.core.hysteresis import (
+    BEST_POLICY_THRESHOLDS,
+    PERING_THRESHOLDS,
+    Direction,
+    ThresholdPair,
+)
+
+
+class TestDecision:
+    def test_above_high_scales_up(self):
+        t = ThresholdPair(0.5, 0.7)
+        assert t.decide(0.71) is Direction.UP
+        assert t.decide(1.0) is Direction.UP
+
+    def test_below_low_scales_down(self):
+        t = ThresholdPair(0.5, 0.7)
+        assert t.decide(0.49) is Direction.DOWN
+        assert t.decide(0.0) is Direction.DOWN
+
+    def test_dead_zone_holds(self):
+        t = ThresholdPair(0.5, 0.7)
+        assert t.decide(0.5) is Direction.HOLD
+        assert t.decide(0.6) is Direction.HOLD
+        assert t.decide(0.7) is Direction.HOLD
+
+    def test_boundaries_are_strict(self):
+        t = ThresholdPair(0.93, 0.98)
+        assert t.decide(0.98) is Direction.HOLD
+        assert t.decide(0.9800001) is Direction.UP
+        assert t.decide(0.93) is Direction.HOLD
+        assert t.decide(0.9299999) is Direction.DOWN
+
+
+class TestNamedPairs:
+    def test_pering_values(self):
+        assert PERING_THRESHOLDS.low == 0.50
+        assert PERING_THRESHOLDS.high == 0.70
+
+    def test_best_policy_values(self):
+        assert BEST_POLICY_THRESHOLDS.low == 0.93
+        assert BEST_POLICY_THRESHOLDS.high == 0.98
+
+
+class TestValidation:
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPair(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            ThresholdPair(0.5, 1.1)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPair(0.8, 0.5)
+
+    def test_equal_thresholds_allowed(self):
+        t = ThresholdPair(0.7, 0.7)
+        assert t.decide(0.7) is Direction.HOLD
+        assert t.decide(0.71) is Direction.UP
+        assert t.decide(0.69) is Direction.DOWN

@@ -1,0 +1,75 @@
+"""Tests for Martin's battery-rational clock floor."""
+
+import pytest
+
+from repro.core.catalog import best_policy
+from repro.core.martin import FlooredGovernor, martin_floor_step, martin_policy
+from repro.hw.rails import VOLTAGE_HIGH, VOLTAGE_LOW
+from repro.kernel.governor import Governor, GovernorRequest, TickInfo
+
+
+def info(utilization, step_index=10, mhz=206.4):
+    return TickInfo(
+        now_us=10_000.0,
+        utilization=utilization,
+        busy_us=utilization * 10_000.0,
+        quantum_us=10_000.0,
+        step_index=step_index,
+        mhz=mhz,
+        volts=VOLTAGE_HIGH,
+        max_step_index=10,
+    )
+
+
+class TestMartinFloor:
+    def test_floor_above_bottom_with_default_model(self):
+        """With the calibrated Itsy model's large fixed power, crawling at
+        59 MHz wastes battery: the rational floor sits above index 0."""
+        step = martin_floor_step()
+        assert step.index > 0
+
+    def test_floor_with_pure_frequency_power_is_bottom(self):
+        step = martin_floor_step(power_of_step=lambda s: 1.6e-3 * s.mhz)
+        assert step.index == 0
+
+
+class TestFlooredGovernor:
+    def test_clamps_downward_requests(self):
+        floored = FlooredGovernor(best_policy(), floor_index=3)
+        req = floored.on_tick(info(0.0))  # inner pegs to 0
+        assert req is not None and req.step_index == 3
+
+    def test_passes_upward_requests(self):
+        floored = FlooredGovernor(best_policy(), floor_index=3)
+        req = floored.on_tick(info(1.0, step_index=3, mhz=103.2))
+        assert req is not None and req.step_index == 10
+
+    def test_suppresses_noop_after_clamping(self):
+        floored = FlooredGovernor(best_policy(), floor_index=3)
+        # already at the floor; inner requests 0; clamped to 3 == current
+        req = floored.on_tick(info(0.0, step_index=3, mhz=103.2))
+        assert req is None
+
+    def test_keeps_voltage_request_even_when_step_clamped_to_current(self):
+        class VoltsDown(Governor):
+            def on_tick(self, _info):
+                return GovernorRequest(step_index=0, volts=VOLTAGE_LOW)
+
+        floored = FlooredGovernor(VoltsDown(), floor_index=3)
+        req = floored.on_tick(info(0.0, step_index=3, mhz=103.2))
+        assert req is not None and req.volts == VOLTAGE_LOW
+
+    def test_reset_propagates(self):
+        inner = best_policy()
+        inner.on_tick(info(0.5))
+        FlooredGovernor(inner, 2).reset()
+        assert inner.decisions == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlooredGovernor(best_policy(), floor_index=-1)
+
+    def test_martin_policy_helper(self):
+        gov = martin_policy(best_policy)
+        assert isinstance(gov, FlooredGovernor)
+        assert gov.floor_index == martin_floor_step().index

@@ -1,0 +1,109 @@
+"""Tests for the Weiser trace-based baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import (
+    future_schedule,
+    opt_schedule,
+    past_schedule,
+)
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+
+
+class TestOpt:
+    def test_constant_speed_set_by_busiest_suffix(self):
+        work = [0.2, 0.8, 0.5, 0.5]
+        res = opt_schedule(work)
+        # The binding constraint is the last three intervals: 1.8 / 3.
+        assert np.allclose(res.speeds, 0.6)
+        assert res.missed_work == pytest.approx(0.0)
+
+    def test_uniform_work_runs_at_mean(self):
+        res = opt_schedule([0.4] * 10)
+        assert np.allclose(res.speeds, 0.4)
+        assert res.missed_work == pytest.approx(0.0)
+
+    def test_opt_finishes_exactly_at_trace_end(self):
+        work = [1.0, 0.0, 0.0, 1.0]
+        res = opt_schedule(work)
+        assert res.excess[-1] == pytest.approx(0.0)
+
+    def test_opt_minimizes_energy_among_the_three(self):
+        rng = np.random.default_rng(42)
+        work = rng.uniform(0.0, 1.0, size=200)
+        e_opt = opt_schedule(work).energy
+        e_future = future_schedule(work).energy
+        e_past = past_schedule(work).energy
+        assert e_opt <= e_future + 1e-9
+        assert e_opt <= e_past + 1e-9
+
+    def test_overloaded_trace_caps_at_full_speed(self):
+        res = opt_schedule([1.0, 1.0, 1.0])
+        assert np.allclose(res.speeds, 1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            opt_schedule([])
+
+
+class TestFuture:
+    def test_clairvoyant_never_carries_backlog_when_feasible(self):
+        work = [0.3, 0.9, 0.1, 0.6]
+        res = future_schedule(work)
+        assert np.allclose(res.excess, 0.0)
+
+    def test_saves_energy_versus_full_speed(self):
+        work = [0.5] * 50
+        res = future_schedule(work)
+        assert res.full_speed_energy_ratio < 1.0
+
+
+class TestPast:
+    def test_first_interval_runs_at_min_speed(self):
+        res = past_schedule([0.5, 0.5], min_speed=0.2)
+        assert res.speeds[0] == pytest.approx(0.2)
+
+    def test_carries_backlog_after_surprise(self):
+        # Quiet history then a burst: PAST is caught slow and carries work.
+        res = past_schedule([0.0, 1.0, 0.0, 0.0])
+        assert res.excess[1] > 0.0
+        assert res.excess[-1] == pytest.approx(0.0)  # eventually catches up
+
+    def test_constant_work_converges_to_exact_speed(self):
+        res = past_schedule([0.4] * 100)
+        assert res.speeds[-1] == pytest.approx(0.4, abs=1e-6)
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.core.oracle import _simulate
+
+        with pytest.raises(ValueError):
+            _simulate([0.5, 0.5], [1.0])
+
+    def test_negative_work_rejected(self):
+        from repro.core.oracle import _simulate
+
+        with pytest.raises(ValueError):
+            _simulate([-0.1], [1.0])
+
+
+class TestQuantization:
+    def test_quantized_speeds_live_on_the_clock_table(self):
+        work = np.linspace(0.1, 0.9, 30)
+        res = past_schedule(work, quantize=SA1100_CLOCK_TABLE)
+        fractions = {s.mhz / 206.4 for s in SA1100_CLOCK_TABLE}
+        for speed in res.speeds:
+            assert any(abs(speed - f) < 1e-9 for f in fractions)
+
+    def test_quantization_snaps_upward(self):
+        work = [0.47] * 20
+        cont = opt_schedule(work)
+        quant = opt_schedule(work, quantize=SA1100_CLOCK_TABLE)
+        assert np.all(quant.speeds >= cont.speeds - 1e-9)
+        assert np.allclose(quant.speeds, 103.2 / 206.4)
+
+    def test_quantization_costs_energy_on_smooth_schedules(self):
+        work = [0.47] * 50
+        cont = opt_schedule(work)
+        quant = opt_schedule(work, quantize=SA1100_CLOCK_TABLE)
+        assert quant.energy >= cont.energy

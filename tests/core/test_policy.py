@@ -1,0 +1,131 @@
+"""Tests for the assembled IntervalPolicy governor."""
+
+import pytest
+
+from repro.core.hysteresis import Direction, ThresholdPair
+from repro.core.policy import IntervalPolicy, VoltageRule
+from repro.core.predictors import AvgN, Past
+from repro.core.speed import OneStep, Peg
+from repro.hw.rails import VOLTAGE_HIGH, VOLTAGE_LOW
+from repro.kernel.governor import TickInfo
+
+
+def info(utilization, step_index=5, mhz=132.7, volts=VOLTAGE_HIGH, now_us=10_000.0):
+    return TickInfo(
+        now_us=now_us,
+        utilization=utilization,
+        busy_us=utilization * 10_000.0,
+        quantum_us=10_000.0,
+        step_index=step_index,
+        mhz=mhz,
+        volts=volts,
+        max_step_index=10,
+    )
+
+
+class TestScalingDecisions:
+    def test_scale_up_above_high(self):
+        policy = IntervalPolicy(Past(), ThresholdPair(0.5, 0.7), OneStep())
+        req = policy.on_tick(info(0.9))
+        assert req is not None and req.step_index == 6
+
+    def test_scale_down_below_low(self):
+        policy = IntervalPolicy(Past(), ThresholdPair(0.5, 0.7), OneStep())
+        req = policy.on_tick(info(0.2))
+        assert req is not None and req.step_index == 4
+
+    def test_hold_in_dead_zone(self):
+        policy = IntervalPolicy(Past(), ThresholdPair(0.5, 0.7), OneStep())
+        assert policy.on_tick(info(0.6)) is None
+
+    def test_peg_both_directions(self):
+        policy = IntervalPolicy(Past(), ThresholdPair(0.93, 0.98), Peg())
+        assert policy.on_tick(info(1.0)).step_index == 10
+        policy.reset()
+        assert policy.on_tick(info(0.0)).step_index == 0
+
+    def test_no_request_at_extremes(self):
+        policy = IntervalPolicy(Past(), ThresholdPair(0.5, 0.7), Peg())
+        assert policy.on_tick(info(1.0, step_index=10, mhz=206.4)) is None
+        policy.reset()
+        assert policy.on_tick(info(0.0, step_index=0, mhz=59.0)) is None
+
+    def test_clamping_at_table_edges(self):
+        policy = IntervalPolicy(Past(), ThresholdPair(0.5, 0.7), OneStep())
+        req = policy.on_tick(info(1.0, step_index=10, mhz=206.4))
+        assert req is None  # 10 + 1 clamps back to 10: no change
+
+    def test_separate_up_down_setters(self):
+        policy = IntervalPolicy(
+            Past(), ThresholdPair(0.5, 0.7), up=OneStep(), down=Peg()
+        )
+        assert policy.on_tick(info(1.0)).step_index == 6
+        assert policy.on_tick(info(0.0)).step_index == 0
+
+
+class TestPredictorIntegration:
+    def test_avg9_lags_scale_up(self):
+        """From idle, AVG_9 with a 70 % bound takes 12 quanta to scale up."""
+        policy = IntervalPolicy(AvgN(9), ThresholdPair(0.5, 0.7), Peg())
+        first_up = None
+        for i in range(1, 30):
+            req = policy.on_tick(info(1.0, step_index=0, mhz=59.0))
+            if req is not None and req.step_index == 10:
+                first_up = i
+                break
+        assert first_up == 12
+
+    def test_decision_history_recorded(self):
+        policy = IntervalPolicy(Past(), ThresholdPair(0.5, 0.7), OneStep())
+        policy.on_tick(info(0.9, now_us=10_000.0))
+        policy.on_tick(info(0.6, now_us=20_000.0))
+        assert len(policy.decisions) == 2
+        assert policy.decisions[0][2] is Direction.UP
+        assert policy.decisions[1][2] is Direction.HOLD
+
+    def test_reset_clears_predictor_and_history(self):
+        policy = IntervalPolicy(AvgN(5), ThresholdPair(0.5, 0.7), OneStep())
+        policy.on_tick(info(1.0))
+        policy.reset()
+        assert policy.decisions == []
+        assert policy.predictor.weighted == 0.0
+
+
+class TestVoltageRule:
+    def test_volts_for_mhz(self):
+        rule = VoltageRule()
+        assert rule.volts_for_mhz(59.0) == VOLTAGE_LOW
+        assert rule.volts_for_mhz(162.2) == VOLTAGE_LOW
+        assert rule.volts_for_mhz(176.9) == VOLTAGE_HIGH
+
+    def test_policy_requests_low_voltage_on_scale_down(self):
+        policy = IntervalPolicy(
+            Past(), ThresholdPair(0.93, 0.98), Peg(), voltage_rule=VoltageRule()
+        )
+        req = policy.on_tick(info(0.0, step_index=10, mhz=206.4))
+        assert req.step_index == 0
+        assert req.volts == VOLTAGE_LOW
+
+    def test_policy_requests_high_voltage_on_scale_up(self):
+        policy = IntervalPolicy(
+            Past(), ThresholdPair(0.93, 0.98), Peg(), voltage_rule=VoltageRule()
+        )
+        req = policy.on_tick(info(1.0, step_index=0, mhz=59.0, volts=VOLTAGE_LOW))
+        assert req.step_index == 10
+        assert req.volts == VOLTAGE_HIGH
+
+    def test_voltage_only_request_when_holding(self):
+        # Holding speed at 132.7 but the voltage is still high: the rule
+        # asks for the drop alone.
+        policy = IntervalPolicy(
+            Past(), ThresholdPair(0.5, 0.7), Peg(), voltage_rule=VoltageRule()
+        )
+        req = policy.on_tick(info(0.6, step_index=5, mhz=132.7))
+        assert req.step_index is None
+        assert req.volts == VOLTAGE_LOW
+
+    def test_no_request_when_everything_matches(self):
+        policy = IntervalPolicy(
+            Past(), ThresholdPair(0.5, 0.7), Peg(), voltage_rule=VoltageRule()
+        )
+        assert policy.on_tick(info(0.6, volts=VOLTAGE_LOW)) is None

@@ -1,0 +1,67 @@
+"""Tests for the one / double / peg speed setters."""
+
+import pytest
+
+from repro.core.hysteresis import Direction
+from repro.core.speed import Double, OneStep, Peg
+
+MAX = 10  # SA-1100 table
+
+
+class TestOneStep:
+    def test_up_and_down(self):
+        s = OneStep()
+        assert s.next_index(5, Direction.UP, MAX) == 6
+        assert s.next_index(5, Direction.DOWN, MAX) == 4
+
+    def test_extremes_overflow_for_caller_to_clamp(self):
+        s = OneStep()
+        assert s.next_index(10, Direction.UP, MAX) == 11
+        assert s.next_index(0, Direction.DOWN, MAX) == -1
+
+    def test_hold_rejected(self):
+        with pytest.raises(ValueError):
+            OneStep().next_index(5, Direction.HOLD, MAX)
+
+
+class TestDouble:
+    def test_up_increments_before_doubling(self):
+        s = Double()
+        # The paper: the lowest step is zero, so increment before doubling.
+        assert s.next_index(0, Direction.UP, MAX) == 1
+        assert s.next_index(1, Direction.UP, MAX) == 3
+        assert s.next_index(3, Direction.UP, MAX) == 7
+        assert s.next_index(7, Direction.UP, MAX) == 15  # clamped by caller
+
+    def test_down_halves(self):
+        s = Double()
+        assert s.next_index(10, Direction.DOWN, MAX) == 4
+        assert s.next_index(4, Direction.DOWN, MAX) == 1
+        assert s.next_index(1, Direction.DOWN, MAX) == 0
+        assert s.next_index(0, Direction.DOWN, MAX) == -1
+
+    def test_down_inverts_up(self):
+        s = Double()
+        for i in range(0, 6):
+            up = s.next_index(i, Direction.UP, MAX)
+            assert s.next_index(up, Direction.DOWN, MAX) == i
+
+    def test_hold_rejected(self):
+        with pytest.raises(ValueError):
+            Double().next_index(5, Direction.HOLD, MAX)
+
+
+class TestPeg:
+    def test_up_pegs_to_max(self):
+        s = Peg()
+        for i in range(MAX + 1):
+            assert s.next_index(i, Direction.UP, MAX) == MAX
+
+    def test_down_pegs_to_min(self):
+        s = Peg()
+        for i in range(MAX + 1):
+            assert s.next_index(i, Direction.DOWN, MAX) == 0
+
+    def test_hold_rejected(self):
+        with pytest.raises(ValueError):
+            Peg().next_index(5, Direction.HOLD, MAX)

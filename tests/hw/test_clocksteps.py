@@ -1,0 +1,101 @@
+"""Tests for the SA-1100 clock-step table."""
+
+import pytest
+
+from repro.hw.clocksteps import (
+    SA1100_CLOCK_TABLE,
+    SA1100_FREQUENCIES_MHZ,
+    ClockStep,
+    ClockTable,
+)
+
+
+class TestSa1100Table:
+    def test_eleven_steps(self):
+        assert len(SA1100_CLOCK_TABLE) == 11
+
+    def test_table_matches_paper_frequencies(self):
+        assert SA1100_CLOCK_TABLE.frequencies_mhz() == SA1100_FREQUENCIES_MHZ
+
+    def test_extremes(self):
+        assert SA1100_CLOCK_TABLE.min_step.mhz == 59.0
+        assert SA1100_CLOCK_TABLE.max_step.mhz == 206.4
+        assert SA1100_CLOCK_TABLE.max_index == 10
+
+    def test_indices_are_positional(self):
+        for i, step in enumerate(SA1100_CLOCK_TABLE):
+            assert step.index == i
+            assert SA1100_CLOCK_TABLE[i] is step
+
+    def test_steps_nominally_equal_increments(self):
+        freqs = SA1100_CLOCK_TABLE.frequencies_mhz()
+        increments = [b - a for a, b in zip(freqs, freqs[1:])]
+        assert all(14.6 <= inc <= 14.9 for inc in increments)
+
+
+class TestClockStep:
+    def test_hz(self):
+        step = ClockStep(0, 59.0)
+        assert step.hz == 59.0e6
+
+    def test_cycles_in_us(self):
+        step = ClockStep(10, 206.4)
+        assert step.cycles_in_us(1.0) == pytest.approx(206.4)
+        assert step.cycles_in_us(200.0) == pytest.approx(41280.0)
+
+    def test_us_for_cycles_inverts_cycles_in_us(self):
+        step = ClockStep(5, 132.7)
+        assert step.us_for_cycles(step.cycles_in_us(123.4)) == pytest.approx(123.4)
+
+    def test_paper_stall_cycle_counts(self):
+        # §5.4: a 200 us stall is ~11,800 periods at 59 MHz and ~41,280 at
+        # 206.4 MHz.
+        assert ClockStep(0, 59.0).cycles_in_us(200.0) == pytest.approx(11800)
+        assert ClockStep(10, 206.4).cycles_in_us(200.0) == pytest.approx(41280)
+
+
+class TestClockTableValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClockTable([])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            ClockTable([100.0, 59.0])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            ClockTable([59.0, 59.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            ClockTable([0.0, 59.0])
+        with pytest.raises(ValueError):
+            ClockTable([-1.0, 59.0])
+
+
+class TestLookups:
+    def test_step_for_mhz_exact(self):
+        step = SA1100_CLOCK_TABLE.step_for_mhz(132.7)
+        assert step.index == 5
+
+    def test_step_for_mhz_tolerates_rounding(self):
+        assert SA1100_CLOCK_TABLE.step_for_mhz(132.71).index == 5
+
+    def test_step_for_mhz_unknown_raises(self):
+        with pytest.raises(KeyError):
+            SA1100_CLOCK_TABLE.step_for_mhz(100.0)
+
+    def test_clamp_index(self):
+        assert SA1100_CLOCK_TABLE.clamp_index(-3) == 0
+        assert SA1100_CLOCK_TABLE.clamp_index(4) == 4
+        assert SA1100_CLOCK_TABLE.clamp_index(99) == 10
+
+    def test_lowest_step_at_least(self):
+        assert SA1100_CLOCK_TABLE.lowest_step_at_least(0.0).mhz == 59.0
+        assert SA1100_CLOCK_TABLE.lowest_step_at_least(59.0).mhz == 59.0
+        assert SA1100_CLOCK_TABLE.lowest_step_at_least(59.1).mhz == 73.7
+        assert SA1100_CLOCK_TABLE.lowest_step_at_least(154.5).mhz == 162.2
+
+    def test_lowest_step_at_least_saturates_at_max(self):
+        assert SA1100_CLOCK_TABLE.lowest_step_at_least(500.0).mhz == 206.4

@@ -1,0 +1,105 @@
+"""Tests for the CPU execution/transition model."""
+
+import pytest
+
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.hw.cpu import CLOCK_CHANGE_STALL_US, CpuModel
+from repro.hw.rails import VOLTAGE_HIGH, VOLTAGE_LOW, VoltageError
+from repro.hw.work import Work
+
+
+@pytest.fixture
+def cpu():
+    return CpuModel()
+
+
+class TestDefaults:
+    def test_boots_at_max_step(self, cpu):
+        assert cpu.step.mhz == 206.4
+        assert cpu.volts == VOLTAGE_HIGH
+
+    def test_stall_constant_is_200us(self):
+        assert CLOCK_CHANGE_STALL_US == 200.0
+
+
+class TestClockChanges:
+    def test_change_costs_200us(self, cpu):
+        stall = cpu.set_step_index(0)
+        assert stall == pytest.approx(200.0)
+        assert cpu.step.mhz == 59.0
+
+    def test_no_change_costs_nothing(self, cpu):
+        assert cpu.set_step_index(cpu.step.index) == 0.0
+        assert cpu.counters.clock_changes == 0
+
+    def test_stall_independent_of_distance(self, cpu):
+        stall_small = cpu.set_step_index(9)  # 206.4 -> 191.7
+        cpu2 = CpuModel()
+        stall_large = cpu2.set_step_index(0)  # 206.4 -> 59.0
+        assert stall_small == stall_large == pytest.approx(200.0)
+
+    def test_out_of_range_index_clamps(self, cpu):
+        cpu.set_step_index(99)
+        assert cpu.step.index == 10
+        cpu.set_step_index(-5)
+        assert cpu.step.index == 0
+
+    def test_counters_accumulate(self, cpu):
+        cpu.set_step_index(0)
+        cpu.set_step_index(10)
+        assert cpu.counters.clock_changes == 2
+        assert cpu.counters.clock_stall_us == pytest.approx(400.0)
+
+    def test_stall_cycles_lost_matches_paper(self, cpu):
+        cpu.set_step_index(0)
+        assert cpu.stall_cycles_lost() == pytest.approx(11800)
+        cpu.set_step_index(10)
+        assert cpu.stall_cycles_lost() == pytest.approx(41280)
+
+    def test_stall_under_2_percent_of_quantum(self, cpu):
+        # §5.4: clock and voltage change costs are <2 % of a 10 ms quantum.
+        assert CLOCK_CHANGE_STALL_US / 10_000.0 <= 0.02
+
+
+class TestVoltageInteraction:
+    def test_cannot_speed_past_bound_at_low_voltage(self, cpu):
+        cpu.set_step_index(5)
+        cpu.set_voltage(VOLTAGE_LOW)
+        with pytest.raises(VoltageError):
+            cpu.set_step_index(10)
+        # frequency at/below the bound is fine
+        cpu.set_step_index(7)  # 162.2 MHz
+        assert cpu.step.mhz == pytest.approx(162.2)
+
+    def test_cannot_lower_voltage_at_high_frequency(self, cpu):
+        with pytest.raises(VoltageError):
+            cpu.set_voltage(VOLTAGE_LOW)
+
+    def test_voltage_counters(self, cpu):
+        cpu.set_step_index(0)
+        settle = cpu.set_voltage(VOLTAGE_LOW)
+        assert settle == pytest.approx(250.0)
+        assert cpu.set_voltage(VOLTAGE_LOW) == 0.0
+        assert cpu.counters.voltage_changes == 1
+        assert cpu.counters.voltage_settle_us == pytest.approx(250.0)
+
+
+class TestWorkArithmetic:
+    def test_duration_tracks_current_step(self, cpu):
+        w = Work(cpu_cycles=206.4e3)
+        assert cpu.duration_us(w) == pytest.approx(1000.0)
+        cpu.set_step_index(0)
+        assert cpu.duration_us(w) == pytest.approx(1000.0 * 206.4 / 59.0)
+
+    def test_split_work_delegates(self, cpu):
+        w = Work(cpu_cycles=206.4e3)
+        done, remaining = cpu.split_work(w, 500.0)
+        assert done.cpu_cycles == pytest.approx(103.2e3)
+        assert remaining.cpu_cycles == pytest.approx(103.2e3)
+
+    def test_mismatched_tables_rejected(self):
+        from repro.hw.clocksteps import ClockTable
+        from repro.hw.memory import SA1100_MEMORY_TIMINGS
+
+        with pytest.raises(ValueError):
+            CpuModel(clock_table=ClockTable([59.0, 206.4]), timings=SA1100_MEMORY_TIMINGS)

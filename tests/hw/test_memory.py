@@ -1,0 +1,91 @@
+"""Tests for the Table 3 memory timing model."""
+
+import pytest
+
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE, SA1100_FREQUENCIES_MHZ
+from repro.hw.memory import (
+    SA1100_CYCLES_PER_CACHE_REF,
+    SA1100_CYCLES_PER_MEM_REF,
+    SA1100_MEMORY_TIMINGS,
+    MemoryTimings,
+)
+
+
+class TestTable3Values:
+    """The model must reproduce Table 3 exactly -- it is the model input."""
+
+    def test_mem_cycles_match_table3(self):
+        expected = (11, 11, 11, 11, 13, 14, 14, 15, 18, 19, 20)
+        assert SA1100_CYCLES_PER_MEM_REF == expected
+
+    def test_cache_cycles_match_table3(self):
+        expected = (39, 39, 39, 39, 41, 42, 49, 50, 60, 61, 69)
+        assert SA1100_CYCLES_PER_CACHE_REF == expected
+
+    def test_lookup_by_step(self):
+        step_132 = SA1100_CLOCK_TABLE.step_for_mhz(132.7)
+        assert SA1100_MEMORY_TIMINGS.mem_cycles(step_132) == 14
+        assert SA1100_MEMORY_TIMINGS.cache_cycles(step_132) == 42
+
+    def test_as_table_round_trip(self):
+        table = SA1100_MEMORY_TIMINGS.as_table()
+        assert table[59.0] == (11, 39)
+        assert table[206.4] == (20, 69)
+        assert len(table) == 11
+
+    def test_as_table_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            SA1100_MEMORY_TIMINGS.as_table([59.0, 206.4])
+
+
+class TestNonLinearity:
+    """The properties behind the paper's Figure 9 plateau."""
+
+    def test_plateau_jump_between_162_and_177(self):
+        # Table 3 has a clear jump between 162.2 and 176.9 MHz.
+        i_162 = SA1100_FREQUENCIES_MHZ.index(162.2)
+        i_177 = SA1100_FREQUENCIES_MHZ.index(176.9)
+        mem_jump = SA1100_CYCLES_PER_MEM_REF[i_177] - SA1100_CYCLES_PER_MEM_REF[i_162]
+        cache_jump = (
+            SA1100_CYCLES_PER_CACHE_REF[i_177] - SA1100_CYCLES_PER_CACHE_REF[i_162]
+        )
+        assert mem_jump == 3  # 15 -> 18
+        assert cache_jump == 10  # 50 -> 60
+
+    def test_cycle_costs_monotone_with_frequency(self):
+        assert list(SA1100_CYCLES_PER_MEM_REF) == sorted(SA1100_CYCLES_PER_MEM_REF)
+        assert list(SA1100_CYCLES_PER_CACHE_REF) == sorted(SA1100_CYCLES_PER_CACHE_REF)
+
+    def test_wall_clock_latency_roughly_constant(self):
+        # The DRAM is fixed-latency: wall-clock cost per access should vary
+        # far less than the 3.5x frequency span.
+        latencies = [
+            SA1100_MEMORY_TIMINGS.mem_latency_us(step) for step in SA1100_CLOCK_TABLE
+        ]
+        assert max(latencies) / min(latencies) < 2.2
+
+    def test_cache_line_slower_than_word(self):
+        for step in SA1100_CLOCK_TABLE:
+            assert SA1100_MEMORY_TIMINGS.cache_cycles(
+                step
+            ) > SA1100_MEMORY_TIMINGS.mem_cycles(step)
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            MemoryTimings(cycles_per_mem_ref=(11,), cycles_per_cache_ref=(39, 40))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            MemoryTimings(cycles_per_mem_ref=(), cycles_per_cache_ref=())
+
+    def test_nonpositive(self):
+        with pytest.raises(ValueError):
+            MemoryTimings(cycles_per_mem_ref=(0,), cycles_per_cache_ref=(39,))
+        with pytest.raises(ValueError):
+            MemoryTimings(cycles_per_mem_ref=(11,), cycles_per_cache_ref=(0,))
+
+    def test_cache_cheaper_than_word_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTimings(cycles_per_mem_ref=(11,), cycles_per_cache_ref=(10,))

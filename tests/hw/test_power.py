@@ -1,0 +1,100 @@
+"""Tests for the calibrated power model."""
+
+import pytest
+
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.hw.power import (
+    CoreState,
+    IdleManagerParameters,
+    PowerModel,
+    PowerParameters,
+)
+from repro.hw.rails import VOLTAGE_HIGH, VOLTAGE_LOW
+
+STEP_59 = SA1100_CLOCK_TABLE.min_step
+STEP_132 = SA1100_CLOCK_TABLE.step_for_mhz(132.7)
+STEP_206 = SA1100_CLOCK_TABLE.max_step
+
+
+@pytest.fixture
+def model():
+    return PowerModel()
+
+
+class TestStructure:
+    def test_active_exceeds_nap_exceeds_off(self, model):
+        for step in SA1100_CLOCK_TABLE:
+            active = model.total_w(step, VOLTAGE_HIGH, CoreState.ACTIVE)
+            nap = model.total_w(step, VOLTAGE_HIGH, CoreState.NAP)
+            off = model.total_w(step, VOLTAGE_HIGH, CoreState.OFF)
+            assert active > nap > off > 0
+
+    def test_power_monotone_in_frequency(self, model):
+        for state in (CoreState.ACTIVE, CoreState.NAP):
+            powers = [
+                model.total_w(step, VOLTAGE_HIGH, state)
+                for step in SA1100_CLOCK_TABLE
+            ]
+            assert powers == sorted(powers)
+
+    def test_lower_voltage_reduces_power(self, model):
+        hi = model.total_w(STEP_132, VOLTAGE_HIGH, CoreState.ACTIVE)
+        lo = model.total_w(STEP_132, VOLTAGE_LOW, CoreState.ACTIVE)
+        assert lo < hi
+
+    def test_voltage_does_not_change_off_power(self, model):
+        hi = model.total_w(STEP_132, VOLTAGE_HIGH, CoreState.OFF)
+        lo = model.total_w(STEP_132, VOLTAGE_LOW, CoreState.OFF)
+        assert hi == lo
+
+    def test_core_dynamic_scales_with_v_squared(self, model):
+        # Core dynamic component isolated: active - nap contains pad too,
+        # so test processor_w minus pad explicitly.
+        p = model.params
+        core_hi = p.core_w_per_mhz_v2 * VOLTAGE_HIGH**2
+        core_lo = p.core_w_per_mhz_v2 * VOLTAGE_LOW**2
+        assert core_lo / core_hi == pytest.approx((VOLTAGE_LOW / VOLTAGE_HIGH) ** 2)
+
+    def test_unknown_state_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.total_w(STEP_132, VOLTAGE_HIGH, "busy")  # type: ignore[arg-type]
+
+
+class TestMagnitudes:
+    """Plausibility: busy Itsy ~1.4 W, per the paper's 86 J / 60 s MPEG."""
+
+    def test_busy_at_full_speed_near_1_4_watts(self, model):
+        p = model.total_w(STEP_206, VOLTAGE_HIGH, CoreState.ACTIVE)
+        assert 1.3 < p < 1.6
+
+    def test_idle_floor_positive(self, model):
+        p = model.total_w(STEP_59, VOLTAGE_HIGH, CoreState.NAP)
+        assert 0.9 < p < 1.2
+
+    def test_processor_w_components(self, model):
+        proc = model.processor_w(STEP_206, VOLTAGE_HIGH, CoreState.ACTIVE)
+        total = model.total_w(STEP_206, VOLTAGE_HIGH, CoreState.ACTIVE)
+        assert 0 < proc < total
+        assert model.processor_w(STEP_206, VOLTAGE_HIGH, CoreState.OFF) == 0.0
+
+
+class TestValidation:
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            PowerParameters(fixed_w=-0.1)
+        with pytest.raises(ValueError):
+            PowerParameters(core_w_per_mhz_v2=-1e-3)
+
+    def test_nap_above_active_rejected(self):
+        with pytest.raises(ValueError):
+            PowerParameters(core_w_per_mhz_v2=1e-4, nap_w_per_mhz_v2=2e-4)
+
+
+class TestIdleManager:
+    def test_idle_power_tracks_clock(self):
+        params = IdleManagerParameters()
+        p206 = params.idle_power_w(STEP_206)
+        p59 = params.idle_power_w(STEP_59)
+        assert p206 > p59 > 0
+        # The §2.1 anecdote needs a substantial power ratio.
+        assert p206 / p59 > 2.0

@@ -1,0 +1,81 @@
+"""Tests for the voltage rail model."""
+
+import pytest
+
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.hw.rails import (
+    CoreRail,
+    VOLTAGE_DOWN_SETTLE_US,
+    VOLTAGE_HIGH,
+    VOLTAGE_LOW,
+    VoltageError,
+)
+
+STEP_59 = SA1100_CLOCK_TABLE.min_step
+STEP_162 = SA1100_CLOCK_TABLE.step_for_mhz(162.2)
+STEP_177 = SA1100_CLOCK_TABLE.step_for_mhz(176.9)
+STEP_206 = SA1100_CLOCK_TABLE.max_step
+
+
+class TestTransitions:
+    def test_lowering_takes_250us(self):
+        rail = CoreRail()
+        settle = rail.set_voltage(VOLTAGE_LOW, STEP_59)
+        assert settle == pytest.approx(250.0)
+        assert rail.volts == VOLTAGE_LOW
+        assert rail.is_low
+
+    def test_raising_is_instantaneous(self):
+        rail = CoreRail()
+        rail.set_voltage(VOLTAGE_LOW, STEP_59)
+        settle = rail.set_voltage(VOLTAGE_HIGH, STEP_59)
+        assert settle == 0.0
+        assert not rail.is_low
+
+    def test_no_change_no_settle(self):
+        rail = CoreRail()
+        assert rail.set_voltage(VOLTAGE_HIGH, STEP_206) == 0.0
+
+    def test_paper_settle_constant(self):
+        assert VOLTAGE_DOWN_SETTLE_US == 250.0
+
+
+class TestSafetyEnvelope:
+    def test_low_voltage_allowed_at_or_below_bound(self):
+        rail = CoreRail()
+        assert rail.allows(VOLTAGE_LOW, STEP_162)
+        assert rail.allows(VOLTAGE_LOW, STEP_59)
+
+    def test_low_voltage_rejected_above_bound(self):
+        rail = CoreRail()
+        assert not rail.allows(VOLTAGE_LOW, STEP_177)
+        with pytest.raises(VoltageError):
+            rail.set_voltage(VOLTAGE_LOW, STEP_177)
+
+    def test_high_voltage_always_allowed(self):
+        rail = CoreRail()
+        for step in SA1100_CLOCK_TABLE:
+            assert rail.allows(VOLTAGE_HIGH, step)
+
+    def test_unsupported_voltage_rejected(self):
+        rail = CoreRail()
+        with pytest.raises(VoltageError):
+            rail.set_voltage(1.1, STEP_59)
+        assert not rail.allows(2.0, STEP_59)
+
+
+class TestValidation:
+    def test_low_must_be_below_high(self):
+        with pytest.raises(ValueError):
+            CoreRail(high_volts=1.2, low_volts=1.5)
+
+    def test_initial_voltage_must_be_a_rail_setting(self):
+        with pytest.raises(VoltageError):
+            CoreRail(volts=1.35)
+
+    def test_settle_us_for_matches_direction(self):
+        rail = CoreRail()
+        assert rail.settle_us_for(VOLTAGE_LOW) == 250.0
+        assert rail.settle_us_for(VOLTAGE_HIGH) == 0.0
+        rail.set_voltage(VOLTAGE_LOW, STEP_59)
+        assert rail.settle_us_for(VOLTAGE_HIGH) == 0.0

@@ -1,0 +1,106 @@
+"""Integration: the behavioural figures (8 and 9) and §5 observations."""
+
+import pytest
+
+from repro.core.catalog import best_policy, constant_speed, pering_avg
+from repro.hw.clocksteps import SA1100_FREQUENCIES_MHZ
+from repro.measure.runner import run_workload
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+
+@pytest.fixture(scope="module")
+def best_run():
+    return run_workload(mpeg_workload(), best_policy, seed=1, use_daq=False)
+
+
+class TestFigure8:
+    """The best policy's clock trace: only 59/206 MHz, frequent changes."""
+
+    def test_only_min_and_max_steps_used(self, best_run):
+        used = {q.mhz for q in best_run.run.quanta}
+        assert used <= {59.0, 206.4}
+        assert used == {59.0, 206.4}
+
+    def test_changes_clock_settings_frequently(self, best_run):
+        # Figure 8 shows near-per-frame toggling over the 60 s run.
+        assert best_run.run.clock_changes > 300
+
+    def test_never_misses_deadlines(self, best_run):
+        assert not best_run.missed
+
+    def test_substantial_residency_at_both_extremes(self, best_run):
+        quanta = best_run.run.quanta
+        at_59 = sum(1 for q in quanta if q.mhz == 59.0)
+        at_206 = sum(1 for q in quanta if q.mhz == 206.4)
+        assert at_59 > 0.05 * len(quanta)
+        assert at_206 > 0.4 * len(quanta)
+
+
+class TestFigure9:
+    """Utilization vs frequency is non-linear with a 162.2-176.9 plateau."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        cfg = MpegConfig(duration_s=20.0)
+        out = {}
+        for mhz in SA1100_FREQUENCIES_MHZ:
+            res = run_workload(
+                mpeg_workload(cfg),
+                lambda m=mhz: constant_speed(m),
+                seed=1,
+                use_daq=False,
+            )
+            out[mhz] = res.run.mean_utilization()
+        return out
+
+    def test_utilization_falls_with_frequency_overall(self, sweep):
+        assert sweep[206.4] < sweep[162.2] < sweep[132.7]
+
+    def test_saturated_below_feasibility(self, sweep):
+        for mhz in (59.0, 73.7, 88.5, 103.2, 118.0):
+            assert sweep[mhz] > 0.99
+
+    def test_plateau_between_162_and_177(self, sweep):
+        """The distinct plateau of Figure 9: utilization barely moves from
+        162.2 to 176.9 MHz although frequency rises 9 %."""
+        drop_plateau = sweep[162.2] - sweep[176.9]
+        drop_before = sweep[147.5] - sweep[162.2]
+        drop_after = sweep[176.9] - sweep[191.7]
+        assert drop_plateau < 0.03
+        assert drop_plateau < drop_before
+        assert drop_plateau < drop_after
+
+    def test_paper_magnitudes(self, sweep):
+        # Paper Figure 9: ~71 % at 206.4 MHz, >90 % near 132.7 MHz.
+        assert 0.65 < sweep[206.4] < 0.80
+        assert sweep[132.7] > 0.90
+
+
+class TestSection53Observations:
+    def test_avg_policies_cannot_settle_at_132(self):
+        """§5.3: no AVG_N setting parks the clock at the 132.7 MHz optimum."""
+        cfg = MpegConfig(duration_s=20.0)
+        for n in (0, 3, 9):
+            res = run_workload(
+                mpeg_workload(cfg),
+                lambda n=n: pering_avg(n, up="one", down="one"),
+                seed=1,
+                use_daq=False,
+            )
+            quanta = res.run.quanta[400:]  # after any transient
+            at_132 = sum(1 for q in quanta if q.mhz == 132.7)
+            assert at_132 < 0.9 * len(quanta)
+            # and the clock keeps moving
+            assert res.run.clock_changes > 10
+
+    def test_transition_overhead_under_2_percent(self):
+        res = run_workload(mpeg_workload(), best_policy, seed=1, use_daq=False)
+        total_cost = res.run.clock_stall_us + res.run.voltage_settle_us
+        assert total_cost / res.run.duration_us < 0.02
+
+    def test_best_policy_with_voltage_also_meets_deadlines(self):
+        res = run_workload(
+            mpeg_workload(), lambda: best_policy(True), seed=1, use_daq=False
+        )
+        assert not res.missed
+        assert res.run.voltage_changes > 0

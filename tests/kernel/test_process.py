@@ -1,0 +1,85 @@
+"""Tests for the process model."""
+
+import pytest
+
+from repro.hw.work import Work
+from repro.kernel.process import (
+    Compute,
+    Exit,
+    Process,
+    ProcessContext,
+    ProcessState,
+    Sleep,
+    SleepUntil,
+    SpinUntil,
+    Yield,
+)
+
+
+class TestActions:
+    def test_sleep_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Sleep(-1.0)
+
+    def test_actions_are_value_objects(self):
+        assert Sleep(5.0) == Sleep(5.0)
+        assert SleepUntil(7.0) == SleepUntil(7.0)
+        assert SpinUntil(3.0) == SpinUntil(3.0)
+        assert Yield() == Yield()
+        assert Exit() == Exit()
+        assert Compute(Work(1.0)) == Compute(Work(1.0))
+
+
+class TestProcessContext:
+    def test_emit_records_event_at_now(self):
+        ctx = ProcessContext(pid=3, name="p")
+        ctx.now_us = 1234.0
+        event = ctx.emit("frame", deadline_us=2000.0, payload=7.0)
+        assert event.time_us == 1234.0
+        assert event.pid == 3
+        assert event.kind == "frame"
+        assert event.deadline_us == 2000.0
+        assert event.payload == 7.0
+        assert ctx.events == [event]
+
+    def test_emit_without_deadline(self):
+        ctx = ProcessContext(pid=1, name="p")
+        event = ctx.emit("tick")
+        assert event.deadline_us is None
+        assert event.on_time
+
+
+class TestProcess:
+    def test_pid_zero_reserved(self):
+        with pytest.raises(ValueError):
+            Process(0, "idle", lambda ctx: iter(()))
+
+    def test_advance_yields_actions_then_none(self):
+        def body(ctx):
+            yield Sleep(10.0)
+            yield Exit()
+
+        proc = Process(1, "p", body)
+        assert proc.advance(0.0) == Sleep(10.0)
+        assert proc.advance(5.0) == Exit()
+        assert proc.advance(6.0) is None
+
+    def test_advance_updates_context_time(self):
+        seen = []
+
+        def body(ctx):
+            seen.append(ctx.now_us)
+            yield Yield()
+            seen.append(ctx.now_us)
+
+        proc = Process(1, "p", body)
+        proc.advance(100.0)
+        proc.advance(250.0)
+        assert seen == [100.0, 250.0]
+
+    def test_initial_state_runnable(self):
+        proc = Process(2, "p", lambda ctx: iter(()))
+        assert proc.state is ProcessState.RUNNABLE
+        assert proc.pending_work is None
+        assert proc.spin_until_us is None
+        assert proc.wake_us is None

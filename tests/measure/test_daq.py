@@ -1,0 +1,97 @@
+"""Tests for the DAQ sampling model."""
+
+import numpy as np
+import pytest
+
+from repro.measure.daq import DaqConfig, DaqSystem
+from repro.traces.schema import PowerTimeline
+
+
+def flat_timeline(watts=1.0, duration_us=1e6):
+    tl = PowerTimeline()
+    tl.record(0.0, duration_us, watts)
+    return tl
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = DaqConfig()
+        assert cfg.sample_rate_hz == 5000.0
+        assert cfg.sample_period_s == pytest.approx(0.0002)
+        assert cfg.sense_ohms == 0.02
+        assert cfg.adc_bits == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DaqConfig(sample_rate_hz=0.0)
+        with pytest.raises(ValueError):
+            DaqConfig(sense_ohms=-1.0)
+        with pytest.raises(ValueError):
+            DaqConfig(adc_bits=0)
+
+
+class TestCapture:
+    def test_sample_count(self):
+        daq = DaqSystem(seed=0)
+        cap = daq.capture(flat_timeline(duration_us=1e6))
+        assert len(cap) == 5000
+
+    def test_energy_estimator_converges_to_exact(self):
+        tl = flat_timeline(watts=1.4, duration_us=2e6)
+        daq = DaqSystem(seed=0)
+        cap = daq.capture(tl)
+        assert cap.energy_joules() == pytest.approx(tl.energy_joules(), rel=1e-3)
+
+    def test_mean_power(self):
+        daq = DaqSystem(seed=0)
+        cap = daq.capture(flat_timeline(watts=0.9))
+        assert cap.mean_power_w() == pytest.approx(0.9, abs=0.005)
+
+    def test_noise_is_zero_mean(self):
+        daq = DaqSystem(DaqConfig(noise_rms_watts=0.01), seed=1)
+        cap = daq.capture(flat_timeline(watts=1.0, duration_us=4e6))
+        assert float(np.mean(cap.power_w)) == pytest.approx(1.0, abs=0.002)
+
+    def test_noiseless_capture_is_quantized_exact(self):
+        daq = DaqSystem(DaqConfig(noise_rms_watts=0.0), seed=0)
+        cap = daq.capture(flat_timeline(watts=1.0))
+        # All samples equal, within one ADC LSB of the true value.
+        assert np.ptp(cap.power_w) == 0.0
+        lsb = 0.1 / 2**16 / 0.02 * 3.1
+        assert abs(cap.power_w[0] - 1.0) <= lsb / 2
+
+    def test_trigger_window(self):
+        tl = PowerTimeline()
+        tl.record(0.0, 1e6, 0.5)
+        tl.record(1e6, 2e6, 2.0)
+        daq = DaqSystem(DaqConfig(noise_rms_watts=0.0), seed=0)
+        cap = daq.capture(tl, trigger_us=1e6, stop_us=2e6)
+        assert cap.mean_power_w() == pytest.approx(2.0, abs=1e-3)
+
+    def test_empty_window_rejected(self):
+        daq = DaqSystem(seed=0)
+        with pytest.raises(ValueError):
+            daq.capture(flat_timeline(), trigger_us=5e5, stop_us=5e5)
+
+    def test_seeded_reproducibility(self):
+        tl = flat_timeline()
+        a = DaqSystem(seed=7).capture(tl)
+        b = DaqSystem(seed=7).capture(tl)
+        assert np.array_equal(a.power_w, b.power_w)
+
+    def test_step_change_visible_in_samples(self):
+        tl = PowerTimeline()
+        tl.record(0.0, 5e5, 0.5)
+        tl.record(5e5, 1e6, 1.5)
+        daq = DaqSystem(DaqConfig(noise_rms_watts=0.0), seed=0)
+        cap = daq.capture(tl)
+        first_half = cap.power_w[cap.times_us < 5e5]
+        second_half = cap.power_w[cap.times_us >= 5e5]
+        assert np.all(first_half < 1.0)
+        assert np.all(second_half > 1.0)
+
+    def test_negative_power_clipped_by_quantizer(self):
+        tl = flat_timeline(watts=0.0005)
+        daq = DaqSystem(DaqConfig(noise_rms_watts=0.01), seed=3)
+        cap = daq.capture(tl)
+        assert np.all(cap.power_w >= 0.0)

@@ -1,0 +1,49 @@
+"""Tests for the energy estimators."""
+
+import numpy as np
+import pytest
+
+from repro.measure.energy import (
+    energy_from_samples,
+    mean_power_from_samples,
+    select_window,
+)
+
+
+class TestEnergy:
+    def test_rectangle_sum(self):
+        # 5 samples of 2 W at 0.0002 s each = 2 mJ.
+        assert energy_from_samples([2.0] * 5, 0.0002) == pytest.approx(0.002)
+
+    def test_empty_samples(self):
+        assert energy_from_samples([], 0.0002) == 0.0
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            energy_from_samples([1.0], 0.0)
+
+    def test_matches_paper_formula(self):
+        # E = sum(p_i * 0.0002) exactly.
+        p = [1.4, 1.5, 1.3]
+        assert energy_from_samples(p, 0.0002) == pytest.approx(sum(p) * 0.0002)
+
+
+class TestMeanPower:
+    def test_mean(self):
+        assert mean_power_from_samples([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert mean_power_from_samples([]) == 0.0
+
+
+class TestWindow:
+    def test_select_inside(self):
+        t = np.array([0.0, 100.0, 200.0, 300.0])
+        p = np.array([1.0, 2.0, 3.0, 4.0])
+        ts, ps = select_window(t, p, 100.0, 300.0)
+        assert list(ts) == [100.0, 200.0]
+        assert list(ps) == [2.0, 3.0]
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            select_window(np.array([0.0]), np.array([1.0]), 10.0, 10.0)

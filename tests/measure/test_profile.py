@@ -1,0 +1,92 @@
+"""Tests for power-profile statistics."""
+
+import pytest
+
+from repro.measure.profile import burst_profile, profile_timeline, time_above_w
+from repro.traces.schema import PowerTimeline
+
+
+def timeline(segments):
+    tl = PowerTimeline()
+    t = 0.0
+    for duration_us, watts in segments:
+        tl.record(t, t + duration_us, watts)
+        t += duration_us
+    return tl
+
+
+class TestProfile:
+    def test_flat_signal(self):
+        prof = profile_timeline(timeline([(1e6, 1.5)]))
+        assert prof.mean_w == pytest.approx(1.5)
+        assert prof.peak_w == prof.min_w == 1.5
+        assert prof.p50_w == prof.p95_w == prof.p99_w == 1.5
+        assert prof.duration_s == pytest.approx(1.0)
+        assert prof.energy_j == pytest.approx(1.5)
+        assert prof.peak_to_mean == pytest.approx(1.0)
+
+    def test_time_weighted_percentiles(self):
+        # 90 % of time at 1 W, 10 % at 3 W.
+        prof = profile_timeline(timeline([(9e5, 1.0), (1e5, 3.0)]))
+        assert prof.p50_w == 1.0
+        assert prof.p99_w == 3.0
+        assert prof.mean_w == pytest.approx(1.2)
+        assert prof.peak_to_mean == pytest.approx(3.0 / 1.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_timeline(PowerTimeline())
+
+    def test_from_real_run(self):
+        from repro.core.catalog import constant_speed
+        from repro.measure.runner import run_workload
+        from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+        res = run_workload(
+            mpeg_workload(MpegConfig(duration_s=4.0)),
+            lambda: constant_speed(206.4),
+            seed=0,
+            use_daq=False,
+        )
+        prof = profile_timeline(res.run.timeline)
+        assert prof.energy_j == pytest.approx(res.exact_energy_j)
+        assert prof.min_w < prof.mean_w < prof.peak_w
+
+
+class TestTimeAbove:
+    def test_threshold_selection(self):
+        tl = timeline([(5e5, 1.0), (5e5, 2.0)])
+        assert time_above_w(tl, 1.5) == pytest.approx(0.5)
+        assert time_above_w(tl, 0.5) == pytest.approx(1.0)
+        assert time_above_w(tl, 3.0) == 0.0
+
+
+class TestBurstProfile:
+    def test_burst_quiet_decomposition(self):
+        tl = timeline([(1e5, 0.2), (2e5, 2.0), (1e5, 0.3), (1e5, 2.5)])
+        phases = burst_profile(tl, threshold_w=1.0)
+        assert len(phases) == 4
+        powers = [p for p, _ in phases]
+        assert powers[0] == pytest.approx(0.2)
+        assert powers[1] == pytest.approx(2.0)
+        assert powers[3] == pytest.approx(2.5)
+        durations = [d for _, d in phases]
+        assert durations == pytest.approx([0.1, 0.2, 0.1, 0.1])
+
+    def test_merges_contiguous_same_side_segments(self):
+        tl = timeline([(1e5, 2.0), (1e5, 3.0), (1e5, 0.1)])
+        phases = burst_profile(tl, threshold_w=1.0)
+        assert len(phases) == 2
+        assert phases[0][0] == pytest.approx(2.5)  # energy-weighted mean
+
+    def test_feeds_battery_model(self):
+        from repro.battery.pulsed import PulsedDischargeModel
+
+        tl = timeline([(5e6, 2.0), (5e6, 0.1)] * 3)
+        phases = burst_profile(tl, threshold_w=1.0)
+        battery = PulsedDischargeModel(capacity_c=100.0)
+        delivered = battery.run_profile(phases)
+        assert delivered > 0.0
+
+    def test_empty_timeline(self):
+        assert burst_profile(PowerTimeline(), 1.0) == []

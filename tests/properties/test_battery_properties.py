@@ -1,0 +1,85 @@
+"""Property-based tests for the battery models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.model import RateCapacityCurve
+from repro.battery.pulsed import PulsedDischargeModel
+
+curves = st.builds(
+    RateCapacityCurve,
+    e_ref_wh=st.floats(min_value=0.5, max_value=3.0),
+    p_ref_w=st.floats(min_value=0.05, max_value=1.0),
+    peukert_k=st.floats(min_value=1.0, max_value=3.0),
+    e_max_wh=st.just(10.0),
+)
+
+powers = st.floats(min_value=0.01, max_value=5.0)
+
+
+class TestRateCapacityProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(curve=curves, p1=powers, p2=powers)
+    def test_capacity_monotone_nonincreasing_in_power(self, curve, p1, p2):
+        lo, hi = sorted((p1, p2))
+        assert curve.effective_energy_wh(lo) >= curve.effective_energy_wh(hi) - 1e-12
+
+    @settings(max_examples=80, deadline=None)
+    @given(curve=curves, p1=powers, p2=powers)
+    def test_lifetime_monotone_decreasing_in_power(self, curve, p1, p2):
+        lo, hi = sorted((p1, p2))
+        if hi > lo:
+            assert curve.lifetime_hours(lo) >= curve.lifetime_hours(hi) - 1e-12
+
+    @settings(max_examples=80, deadline=None)
+    @given(curve=curves, p=powers)
+    def test_capacity_never_exceeds_nominal(self, curve, p):
+        assert curve.effective_energy_wh(p) <= curve.e_max_wh + 1e-12
+
+    @settings(max_examples=80, deadline=None)
+    @given(p=powers)
+    def test_ideal_battery_lifetime_is_inverse_power(self, p):
+        curve = RateCapacityCurve(
+            e_ref_wh=2.0, p_ref_w=0.5, peukert_k=1.0, e_max_wh=2.0
+        )
+        assert curve.lifetime_hours(p) * p == 2.0 or abs(
+            curve.lifetime_hours(p) * p - 2.0
+        ) < 1e-9
+
+
+class TestKiBaMProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        power=st.floats(min_value=0.5, max_value=10.0),
+        dt=st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_charge_conservation(self, power, dt):
+        battery = PulsedDischargeModel(capacity_c=1000.0)
+        before = battery.remaining
+        delivered = battery.step(power, dt)
+        assert battery.remaining + delivered == before or abs(
+            battery.remaining + delivered - before
+        ) < 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(power=st.floats(min_value=0.5, max_value=10.0))
+    def test_wells_never_negative(self, power):
+        battery = PulsedDischargeModel(capacity_c=200.0)
+        for _ in range(50):
+            battery.step(power, 60.0)
+        assert battery.available >= -1e-9
+        assert battery.bound >= -1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pulse=st.floats(min_value=5.0, max_value=60.0),
+        rest=st.floats(min_value=5.0, max_value=120.0),
+    )
+    def test_rest_only_helps(self, pulse, rest):
+        """Delivered charge under pulsed drain is at least the constant-
+        drain delivery (recovery can only help)."""
+        const = PulsedDischargeModel(capacity_c=500.0)
+        const.time_to_death_s(power_w=6.0)
+        pulsed = PulsedDischargeModel(capacity_c=500.0)
+        pulsed.time_to_death_s(power_w=6.0, pulse_s=pulse, rest_s=rest)
+        assert pulsed.delivered >= const.delivered - 1e-6

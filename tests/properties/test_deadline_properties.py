@@ -1,0 +1,67 @@
+"""Property-based tests for the deadline-solver (§6 extension)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deadline import DeadlineSpec, slowest_feasible_step
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.hw.memory import SA1100_MEMORY_TIMINGS
+from repro.hw.work import Work
+
+specs_strategy = st.lists(
+    st.builds(
+        DeadlineSpec,
+        name=st.sampled_from(["a", "b", "c", "d"]),
+        period_us=st.floats(min_value=1_000.0, max_value=1e6),
+        work=st.builds(
+            Work,
+            cpu_cycles=st.floats(min_value=0.0, max_value=5e7),
+            mem_refs=st.floats(min_value=0.0, max_value=5e5),
+            cache_refs=st.floats(min_value=0.0, max_value=5e5),
+        ),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def load_at(specs, step, margin):
+    return margin * sum(
+        spec.busy_fraction(step, SA1100_MEMORY_TIMINGS) for spec in specs
+    )
+
+
+class TestSlowestFeasibleStep:
+    @settings(max_examples=80, deadline=None)
+    @given(specs=specs_strategy, margin=st.floats(min_value=1.0, max_value=1.5))
+    def test_chosen_step_is_feasible_or_pegged(self, specs, margin):
+        step = slowest_feasible_step(specs, margin)
+        if step.index < SA1100_CLOCK_TABLE.max_index:
+            assert load_at(specs, step, margin) <= 1.0 + 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(specs=specs_strategy, margin=st.floats(min_value=1.0, max_value=1.5))
+    def test_no_slower_step_is_feasible(self, specs, margin):
+        step = slowest_feasible_step(specs, margin)
+        for slower in SA1100_CLOCK_TABLE:
+            if slower.index >= step.index:
+                break
+            assert load_at(specs, slower, margin) > 1.0 - 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(specs=specs_strategy)
+    def test_higher_margin_never_slows_the_choice(self, specs):
+        low = slowest_feasible_step(specs, margin=1.0)
+        high = slowest_feasible_step(specs, margin=1.4)
+        assert high.index >= low.index
+
+    @settings(max_examples=80, deadline=None)
+    @given(specs=specs_strategy, extra=specs_strategy)
+    def test_more_demand_never_slows_the_choice(self, specs, extra):
+        base = slowest_feasible_step(specs)
+        # rename extras so they never *replace* a base spec's demand
+        renamed = [
+            DeadlineSpec(f"x{i}", s.period_us, s.work) for i, s in enumerate(extra)
+        ]
+        combined = slowest_feasible_step(list(specs) + renamed)
+        assert combined.index >= base.index

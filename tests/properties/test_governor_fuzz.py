@@ -1,0 +1,101 @@
+"""Fuzzing: arbitrary governors must never corrupt kernel invariants.
+
+A governor is third-party policy code; whatever (clamped-range) requests
+it makes, the kernel must keep its accounting sound: rail safety holds,
+power recording stays gap-free, utilization stays bounded, and transitions
+are all accounted for.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.itsy import ItsyConfig, ItsyMachine
+from repro.hw.rails import VOLTAGE_HIGH, VOLTAGE_LOW
+from repro.kernel.governor import Governor, GovernorRequest
+from repro.kernel.scheduler import Kernel, KernelConfig
+from repro.workloads.mpeg import MpegConfig, setup_mpeg
+
+Q = 10_000.0
+
+request_strategy = st.one_of(
+    st.none(),
+    st.builds(
+        GovernorRequest,
+        step_index=st.one_of(st.none(), st.integers(-3, 14)),
+        volts=st.one_of(st.none(), st.sampled_from([VOLTAGE_HIGH, VOLTAGE_LOW])),
+    ),
+)
+
+
+class ScriptedFuzzGovernor(Governor):
+    """Replays a fixed list of requests, sanitized for rail safety.
+
+    The sanitizing mirrors what any real governor must do: never ask for
+    the low rail at a frequency above the safety bound.  Everything else
+    -- random jumps, redundant requests, None -- is fair game.
+    """
+
+    def __init__(self, requests):
+        self.requests = list(requests)
+        self._i = 0
+
+    def on_tick(self, info):
+        if self._i >= len(self.requests):
+            return None
+        req = self.requests[self._i]
+        self._i += 1
+        if req is None:
+            return None
+        step_index = req.step_index
+        effective = step_index if step_index is not None else info.step_index
+        effective = max(0, min(10, effective))
+        volts = req.volts
+        from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+
+        if volts == VOLTAGE_LOW and SA1100_CLOCK_TABLE[effective].mhz > 162.2:
+            volts = VOLTAGE_HIGH
+        return GovernorRequest(step_index=step_index, volts=volts)
+
+    def reset(self):
+        self._i = 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(requests=st.lists(request_strategy, min_size=1, max_size=60))
+def test_fuzzed_governor_preserves_invariants(requests):
+    machine = ItsyMachine(ItsyConfig())
+    kernel = Kernel(
+        machine,
+        governor=ScriptedFuzzGovernor(requests),
+        config=KernelConfig(sched_overhead_us=6.0),
+    )
+    setup_mpeg(kernel, seed=0, cfg=MpegConfig(duration_s=1.0))
+    run = kernel.run(100 * Q)
+
+    # rail safety: the final machine state is a legal combination
+    assert machine.cpu.rail.allows(machine.volts, machine.step)
+
+    # power recording is gap-free and covers the whole run
+    segments = list(run.timeline)
+    assert segments[0][0] == 0.0
+    for (s1, e1, _), (s2, _, __) in zip(segments, segments[1:]):
+        assert abs(e1 - s2) < 1e-6
+    assert abs(segments[-1][1] - run.duration_us) < 1e-6
+
+    # utilization bounded; quanta contiguous
+    for q in run.quanta:
+        assert 0.0 <= q.utilization <= 1.0
+    assert len(run.quanta) == 100
+
+    # every recorded frequency change cost exactly one stall
+    assert run.clock_changes == len(run.freq_changes)
+    assert run.clock_stall_us == sum(f.stall_us for f in run.freq_changes)
+
+    # voltage changes all between the two rail settings
+    for change in run.volt_changes:
+        assert {change.from_volts, change.to_volts} <= {VOLTAGE_HIGH, VOLTAGE_LOW}
+
+    # quantum frequencies only ever take table values
+    from repro.hw.clocksteps import SA1100_FREQUENCIES_MHZ
+
+    assert {q.mhz for q in run.quanta} <= set(SA1100_FREQUENCIES_MHZ)

@@ -1,0 +1,119 @@
+"""Property-based tests for the trace-level schedulers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.govil import (
+    AgedAveragesPredictor,
+    FlatPredictor,
+    PeakPredictor,
+    govil_schedule,
+)
+from repro.core.oracle import future_schedule, opt_schedule, past_schedule
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+
+work_traces = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestScheduleInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(work=work_traces)
+    def test_opt_lower_bounds_completed_schedules_when_unconstrained(self, work):
+        """OPT minimizes energy among completing schedules -- in the regime
+        where it is actually optimal.
+
+        Two caveats make the naive "OPT <= everything" false: a lazy
+        schedule can spend less by not doing the work (so only no-backlog
+        alternatives count), and when a late burst forces OPT's constant
+        speed above the trace mean, demand-tracking variable schedules can
+        undercut the constant.  When arrivals do not bind (constant speed
+        == trace mean), convexity of speed^2 energy makes OPT a true lower
+        bound.
+        """
+        opt = opt_schedule(work)
+        mean = float(np.mean(work))
+        if abs(float(opt.speeds[0]) - min(1.0, mean)) > 1e-12:
+            return  # arrival-constrained regime: no bound claimed
+        candidates = [
+            future_schedule(work),
+            past_schedule(work),
+            govil_schedule(work, FlatPredictor(0.8)),
+            govil_schedule(work, AgedAveragesPredictor()),
+            govil_schedule(work, PeakPredictor()),
+        ]
+        for res in candidates:
+            if res.missed_work < 1e-9:
+                assert res.energy >= opt.energy - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(work=work_traces, bump=st.floats(min_value=0.01, max_value=0.5))
+    def test_opt_is_optimal_among_constants(self, work, bump):
+        """Any faster feasible constant speed costs at least as much."""
+        from repro.core.oracle import _simulate
+
+        opt = opt_schedule(work)
+        faster = min(1.0, float(opt.speeds[0]) + bump)
+        alt = _simulate(work, np.full(len(work), faster))
+        if alt.missed_work < 1e-9 and opt.missed_work < 1e-9:
+            assert alt.energy >= opt.energy - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(work=work_traces)
+    def test_backlog_never_exceeds_remaining_work(self, work):
+        for schedule in (opt_schedule, future_schedule, past_schedule):
+            res = schedule(work)
+            total = float(np.sum(work))
+            assert np.all(res.excess >= -1e-12)
+            assert np.all(res.excess <= total + 1e-9)
+            assert res.missed_work <= total + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(work=work_traces)
+    def test_opt_clears_feasible_traces(self, work):
+        res = opt_schedule(work)
+        if np.max(res.speeds) < 1.0 - 1e-9:  # never capped: feasible
+            assert res.missed_work < 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(work=work_traces)
+    def test_energy_bounded_by_full_speed(self, work):
+        for schedule in (opt_schedule, future_schedule, past_schedule):
+            res = schedule(work)
+            # full-speed energy = total work done * 1^2 <= total work
+            assert res.energy <= float(np.sum(work)) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(work=work_traces, min_speed=st.floats(0.0, 1.0))
+    def test_min_speed_respected(self, work, min_speed):
+        res = past_schedule(work, min_speed=min_speed)
+        assert np.all(res.speeds >= min(min_speed, 1.0) - 1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(work=work_traces)
+    def test_quantized_speeds_on_table(self, work):
+        res = future_schedule(work, quantize=SA1100_CLOCK_TABLE)
+        fractions = {s.mhz / 206.4 for s in SA1100_CLOCK_TABLE}
+        for speed in res.speeds:
+            assert min(abs(speed - f) for f in fractions) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(work=work_traces)
+    def test_work_conservation(self, work):
+        """Done work (energy / speed^2-weighted accounting aside) plus the
+        final backlog equals the arriving work."""
+        res = past_schedule(work)
+        done = float(np.sum(work)) - res.missed_work
+        # reconstruct done work from per-interval capacity usage
+        capacity_used = 0.0
+        backlog = 0.0
+        for w, s in zip(work, res.speeds):
+            demand = backlog + w
+            used = min(demand, s)
+            capacity_used += used
+            backlog = demand - used
+        assert done == np.float64(capacity_used) or abs(done - capacity_used) < 1e-9

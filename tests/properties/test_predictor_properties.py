@@ -1,0 +1,69 @@
+"""Property-based tests for predictors and the AVG_N filter algebra."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.smoothing import avg_n_convolve, avg_n_recursive
+from repro.core.predictors import AvgN, WindowAverage
+
+utilization_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestAvgNProperties:
+    @given(series=utilization_lists, n=st.integers(0, 20))
+    def test_output_bounded_by_input_range(self, series, n):
+        predictor = AvgN(n)
+        for w in predictor.feed(series):
+            assert 0.0 <= w <= 1.0
+
+    @given(series=utilization_lists, n=st.integers(0, 20))
+    def test_convolution_form_always_matches(self, series, n):
+        assert np.allclose(
+            avg_n_convolve(series, n), avg_n_recursive(series, n), atol=1e-9
+        )
+
+    @given(
+        level=st.floats(min_value=0.0, max_value=1.0),
+        n=st.integers(0, 10),
+    )
+    def test_fixed_point_on_constant_input(self, level, n):
+        predictor = AvgN(n, initial=level)
+        assert predictor.observe(level) == np.float64(level) or abs(
+            predictor.observe(level) - level
+        ) < 1e-12
+
+    @given(series=utilization_lists, n=st.integers(1, 20))
+    def test_smoothing_never_overshoots_extremes(self, series, n):
+        filtered = AvgN(n).feed(series)
+        assert max(filtered) <= max(series) + 1e-12
+        # starting from 0, the filtered series may dip below min(series)
+        assert min(filtered) >= 0.0
+
+    @given(series=utilization_lists, n=st.integers(0, 20))
+    def test_monotone_in_observations(self, series, n):
+        """Raising any single utilization never lowers any output."""
+        base = AvgN(n).feed(series)
+        bumped_series = list(series)
+        bumped_series[0] = 1.0
+        bumped = AvgN(n).feed(bumped_series)
+        for a, b in zip(base, bumped):
+            assert b >= a - 1e-12
+
+
+class TestWindowAverageProperties:
+    @given(series=utilization_lists, window=st.integers(1, 30))
+    def test_output_bounded(self, series, window):
+        predictor = WindowAverage(window)
+        for w in predictor.feed(series):
+            assert 0.0 <= w <= 1.0
+
+    @given(series=utilization_lists, window=st.integers(1, 30))
+    def test_matches_numpy_rolling_mean(self, series, window):
+        predictor = WindowAverage(window)
+        out = predictor.feed(series)
+        for i, w in enumerate(out):
+            lo = max(0, i - window + 1)
+            assert abs(w - np.mean(series[lo : i + 1])) < 1e-9

@@ -1,0 +1,69 @@
+"""Property-based tests for the power timeline."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traces.schema import PowerTimeline
+
+segment_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=10_000.0),  # duration
+        st.floats(min_value=0.0, max_value=5.0),  # watts
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def build_timeline(segments):
+    tl = PowerTimeline()
+    t = 0.0
+    for duration, watts in segments:
+        tl.record(t, t + duration, watts)
+        t += duration
+    return tl, t
+
+
+class TestTimelineProperties:
+    @given(segments=segment_lists)
+    def test_energy_additivity(self, segments):
+        tl, end = build_timeline(segments)
+        mid = end / 3.0
+        total = tl.energy_joules()
+        split = tl.energy_joules(0.0, mid) + tl.energy_joules(mid, end)
+        assert abs(total - split) < 1e-9 * max(1.0, total)
+
+    @given(segments=segment_lists)
+    def test_energy_matches_manual_sum(self, segments):
+        tl, _ = build_timeline(segments)
+        manual = sum(d * w for d, w in segments) * 1e-6
+        assert abs(tl.energy_joules() - manual) < 1e-9 * max(1.0, manual)
+
+    @given(segments=segment_lists)
+    def test_mean_power_between_extremes(self, segments):
+        tl, _ = build_timeline(segments)
+        watts = [w for _, w in segments]
+        mean = tl.mean_power_w()
+        assert min(watts) - 1e-9 <= mean <= max(watts) + 1e-9
+
+    @given(segments=segment_lists, data=st.data())
+    def test_sample_agrees_with_power_at(self, segments, data):
+        tl, end = build_timeline(segments)
+        times = data.draw(
+            st.lists(
+                st.floats(min_value=-10.0, max_value=end + 10.0),
+                min_size=1,
+                max_size=20,
+            )
+        )
+        times = np.array(sorted(times))
+        sampled = tl.sample(times)
+        for t, s in zip(times, sampled):
+            assert s == tl.power_at(t)
+
+    @given(segments=segment_lists)
+    def test_segments_never_shrink_recorded_span(self, segments):
+        tl, end = build_timeline(segments)
+        assert tl.start_us == 0.0
+        assert abs(tl.end_us - end) < 1e-6

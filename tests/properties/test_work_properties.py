@@ -1,0 +1,101 @@
+"""Property-based tests for the Work model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.hw.memory import SA1100_MEMORY_TIMINGS
+from repro.hw.work import Work
+
+T = SA1100_MEMORY_TIMINGS
+
+work_strategy = st.builds(
+    Work,
+    cpu_cycles=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    mem_refs=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+    cache_refs=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+)
+
+step_strategy = st.sampled_from(list(SA1100_CLOCK_TABLE))
+
+
+class TestDurationProperties:
+    @given(work=work_strategy, step=step_strategy)
+    def test_duration_non_negative(self, work, step):
+        assert work.duration_us(step, T) >= 0.0
+
+    @given(work=work_strategy)
+    def test_full_speed_beats_min_speed(self, work):
+        # Not monotone step-to-step!  Table 3's cycle jumps make purely
+        # memory-bound work *slower* in wall clock at some adjacent higher
+        # steps (the Figure 9 plateau); but the extremes always order.
+        d59 = work.duration_us(SA1100_CLOCK_TABLE.min_step, T)
+        d206 = work.duration_us(SA1100_CLOCK_TABLE.max_step, T)
+        assert d206 <= d59 + 1e-9
+
+    @given(work=work_strategy)
+    def test_adjacent_step_regression_is_bounded(self, work):
+        # The worst Table 3 wall-clock regression is a cache line at
+        # 162.2 -> 176.9 MHz: (60/176.9) / (50/162.2) = +10.03 %.
+        durations = [work.duration_us(step, T) for step in SA1100_CLOCK_TABLE]
+        for slow, fast in zip(durations, durations[1:]):
+            assert fast <= slow * 1.1004 + 1e-9
+
+    @given(work=work_strategy, step=step_strategy)
+    def test_cycles_never_shrink_with_frequency(self, work, step):
+        # Table 3 costs are monotone, so total cycles rise with the step.
+        cycles = [work.total_cycles(s, T) for s in SA1100_CLOCK_TABLE]
+        for a, b in zip(cycles, cycles[1:]):
+            assert b >= a - 1e-9
+
+    @given(work=work_strategy, factor=st.floats(min_value=0.0, max_value=10.0))
+    def test_scaling_scales_duration(self, work, factor):
+        step = SA1100_CLOCK_TABLE.max_step
+        scaled = work.scaled(factor)
+        expected = work.duration_us(step, T) * factor
+        assert abs(scaled.duration_us(step, T) - expected) <= 1e-6 * max(1.0, expected)
+
+
+class TestSplitProperties:
+    @given(
+        work=work_strategy,
+        step=step_strategy,
+        fraction=st.floats(min_value=0.0, max_value=1.5),
+    )
+    def test_split_conserves_mass(self, work, step, fraction):
+        elapsed = work.duration_us(step, T) * fraction
+        done, remaining = work.split_at_us(elapsed, step, T)
+        total = done + remaining
+        assert abs(total.cpu_cycles - work.cpu_cycles) <= 1e-6 * max(1.0, work.cpu_cycles)
+        assert abs(total.mem_refs - work.mem_refs) <= 1e-6 * max(1.0, work.mem_refs)
+        assert abs(total.cache_refs - work.cache_refs) <= 1e-6 * max(1.0, work.cache_refs)
+
+    @given(work=work_strategy, step=step_strategy)
+    def test_full_split_leaves_nothing(self, work, step):
+        duration = work.duration_us(step, T)
+        _, remaining = work.split_at_us(duration, step, T)
+        assert remaining.is_empty
+
+    @given(
+        work=work_strategy,
+        step=step_strategy,
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_remaining_duration_is_complement(self, work, step, fraction):
+        duration = work.duration_us(step, T)
+        elapsed = duration * fraction
+        _, remaining = work.split_at_us(elapsed, step, T)
+        expected = max(0.0, duration - elapsed)
+        # the sub-nanosecond completion tolerance makes tiny tails vanish
+        assert abs(remaining.duration_us(step, T) - expected) <= 2e-3 + 1e-6 * duration
+
+    @given(work=work_strategy, step=step_strategy, n=st.integers(2, 8))
+    def test_repeated_slicing_terminates(self, work, step, n):
+        """Slicing work into n pieces at quantum boundaries always finishes."""
+        remaining = work
+        slice_us = work.duration_us(step, T) / n
+        for _ in range(n + 2):
+            if remaining.is_empty:
+                break
+            _, remaining = remaining.split_at_us(slice_us, step, T)
+        assert remaining.is_empty

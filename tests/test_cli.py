@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, resolve_policy, resolve_workload
+from repro.core.cycleavg import CycleAverageGovernor
+from repro.core.deadline import SynthesizedDeadlineGovernor
+from repro.core.policy import IntervalPolicy
+from repro.kernel.governor import ConstantGovernor
+
+
+class TestPolicyResolution:
+    def test_best(self):
+        gov = resolve_policy("best")()
+        assert isinstance(gov, IntervalPolicy)
+        assert gov.voltage_rule is None
+
+    def test_best_voltage(self):
+        gov = resolve_policy("best-voltage")()
+        assert gov.voltage_rule is not None
+
+    def test_const(self):
+        gov = resolve_policy("const-132.7")()
+        assert isinstance(gov, ConstantGovernor)
+        assert gov.step_index == 5
+
+    def test_avg(self):
+        gov = resolve_policy("avg9-peg")()
+        assert isinstance(gov, IntervalPolicy)
+        assert gov.predictor.n == 9
+
+    def test_cycleavg_and_synth(self):
+        assert isinstance(resolve_policy("cycleavg")(), CycleAverageGovernor)
+        assert isinstance(resolve_policy("synth")(), SynthesizedDeadlineGovernor)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_policy("ondemand")
+
+    def test_factories_fresh(self):
+        factory = resolve_policy("avg3-one")
+        assert factory() is not factory()
+
+
+class TestWorkloadResolution:
+    @pytest.mark.parametrize(
+        "name,expected", [("mpeg", "MPEG"), ("web", "Web"), ("chess", "Chess"),
+                          ("editor", "TalkingEditor")]
+    )
+    def test_names(self, name, expected):
+        assert resolve_workload(name, None).name == expected
+
+    def test_duration_override(self):
+        wl = resolve_workload("mpeg", 12.0)
+        assert wl.duration_s == 12.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workload("doom", None)
+
+
+class TestCommands:
+    def test_list_policies(self, capsys):
+        assert main(["list-policies"]) == 0
+        out = capsys.readouterr().out
+        assert "best" in out and "avg<N>" in out
+
+    def test_run_success_exit_zero(self, capsys):
+        code = main(
+            ["run", "mpeg", "--policy", "best", "--duration", "5", "--no-daq"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "deadline misses : 0" in out
+        assert "energy" in out
+
+    def test_run_misses_exit_one(self, capsys):
+        code = main(
+            ["run", "mpeg", "--policy", "const-59.0", "--duration", "5", "--no-daq"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "worst:" in out
+
+    def test_run_unknown_policy_exit_two(self, capsys):
+        code = main(["run", "mpeg", "--policy", "nope"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_fig9(self, capsys):
+        code = main(["fig9", "--duration", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("\n") >= 12  # header + 11 steps
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "mpeg", "const-132.7", "const-206.4",
+             "--runs", "2", "--duration", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Welch p-value" in out
+        assert "verdict" in out
+
+    def test_ideal(self, capsys):
+        code = main(["ideal", "mpeg", "--duration", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ideal constant  : 132.7 MHz" in out
+
+    def test_battery(self, capsys):
+        code = main(["battery"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "59.0" in out and "206.4" in out

@@ -1,0 +1,71 @@
+"""Tests for trace persistence."""
+
+import pytest
+
+from repro.core.catalog import constant_speed
+from repro.measure.runner import run_workload
+from repro.traces.io import (
+    load_events_csv,
+    load_quanta_csv,
+    load_run_summary,
+    run_summary,
+    save_events_csv,
+    save_quanta_csv,
+    save_run_summary,
+)
+from repro.traces.schema import AppEvent, QuantumRecord
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+
+@pytest.fixture(scope="module")
+def short_run():
+    res = run_workload(
+        mpeg_workload(MpegConfig(duration_s=2.0)),
+        lambda: constant_speed(206.4),
+        seed=0,
+        use_daq=False,
+    )
+    return res.run
+
+
+class TestQuantaCsv:
+    def test_round_trip(self, short_run, tmp_path):
+        path = tmp_path / "quanta.csv"
+        save_quanta_csv(path, short_run.quanta)
+        loaded = load_quanta_csv(path)
+        assert loaded == short_run.quanta
+
+    def test_empty_round_trip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_quanta_csv(path, [])
+        assert load_quanta_csv(path) == []
+
+
+class TestEventsCsv:
+    def test_round_trip(self, short_run, tmp_path):
+        path = tmp_path / "events.csv"
+        save_events_csv(path, short_run.events)
+        loaded = load_events_csv(path)
+        assert loaded == short_run.events
+
+    def test_none_fields_round_trip(self, tmp_path):
+        events = [AppEvent(time_us=1.0, pid=2, kind="x")]
+        path = tmp_path / "events.csv"
+        save_events_csv(path, events)
+        loaded = load_events_csv(path)
+        assert loaded[0].deadline_us is None
+        assert loaded[0].payload is None
+
+
+class TestSummary:
+    def test_summary_fields(self, short_run):
+        s = run_summary(short_run)
+        assert s["duration_us"] == short_run.duration_us
+        assert s["energy_j"] == pytest.approx(short_run.energy_joules())
+        assert s["quanta"] == len(short_run.quanta)
+
+    def test_json_round_trip(self, short_run, tmp_path):
+        path = tmp_path / "summary.json"
+        save_run_summary(path, short_run)
+        loaded = load_run_summary(path)
+        assert loaded == run_summary(short_run)

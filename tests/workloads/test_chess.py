@@ -1,0 +1,56 @@
+"""Tests for the Chess workload."""
+
+import pytest
+
+from repro.core.catalog import constant_speed
+from repro.measure.runner import run_workload
+from repro.workloads.chess import ChessConfig, chess_workload
+
+SHORT = ChessConfig(duration_s=60.0)
+
+
+def run_at(mhz, cfg=SHORT, seed=1):
+    return run_workload(
+        chess_workload(cfg), lambda: constant_speed(mhz), seed=seed, use_daq=False
+    )
+
+
+class TestSearchBehaviour:
+    def test_search_is_time_bounded_not_work_bounded(self):
+        """Crafty searches for wall-clock budgets: utilization during the
+        search is ~100 % at any clock, and replies land at similar times."""
+        res_fast = run_at(206.4)
+        res_slow = run_at(103.2)
+        replies_fast = [e.time_us for e in res_fast.run.events_of_kind("engine_reply")]
+        replies_slow = [e.time_us for e in res_slow.run.events_of_kind("engine_reply")]
+        assert len(replies_fast) == len(replies_slow)
+        for a, b in zip(replies_fast, replies_slow):
+            assert b == pytest.approx(a, abs=300_000)  # within a GUI burst
+
+    def test_full_utilization_during_search(self):
+        res = run_at(206.4)
+        # There must be sustained 100 %-busy stretches (the searches).
+        utils = res.run.utilizations()
+        longest = best = 0
+        for u in utils:
+            best = best + 1 if u > 0.99 else 0
+            longest = max(longest, best)
+        assert longest >= 100  # at least one >1 s fully-busy stretch
+
+    def test_low_utilization_while_user_thinks(self):
+        res = run_at(206.4)
+        idle_quanta = sum(1 for u in res.run.utilizations() if u < 0.2)
+        assert idle_quanta > len(res.run.quanta) * 0.3
+
+
+class TestResponsiveness:
+    def test_meets_deadlines_at_132(self):
+        assert not run_at(132.7).missed
+
+    def test_misses_at_59(self):
+        assert run_at(59.0).missed
+
+    def test_descriptor(self):
+        wl = chess_workload()
+        assert wl.name == "Chess"
+        assert wl.duration_s == 218.0

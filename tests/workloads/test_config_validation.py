@@ -1,0 +1,90 @@
+"""Validation of workload configuration parameters."""
+
+import pytest
+
+from repro.workloads.chess import ChessConfig
+from repro.workloads.editor import EditorConfig
+from repro.workloads.mpeg import MpegConfig
+from repro.workloads.web import WebConfig
+
+
+class TestMpegConfig:
+    def test_defaults_valid(self):
+        MpegConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fps": 0.0},
+            {"fps": -15.0},
+            {"duration_s": 0.0},
+            {"gop": 0},
+            {"i_scale": 0.0},
+            {"p_scale": -1.0},
+            {"frame_work_scale": 0.0},
+            {"i_jitter_prob": 1.5},
+            {"i_jitter_prob": -0.1},
+            {"spin_threshold_us": -1.0},
+            {"sync_tolerance_us": -1.0},
+            {"audio_chunk_ms": 0.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MpegConfig(**kwargs)
+
+
+class TestWebConfig:
+    def test_defaults_valid(self):
+        WebConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_s": 0.0},
+            {"page_load_us_at_206": -1.0},
+            {"scroll_us_at_206": -1.0},
+            {"back_us_at_206": -1.0},
+            {"response_budget_us": -1.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WebConfig(**kwargs)
+
+
+class TestChessConfig:
+    def test_defaults_valid(self):
+        ChessConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_s": -1.0},
+            {"gui_burst_us_at_206": -1.0},
+            {"search_slice_us_at_206": 0.0},
+            {"response_budget_us": -1.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ChessConfig(**kwargs)
+
+
+class TestEditorConfig:
+    def test_defaults_valid(self):
+        EditorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_s": 0.0},
+            {"chunk_speech_s": 0.0},
+            {"synth_cpu_per_speech_s_at_206": 0.0},
+            {"gap_tolerance_us": -1.0},
+            {"response_budget_us": -1.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EditorConfig(**kwargs)

@@ -1,0 +1,75 @@
+"""Tests for the TalkingEditor workload."""
+
+import pytest
+
+from repro.core.catalog import constant_speed
+from repro.measure.runner import run_workload
+from repro.workloads.editor import EditorConfig, editor_workload
+
+CFG = EditorConfig()  # the full 70 s trace is already short
+
+
+def run_at(mhz, cfg=CFG, seed=1):
+    return run_workload(
+        editor_workload(cfg), lambda: constant_speed(mhz), seed=seed, use_daq=False
+    )
+
+
+class TestSpeechPipeline:
+    def test_chunks_cover_both_utterances(self):
+        res = run_at(206.4)
+        from repro.workloads.events import editor_trace
+
+        trace = editor_trace(1, CFG.duration_s)
+        total_speech = sum(e.magnitude for e in trace.of_kind("speak"))
+        chunks = res.run.events_of_kind("speech_chunk")
+        assert sum(c.payload for c in chunks) == pytest.approx(total_speech)
+
+    def test_first_chunk_of_each_utterance_has_no_deadline(self):
+        res = run_at(206.4)
+        chunks = res.run.events_of_kind("speech_chunk")
+        free = [c for c in chunks if c.deadline_us is None]
+        assert len(free) == 2  # one per speak event
+
+    def test_no_gaps_at_132(self):
+        assert not run_at(132.7).missed
+
+    def test_gaps_at_59(self):
+        res = run_at(59.0)
+        assert res.missed
+        kinds = {e.kind for e in res.misses}
+        assert "speech_chunk" in kinds
+
+    def test_synthesis_bursts_visible(self):
+        res = run_at(206.4)
+        utils = res.run.utilizations()
+        # Long near-full-busy stretches during synthesis.
+        longest = streak = 0
+        for u in utils:
+            streak = streak + 1 if u > 0.9 else 0
+            longest = max(longest, streak)
+        assert longest >= 30
+
+
+class TestUiPhase:
+    def test_ui_responses_emitted(self):
+        res = run_at(206.4)
+        from repro.workloads.events import editor_trace
+
+        trace = editor_trace(1, CFG.duration_s)
+        expected = len(trace.of_kind("dialog")) + len(trace.of_kind("open_file"))
+        assert len(res.run.events_of_kind("ui_response")) == expected
+
+    def test_ui_on_time_at_132(self):
+        res = run_at(132.7)
+        assert all(
+            e.lateness_us == 0.0 for e in res.run.events_of_kind("ui_response")
+        )
+
+
+class TestDescriptor:
+    def test_descriptor(self):
+        wl = editor_workload()
+        assert wl.name == "TalkingEditor"
+        assert wl.duration_s == 70.0
+        assert wl.tolerance_us == CFG.gap_tolerance_us

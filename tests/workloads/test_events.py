@@ -1,0 +1,111 @@
+"""Tests for input-event traces."""
+
+import pytest
+
+from repro.workloads.events import (
+    InputEvent,
+    InputTrace,
+    chess_trace,
+    editor_trace,
+    quantize_ms,
+    web_trace,
+)
+
+
+class TestQuantization:
+    def test_quantize_rounds_to_ms(self):
+        assert quantize_ms(1_499.0) == 1_000.0
+        assert quantize_ms(1_501.0) == 2_000.0
+        assert quantize_ms(0.0) == 0.0
+
+    def test_trace_quantizes_and_sorts(self):
+        trace = InputTrace(
+            [InputEvent(5_400.0, "b"), InputEvent(1_600.0, "a")]
+        )
+        assert [e.kind for e in trace] == ["a", "b"]
+        assert trace[0].time_us == 2_000.0
+        assert trace[1].time_us == 5_000.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            InputEvent(-1.0, "x")
+
+
+class TestTraceApi:
+    def test_len_iter_duration(self):
+        trace = InputTrace([InputEvent(1e6, "a"), InputEvent(2e6, "b")])
+        assert len(trace) == 2
+        assert trace.duration_us == 2e6
+        assert InputTrace([]).duration_us == 0.0
+
+    def test_of_kind(self):
+        trace = InputTrace(
+            [InputEvent(1e6, "a"), InputEvent(2e6, "b"), InputEvent(3e6, "a")]
+        )
+        assert [e.time_us for e in trace.of_kind("a")] == [1e6, 3e6]
+
+
+class TestWebTrace:
+    def test_structure(self):
+        trace = web_trace(seed=0)
+        kinds = [e.kind for e in trace]
+        assert kinds.count("page_load") == 2
+        assert kinds.count("back") == 1
+        assert kinds.count("scroll") > 10
+
+    def test_fits_duration(self):
+        trace = web_trace(seed=0, duration_s=190.0)
+        assert trace.duration_us < 190e6
+
+    def test_deterministic_per_seed(self):
+        a, b = web_trace(seed=5), web_trace(seed=5)
+        assert [(e.time_us, e.kind) for e in a] == [(e.time_us, e.kind) for e in b]
+
+    def test_seeds_differ(self):
+        a, b = web_trace(seed=1), web_trace(seed=2)
+        assert [(e.time_us, e.kind) for e in a] != [(e.time_us, e.kind) for e in b]
+
+    def test_second_page_is_heavier(self):
+        trace = web_trace(seed=0)
+        loads = trace.of_kind("page_load")
+        assert loads[1].magnitude > loads[0].magnitude
+
+
+class TestChessTrace:
+    def test_alternating_moves(self):
+        trace = chess_trace(seed=0)
+        kinds = [e.kind for e in trace]
+        # user and engine moves alternate strictly
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b
+        assert kinds[0] == "user_move"
+
+    def test_book_moves_fast_then_timed_search(self):
+        trace = chess_trace(seed=0)
+        searches = [e.magnitude for e in trace.of_kind("engine_move")]
+        assert all(s < 0.5 for s in searches[:3])
+        assert all(s >= 2.0 for s in searches[3:])
+
+    def test_fits_duration(self):
+        trace = chess_trace(seed=0, duration_s=218.0)
+        assert trace.duration_us < 218e6
+
+
+class TestEditorTrace:
+    def test_two_speak_events(self):
+        trace = editor_trace(seed=0)
+        speaks = trace.of_kind("speak")
+        assert len(speaks) == 2
+        assert speaks[1].magnitude > speaks[0].magnitude  # longer second file
+
+    def test_dialogs_precede_opens(self):
+        trace = editor_trace(seed=0)
+        first_open = trace.of_kind("open_file")[0].time_us
+        dialogs_before = [
+            e for e in trace.of_kind("dialog") if e.time_us < first_open
+        ]
+        assert len(dialogs_before) >= 3
+
+    def test_fits_duration(self):
+        trace = editor_trace(seed=0, duration_s=70.0)
+        assert trace.duration_us < 70e6

@@ -1,0 +1,61 @@
+"""Tests for the Web workload (shortened traces for speed)."""
+
+import pytest
+
+from repro.core.catalog import constant_speed
+from repro.measure.runner import run_workload
+from repro.workloads.web import WebConfig, web_workload
+
+SHORT = WebConfig(duration_s=40.0)
+
+
+def run_at(mhz, cfg=SHORT, seed=1):
+    return run_workload(
+        web_workload(cfg), lambda: constant_speed(mhz), seed=seed, use_daq=False
+    )
+
+
+class TestResponsiveness:
+    def test_full_speed_meets_all_deadlines(self):
+        assert not run_at(206.4).missed
+
+    def test_132_meets_all_deadlines(self):
+        assert not run_at(132.7).missed
+
+    def test_59_misses_page_loads(self):
+        res = run_at(59.0)
+        assert res.missed
+
+    def test_every_input_event_gets_a_response(self):
+        res = run_at(206.4)
+        from repro.workloads.events import web_trace
+
+        trace = web_trace(1, SHORT.duration_s)
+        assert len(res.run.events_of_kind("ui_response")) == len(trace)
+
+
+class TestLoadShape:
+    def test_mostly_idle_workload(self):
+        res = run_at(206.4)
+        assert res.run.mean_utilization() < 0.35
+
+    def test_polling_keeps_background_activity(self):
+        # Even between events, the Kaffe 30 ms poll shows up: some quanta
+        # are partially busy long after the last input.
+        res = run_at(206.4)
+        busy_quanta = sum(1 for u in res.run.utilizations() if u > 0.01)
+        assert busy_quanta > len(res.run.quanta) * 0.15
+
+    def test_bursts_scale_with_magnitude(self):
+        cfg = WebConfig(duration_s=40.0, scroll_us_at_206=300_000.0)
+        res_big = run_at(206.4, cfg)
+        res_small = run_at(206.4)
+        assert res_big.run.mean_utilization() > res_small.run.mean_utilization()
+
+
+class TestDescriptor:
+    def test_workload_descriptor(self):
+        wl = web_workload()
+        assert wl.name == "Web"
+        assert wl.duration_s == 190.0
+        assert wl.tolerance_us == 0.0
