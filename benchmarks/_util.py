@@ -8,10 +8,31 @@ quiet run; ``pytest benchmarks/ --benchmark-only -s`` shows them live.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Iterable, List, Sequence
 
+from repro.measure.parallel import ResultCache, SweepEngine
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def sweep_engine(default_jobs: int = 1) -> SweepEngine:
+    """The shared sweep engine every simulation benchmark goes through.
+
+    Configured from the environment so one knob covers the whole suite:
+
+    - ``REPRO_BENCH_JOBS``: worker-process count (default ``default_jobs``);
+    - ``REPRO_BENCH_CACHE``: result-cache directory (unset = no cache).
+
+    E.g. ``REPRO_BENCH_JOBS=8 REPRO_BENCH_CACHE=.sweep-cache pytest
+    benchmarks/ --benchmark-only`` fans each benchmark's grid out over 8
+    processes and makes re-runs of unchanged cells free.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", default_jobs))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return SweepEngine(jobs=max(jobs, 1), cache=cache)
 
 
 class Report:

@@ -7,44 +7,48 @@ deadlines (scaled down too eagerly / reacts too slowly) or burns nearly as
 much energy as constant full speed.  The benchmark regenerates the sweep
 on the MPEG workload and reports, per configuration: deadline misses,
 energy vs the 132.7 MHz ideal, clock changes, and 132.7 MHz residency.
+
+The whole grid is submitted as one batch through the shared sweep engine
+(``_util.sweep_engine``), so ``REPRO_BENCH_JOBS``/``REPRO_BENCH_CACHE``
+parallelize and memoize it.
 """
 
-from repro.core.catalog import constant_speed, sweep_avg_policies
-from repro.measure.runner import run_workload
-from repro.workloads.mpeg import MpegConfig, mpeg_workload
+from repro.measure.parallel import PolicySpec, SweepCell, WorkloadSpec
+from repro.workloads.mpeg import MpegConfig
 
-from _util import Report, once
+from _util import Report, once, sweep_engine
 
 CFG = MpegConfig(duration_s=30.0)
+WORKLOAD = WorkloadSpec("mpeg", CFG)
 N_VALUES = tuple(range(0, 11, 2))  # 0, 2, 4, 6, 8, 10
+SETTERS = ("one", "double", "peg")
+
+
+def _cell(policy: str) -> SweepCell:
+    return SweepCell(
+        workload=WORKLOAD, policy=PolicySpec(policy), seed=1, use_daq=False
+    )
 
 
 def test_policy_sweep(benchmark):
-    def run():
-        ideal = run_workload(
-            mpeg_workload(CFG), lambda: constant_speed(132.7), seed=1, use_daq=False
-        )
-        full = run_workload(
-            mpeg_workload(CFG), lambda: constant_speed(206.4), seed=1, use_daq=False
-        )
-        rows = []
-        for label, governor in sweep_avg_policies(n_values=N_VALUES):
-            res = run_workload(
-                mpeg_workload(CFG), lambda g=governor: g, seed=1, use_daq=False
-            )
-            at_132 = sum(1 for q in res.run.quanta if q.mhz == 132.7)
-            rows.append(
-                (
-                    label,
-                    len(res.misses),
-                    res.exact_energy_j,
-                    res.run.clock_changes,
-                    at_132 / len(res.run.quanta),
-                )
-            )
-        return ideal, full, rows
+    engine = sweep_engine()
+    labels = [f"AVG_{n}/{s}-{s}" for n in N_VALUES for s in SETTERS]
+    cells = [_cell("const-132.7"), _cell("const-206.4")]
+    cells += [_cell(f"avg{n}-{s}") for n in N_VALUES for s in SETTERS]
 
-    ideal, full, rows = once(benchmark, run)
+    results = once(benchmark, lambda: engine.run(cells))
+
+    ideal, full = results[0], results[1]
+    rows = [
+        (
+            label,
+            res.miss_count,
+            res.exact_energy_j,
+            res.clock_changes,
+            res.residency_at(132.7),
+        )
+        for label, res in zip(labels, results[2:])
+    ]
 
     report = Report("policy_sweep")
     report.add(

@@ -4,6 +4,10 @@ Regenerates the paper's headline table: 95 % confidence intervals of the
 DAQ-measured energy for the five configurations, plus the deadline-miss
 check that defines "best".
 
+Rows are named policies resolved by the catalog grammar, run through the
+shared sweep engine (``_util.sweep_engine``): set ``REPRO_BENCH_JOBS`` /
+``REPRO_BENCH_CACHE`` to parallelize and memoize the 20 underlying runs.
+
 Paper rows (joules):
     Constant 206.4 MHz, 1.5 V                      85.59 - 86.49
     Constant 132.7 MHz, 1.5 V                      79.59 - 80.94
@@ -12,31 +16,34 @@ Paper rows (joules):
     PAST peg-peg, voltage scaling @ 162.2 MHz      84.60 - 85.45
 """
 
-from repro.core.catalog import best_policy, constant_speed
-from repro.hw.rails import VOLTAGE_LOW
-from repro.measure.runner import repeat_workload
-from repro.workloads.mpeg import mpeg_workload
+from repro.measure.parallel import PolicySpec, WorkloadSpec, repeat_workload
 
-from _util import Report, once
+from _util import Report, once, sweep_engine
+
+WORKLOAD = WorkloadSpec("mpeg")
 
 ROWS = [
-    ("Constant 206.4 MHz, 1.5 V", lambda: constant_speed(206.4), "85.59 - 86.49"),
-    ("Constant 132.7 MHz, 1.5 V", lambda: constant_speed(132.7), "79.59 - 80.94"),
-    (
-        "Constant 132.7 MHz, 1.23 V",
-        lambda: constant_speed(132.7, volts=VOLTAGE_LOW),
-        "73.76 - 74.41",
-    ),
-    ("PAST peg-peg 98/93, 1.5 V", lambda: best_policy(False), "85.03 - 85.47"),
-    ("PAST peg-peg + Vscale @162.2", lambda: best_policy(True), "84.60 - 85.45"),
+    ("Constant 206.4 MHz, 1.5 V", "const-206.4", "85.59 - 86.49"),
+    ("Constant 132.7 MHz, 1.5 V", "const-132.7", "79.59 - 80.94"),
+    ("Constant 132.7 MHz, 1.23 V", "const-132.7@1.23", "73.76 - 74.41"),
+    ("PAST peg-peg 98/93, 1.5 V", "best", "85.03 - 85.47"),
+    ("PAST peg-peg + Vscale @162.2", "best-voltage", "84.60 - 85.45"),
 ]
 
 
 def test_table2_energy(benchmark):
+    engine = sweep_engine()
+
     def run():
         return [
-            (name, repeat_workload(mpeg_workload(), factory, runs=4), paper)
-            for name, factory, paper in ROWS
+            (
+                name,
+                repeat_workload(
+                    WORKLOAD, PolicySpec(policy), runs=4, engine=engine
+                ),
+                paper,
+            )
+            for name, policy, paper in ROWS
         ]
 
     results = once(benchmark, run)

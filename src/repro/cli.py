@@ -11,98 +11,98 @@ Usage (after installation)::
 
 Policies are named:
 
-- ``const-<mhz>`` -- constant speed (e.g. ``const-132.7``);
+- ``const-<mhz>`` -- constant speed (e.g. ``const-132.7``), optionally at
+  an explicit voltage (``const-132.7@1.23``);
 - ``best`` / ``best-voltage`` -- the paper's best policy, optionally with
   voltage scaling at 162.2 MHz;
 - ``avg<N>-<setter>`` -- AVG_N with one/double/peg both directions and
   Pering's 50/70 thresholds (e.g. ``avg9-peg``);
 - ``cycleavg`` -- the naive busy-cycle averaging policy of Figure 5;
 - ``synth`` -- the synthesized-deadline governor (§6 future work).
+
+Simulation commands accept ``--jobs N`` to fan runs out over a process
+pool and ``--cache DIR`` to memoize results on disk (see
+:mod:`repro.measure.parallel`); both paths are bitwise-equal to the
+serial, uncached one.
 """
 
 from __future__ import annotations
 
 import argparse
-import re
 import sys
-from typing import Callable, List, Optional
+from typing import List, Optional
 
-from repro.core.catalog import best_policy, constant_speed, cycle_average, pering_avg
-from repro.core.deadline import SynthesizedDeadlineGovernor
+from repro.core.catalog import resolve_policy
 from repro.hw.clocksteps import SA1100_CLOCK_TABLE
-from repro.hw.rails import VOLTAGE_LOW
-from repro.kernel.governor import Governor
-from repro.measure.runner import repeat_workload, run_workload
-from repro.workloads import (
-    chess_workload,
-    editor_workload,
-    mpeg_workload,
-    web_workload,
+from repro.measure.parallel import (
+    PolicySpec,
+    ResultCache,
+    SweepCell,
+    SweepEngine,
+    WorkloadSpec,
 )
+from repro.measure.runner import find_ideal_constant, repeat_workload, run_workload
+from repro.measure.stats import confidence_interval
 from repro.workloads.base import Workload
 from repro.workloads.chess import ChessConfig
 from repro.workloads.editor import EditorConfig
 from repro.workloads.mpeg import MpegConfig
 from repro.workloads.web import WebConfig
 
-_AVG_PATTERN = re.compile(r"^avg(\d+)-(one|double|peg)$")
-_CONST_PATTERN = re.compile(r"^const-(\d+(?:\.\d+)?)$")
+_WORKLOAD_CONFIGS = {
+    "mpeg": MpegConfig,
+    "web": WebConfig,
+    "chess": ChessConfig,
+    "editor": EditorConfig,
+}
 
 
-def resolve_policy(name: str) -> Callable[[], Governor]:
-    """Map a policy name to a fresh-governor factory.
+def workload_spec(name: str, duration_s: Optional[float] = None) -> WorkloadSpec:
+    """Map a workload name (mpeg/web/chess/editor) to a sweep spec.
 
     Raises:
         ValueError: for unknown names.
     """
-    if name == "best":
-        return lambda: best_policy(False)
-    if name == "best-voltage":
-        return lambda: best_policy(True)
-    if name == "cycleavg":
-        return lambda: cycle_average()
-    if name == "synth":
-        return lambda: SynthesizedDeadlineGovernor()
-    match = _CONST_PATTERN.match(name)
-    if match:
-        mhz = float(match.group(1))
-        return lambda: constant_speed(mhz)
-    match = _AVG_PATTERN.match(name)
-    if match:
-        n, setter = int(match.group(1)), match.group(2)
-        return lambda: pering_avg(n, up=setter, down=setter)
-    raise ValueError(f"unknown policy {name!r}; see 'list-policies'")
+    try:
+        config_type = _WORKLOAD_CONFIGS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r} (mpeg/web/chess/editor)") from None
+    return WorkloadSpec(
+        name=name,
+        config=config_type(duration_s=duration_s) if duration_s else None,
+    )
 
 
-def resolve_workload(name: str, duration_s: Optional[float]) -> Workload:
+def resolve_workload(name: str, duration_s: Optional[float] = None) -> Workload:
     """Map a workload name (mpeg/web/chess/editor) to a descriptor.
 
     Raises:
         ValueError: for unknown names.
     """
-    if name == "mpeg":
-        return mpeg_workload(
-            MpegConfig(duration_s=duration_s) if duration_s else MpegConfig()
-        )
-    if name == "web":
-        return web_workload(
-            WebConfig(duration_s=duration_s) if duration_s else WebConfig()
-        )
-    if name == "chess":
-        return chess_workload(
-            ChessConfig(duration_s=duration_s) if duration_s else ChessConfig()
-        )
-    if name == "editor":
-        return editor_workload(
-            EditorConfig(duration_s=duration_s) if duration_s else EditorConfig()
-        )
-    raise ValueError(f"unknown workload {name!r} (mpeg/web/chess/editor)")
+    return workload_spec(name, duration_s).build()
+
+
+def sweep_engine(args) -> Optional[SweepEngine]:
+    """Build the sweep engine the ``--jobs``/``--cache`` flags ask for.
+
+    Returns None when neither flag is given: the command then takes the
+    legacy serial, uncached path.
+    """
+    jobs = getattr(args, "jobs", 1)
+    cache_dir = getattr(args, "cache", None)
+    if getattr(args, "no_cache", False):
+        cache_dir = None
+    if jobs <= 1 and cache_dir is None:
+        return None
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return SweepEngine(jobs=max(jobs, 1), cache=cache)
 
 
 def cmd_list_policies(_args) -> int:
     print("constant speeds : " + ", ".join(
         f"const-{s.mhz:.1f}" for s in SA1100_CLOCK_TABLE
     ))
+    print("  (append @<volts> for an explicit voltage, e.g. const-132.7@1.23)")
     print("paper policies  : best, best-voltage")
     print("interval sweep  : avg<N>-<one|double|peg>  (N = 0..10, 50/70 thresholds)")
     print("other           : cycleavg (Figure 5), synth (synthesized deadlines)")
@@ -110,12 +110,34 @@ def cmd_list_policies(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    workload = resolve_workload(args.workload, args.duration)
+    engine = sweep_engine(args)
+    spec = workload_spec(args.workload, args.duration)
+    workload = spec.build()
+    print(f"workload        : {workload.name} ({workload.duration_s:.0f} s)")
+    print(f"policy          : {args.policy}")
+    if engine is not None:
+        cell = SweepCell(
+            workload=spec,
+            policy=PolicySpec(name=args.policy),
+            seed=args.seed,
+            use_daq=not args.no_daq,
+        )
+        summary = engine.run([cell])[0]
+        print(f"energy          : {summary.energy_j:.2f} J "
+              f"(exact {summary.exact_energy_j:.2f} J)")
+        print(f"mean power      : {summary.mean_power_w:.3f} W")
+        print(f"mean utilization: {summary.mean_utilization:.3f}")
+        print(f"clock changes   : {summary.clock_changes} "
+              f"(stalled {summary.clock_stall_us / 1000:.1f} ms)")
+        print(f"voltage changes : {summary.voltage_changes}")
+        print(f"deadline misses : {summary.miss_count}")
+        if summary.missed:
+            print(f"  worst: {summary.worst_miss_kind} late by "
+                  f"{summary.worst_lateness_us / 1000:.1f} ms")
+        return 1 if summary.missed else 0
     factory = resolve_policy(args.policy)
     result = run_workload(workload, factory, seed=args.seed, use_daq=not args.no_daq)
     run = result.run
-    print(f"workload        : {workload.name} ({workload.duration_s:.0f} s)")
-    print(f"policy          : {args.policy}")
     print(f"energy          : {result.energy_j:.2f} J "
           f"(exact {result.exact_energy_j:.2f} J)")
     print(f"mean power      : {result.mean_power_w:.3f} W")
@@ -130,30 +152,60 @@ def cmd_run(args) -> int:
     return 1 if result.misses else 0
 
 
+#: Table 2's rows as (label, policy name) -- resolvable, hence sweepable.
+TABLE2_ROWS = [
+    ("Constant 206.4 MHz, 1.5 V", "const-206.4"),
+    ("Constant 132.7 MHz, 1.5 V", "const-132.7"),
+    ("Constant 132.7 MHz, 1.23 V", "const-132.7@1.23"),
+    ("PAST peg-peg 98/93, 1.5 V", "best"),
+    ("PAST peg-peg + Vscale", "best-voltage"),
+]
+
+
 def cmd_table2(args) -> int:
-    rows = [
-        ("Constant 206.4 MHz, 1.5 V", lambda: constant_speed(206.4)),
-        ("Constant 132.7 MHz, 1.5 V", lambda: constant_speed(132.7)),
-        ("Constant 132.7 MHz, 1.23 V",
-         lambda: constant_speed(132.7, volts=VOLTAGE_LOW)),
-        ("PAST peg-peg 98/93, 1.5 V", lambda: best_policy(False)),
-        ("PAST peg-peg + Vscale", lambda: best_policy(True)),
-    ]
+    engine = sweep_engine(args)
+    spec = workload_spec("mpeg")
     print(f"{'Algorithm':30s} {'Energy 95% CI (J)':>20s} {'Misses':>7s}")
-    for name, factory in rows:
-        agg = repeat_workload(mpeg_workload(), factory, runs=args.runs)
+    if engine is not None:
+        # Submit the whole table as one batch so rows share the pool.
+        cells = [
+            SweepCell(workload=spec, policy=PolicySpec(name=policy), seed=1000 * i)
+            for _, policy in TABLE2_ROWS
+            for i in range(args.runs)
+        ]
+        results = engine.run(cells)
+        for r, (name, _) in enumerate(TABLE2_ROWS):
+            row = results[r * args.runs : (r + 1) * args.runs]
+            ci = confidence_interval([c.energy_j for c in row])
+            misses = sum(c.miss_count for c in row)
+            print(f"{name:30s} {ci.low:9.2f} - {ci.high:5.2f} {misses:7d}")
+        return 0
+    for name, policy in TABLE2_ROWS:
+        agg = repeat_workload(spec.build(), resolve_policy(policy), runs=args.runs)
         ci = agg.energy_ci
         print(f"{name:30s} {ci.low:9.2f} - {ci.high:5.2f} {agg.total_misses:7d}")
     return 0
 
 
 def cmd_fig9(args) -> int:
-    cfg = MpegConfig(duration_s=args.duration or 30.0)
+    engine = sweep_engine(args)
+    spec = workload_spec("mpeg", args.duration or 30.0)
     print(f"{'MHz':>6s} {'Utilization':>12s} {'Misses':>7s}")
+    if engine is not None:
+        from repro.measure.parallel import constant_step_cells
+
+        results = engine.run(constant_step_cells(spec, seed=args.seed))
+        for step, res in zip(SA1100_CLOCK_TABLE, results):
+            print(
+                f"{step.mhz:6.1f} {res.mean_utilization * 100:11.1f}% "
+                f"{res.miss_count:7d}"
+            )
+        return 0
+    cfg = MpegConfig(duration_s=args.duration or 30.0)
     for step in SA1100_CLOCK_TABLE:
         res = run_workload(
-            mpeg_workload(cfg),
-            lambda s=step: constant_speed(s.mhz),
+            resolve_workload("mpeg", cfg.duration_s),
+            lambda s=step: resolve_policy(f"const-{s.mhz:.1f}")(),
             seed=args.seed,
             use_daq=False,
         )
@@ -187,10 +239,17 @@ def cmd_compare(args) -> int:
 
 
 def cmd_ideal(args) -> int:
-    from repro.measure.runner import find_ideal_constant
-
-    workload = resolve_workload(args.workload, args.duration)
+    engine = sweep_engine(args)
+    spec = workload_spec(args.workload, args.duration)
+    workload = spec.build()
     try:
+        if engine is not None:
+            summary = find_ideal_constant(spec, seed=args.seed, engine=engine)
+            print(f"workload        : {workload.name} ({workload.duration_s:.0f} s)")
+            print(f"ideal constant  : {summary.final_mhz:.1f} MHz")
+            print(f"energy          : {summary.exact_energy_j:.2f} J")
+            print(f"mean utilization: {summary.mean_utilization:.3f}")
+            return 0
         result = find_ideal_constant(workload, seed=args.seed)
     except ValueError as exc:
         print(f"no feasible constant step: {exc}", file=sys.stderr)
@@ -219,11 +278,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    sweep_opts = argparse.ArgumentParser(add_help=False)
+    sweep_opts.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan simulations out over N worker processes",
+    )
+    sweep_opts.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="memoize results on disk; unchanged runs are free on re-run",
+    )
+    sweep_opts.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache and re-simulate everything",
+    )
+
     sub.add_parser("list-policies", help="list policy names").set_defaults(
         func=cmd_list_policies
     )
 
-    run_parser = sub.add_parser("run", help="run one workload under one policy")
+    run_parser = sub.add_parser(
+        "run", help="run one workload under one policy", parents=[sweep_opts]
+    )
     run_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
     run_parser.add_argument("--policy", default="best")
     run_parser.add_argument("--seed", type=int, default=0)
@@ -233,11 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="use the exact integral instead of the DAQ")
     run_parser.set_defaults(func=cmd_run)
 
-    t2 = sub.add_parser("table2", help="regenerate Table 2")
+    t2 = sub.add_parser("table2", help="regenerate Table 2", parents=[sweep_opts])
     t2.add_argument("--runs", type=int, default=3)
     t2.set_defaults(func=cmd_table2)
 
-    f9 = sub.add_parser("fig9", help="regenerate Figure 9's sweep")
+    f9 = sub.add_parser("fig9", help="regenerate Figure 9's sweep",
+                        parents=[sweep_opts])
     f9.add_argument("--seed", type=int, default=1)
     f9.add_argument("--duration", type=float, default=None)
     f9.set_defaults(func=cmd_fig9)
@@ -253,16 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser.set_defaults(func=cmd_compare)
 
     ideal_parser = sub.add_parser(
-        "ideal", help="find the cheapest feasible constant clock step"
+        "ideal", help="find the cheapest feasible constant clock step",
+        parents=[sweep_opts],
     )
     ideal_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
     ideal_parser.add_argument("--seed", type=int, default=0)
     ideal_parser.add_argument("--duration", type=float, default=None)
     ideal_parser.set_defaults(func=cmd_ideal)
 
-    sub.add_parser("battery", help="idle battery lifetimes").set_defaults(
-        func=cmd_battery
-    )
+    # battery is analytic (no simulation), but accepts the sweep flags so
+    # scripts can pass a uniform option set to every subcommand.
+    sub.add_parser(
+        "battery", help="idle battery lifetimes", parents=[sweep_opts]
+    ).set_defaults(func=cmd_battery)
     return parser
 
 

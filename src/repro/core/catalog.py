@@ -2,11 +2,19 @@
 
 Factories return fresh governor instances (policies carry predictor state,
 so they must not be shared between runs).
+
+Every policy of the evaluation is reachable by *name* through
+:func:`resolve_policy` (the grammar the CLI exposes) or through
+:data:`POLICY_FACTORIES` plus keyword parameters.  Names and parameters —
+unlike governor instances or lambdas — pickle cleanly and digest stably,
+which is what lets :mod:`repro.measure.parallel` ship sweep cells to
+worker processes and cache their results content-addressed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+import re
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.core.cycleavg import CycleAverageGovernor
 from repro.core.hysteresis import (
@@ -84,6 +92,60 @@ def best_policy(voltage_scaling: bool = False) -> IntervalPolicy:
 def cycle_average(window: int = 4) -> CycleAverageGovernor:
     """The naive busy-cycle averaging policy of Figure 5."""
     return CycleAverageGovernor(window=window)
+
+
+#: Catalog factories by stable name, for parameterized (keyword) policy
+#: specs.  Keys are part of the sweep cache-key schema: renaming one
+#: invalidates cached results for policies built through it.
+POLICY_FACTORIES: Dict[str, Callable[..., Governor]] = {
+    "constant": constant_speed,
+    "pering-avg": pering_avg,
+    "best": best_policy,
+    "cycle-average": cycle_average,
+}
+
+_AVG_PATTERN = re.compile(r"^avg(\d+)-(one|double|peg)$")
+_CONST_PATTERN = re.compile(r"^const-(\d+(?:\.\d+)?)(?:@(\d+(?:\.\d+)?))?$")
+
+
+def resolve_policy(name: str) -> Callable[[], Governor]:
+    """Map a policy name to a fresh-governor factory.
+
+    The grammar (also printed by ``python -m repro list-policies``):
+
+    - ``const-<mhz>`` — constant speed at 1.5 V (e.g. ``const-132.7``);
+    - ``const-<mhz>@<volts>`` — constant speed at an explicit core
+      voltage (e.g. ``const-132.7@1.23``, the third row of Table 2);
+    - ``best`` / ``best-voltage`` — the paper's best policy, optionally
+      with voltage scaling at 162.2 MHz;
+    - ``avg<N>-<setter>`` — AVG_N with one/double/peg both directions and
+      Pering's 50/70 thresholds (e.g. ``avg9-peg``);
+    - ``cycleavg`` — the naive busy-cycle averaging policy of Figure 5;
+    - ``synth`` — the synthesized-deadline governor (§6 future work).
+
+    Raises:
+        ValueError: for unknown names.
+    """
+    if name == "best":
+        return lambda: best_policy(False)
+    if name == "best-voltage":
+        return lambda: best_policy(True)
+    if name == "cycleavg":
+        return lambda: cycle_average()
+    if name == "synth":
+        from repro.core.deadline import SynthesizedDeadlineGovernor
+
+        return lambda: SynthesizedDeadlineGovernor()
+    match = _CONST_PATTERN.match(name)
+    if match:
+        mhz = float(match.group(1))
+        volts = float(match.group(2)) if match.group(2) else VOLTAGE_HIGH
+        return lambda: constant_speed(mhz, volts=volts)
+    match = _AVG_PATTERN.match(name)
+    if match:
+        n, setter = int(match.group(1)), match.group(2)
+        return lambda: pering_avg(n, up=setter, down=setter)
+    raise ValueError(f"unknown policy {name!r}; see 'list-policies'")
 
 
 def sweep_avg_policies(

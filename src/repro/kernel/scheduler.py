@@ -171,11 +171,11 @@ class Kernel:
         self,
         machine: ItsyMachine,
         governor: Optional[Governor] = None,
-        config: KernelConfig = KernelConfig(),
+        config: Optional[KernelConfig] = None,
     ):
         self.machine = machine
         self.governor = governor
-        self.config = config
+        self.config = config if config is not None else KernelConfig()
         self._procs: Dict[int, Process] = {}
         self._runq: Deque[Process] = deque()
         self._sleepers: List[Process] = []

@@ -11,30 +11,52 @@ the workload toggles when it starts.  Energy is the rectangle sum
   estimators;
 - :mod:`repro.measure.stats` -- 95 % confidence intervals over repeated
   runs;
-- :mod:`repro.measure.runner` -- the repeated-run experiment harness.
+- :mod:`repro.measure.runner` -- the repeated-run experiment harness;
+- :mod:`repro.measure.parallel` -- the process-pool sweep engine and its
+  content-addressed result cache.
 """
 
 from repro.measure.compare import Comparison, welch_compare
 from repro.measure.daq import DaqConfig, DaqSystem, DaqCapture
 from repro.measure.energy import energy_from_samples, mean_power_from_samples
+from repro.measure.parallel import (
+    CellResult,
+    PolicySpec,
+    ResultCache,
+    SweepCell,
+    SweepEngine,
+    SweepSpec,
+    WorkloadSpec,
+    cache_key,
+    run_sweep,
+)
 from repro.measure.profile import PowerProfile, burst_profile, profile_timeline
 from repro.measure.runner import ExperimentResult, run_workload, repeat_workload
 from repro.measure.stats import ConfidenceInterval, confidence_interval
 
 __all__ = [
+    "CellResult",
     "Comparison",
     "ConfidenceInterval",
     "DaqCapture",
     "DaqConfig",
     "DaqSystem",
     "ExperimentResult",
+    "PolicySpec",
     "PowerProfile",
+    "ResultCache",
+    "SweepCell",
+    "SweepEngine",
+    "SweepSpec",
+    "WorkloadSpec",
     "burst_profile",
+    "cache_key",
     "confidence_interval",
     "energy_from_samples",
     "mean_power_from_samples",
     "profile_timeline",
     "repeat_workload",
+    "run_sweep",
     "run_workload",
     "welch_compare",
 ]

@@ -1,0 +1,626 @@
+"""Parallel sweep execution with a content-addressed result cache.
+
+The paper's evaluation is an exhaustive grid — predictor × speed setter ×
+thresholds × workload, repeated for confidence intervals — and the serial
+harness in :mod:`repro.measure.runner` replays every cell from scratch on
+each invocation.  This module makes large grids cheap:
+
+- a :class:`SweepCell` names one simulation by *value* (policy name and
+  parameters, workload name and config, seed, kernel config) instead of by
+  closures, so cells pickle cleanly to worker processes and digest stably
+  into cache keys;
+- :class:`SweepEngine` fans cells out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` and memoizes each
+  :class:`CellResult` in an on-disk :class:`ResultCache` keyed by a SHA-256
+  digest of the cell plus :data:`CACHE_SCHEMA_VERSION`, so unchanged cells
+  are free on re-run.
+
+The engine is *provably* deterministic: a worker runs the very same
+:func:`repro.measure.runner.run_workload` the serial path runs, with the
+very same seeds, so parallel results are bitwise-equal to serial ones, and
+cached results round-trip through JSON without losing a bit (Python's
+``json`` serializes floats via ``repr``, which is exact for doubles).
+``tests/measure/test_parallel.py`` and ``tests/measure/test_cache.py``
+lock this in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.catalog import POLICY_FACTORIES, resolve_policy
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.kernel.governor import Governor
+from repro.kernel.scheduler import KernelConfig
+from repro.measure.stats import ConfidenceInterval, confidence_interval
+from repro.workloads.base import Workload
+from repro.workloads.chess import ChessConfig, chess_workload
+from repro.workloads.editor import EditorConfig, editor_workload
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+from repro.workloads.web import WebConfig, web_workload
+
+#: Bump when the simulator's observable numbers change (kernel model,
+#: power model, workload calibration, or the :class:`CellResult` schema):
+#: every cached result keyed under the old version is then ignored.
+CACHE_SCHEMA_VERSION = 1
+
+#: Workload builders by CLI name.  Each entry is ``(builder, config_type)``
+#: where ``builder(config)`` returns a :class:`Workload`.
+WORKLOAD_BUILDERS: Dict[str, Tuple[Callable[..., Workload], type]] = {
+    "mpeg": (mpeg_workload, MpegConfig),
+    "web": (web_workload, WebConfig),
+    "chess": (chess_workload, ChessConfig),
+    "editor": (editor_workload, EditorConfig),
+}
+
+
+def register_workload(
+    name: str, builder: Callable[..., Workload], config_type: type
+) -> None:
+    """Register an additional named workload for sweep specs.
+
+    Args:
+        name: spec name (must be new).
+        builder: ``builder(config)`` returning a :class:`Workload`.
+        config_type: the (dataclass) config the builder accepts.
+
+    Raises:
+        ValueError: if the name is already taken.
+    """
+    if name in WORKLOAD_BUILDERS:
+        raise ValueError(f"workload {name!r} is already registered")
+    WORKLOAD_BUILDERS[name] = (builder, config_type)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload named by value: picklable and stably digestible.
+
+    Attributes:
+        name: key into :data:`WORKLOAD_BUILDERS` (mpeg/web/chess/editor).
+        config: workload config dataclass, or None for the default.  A
+            ``None`` config digests identically to an explicitly passed
+            default-constructed config.
+    """
+
+    name: str
+    config: Optional[object] = None
+
+    def _entry(self) -> Tuple[Callable[..., Workload], type]:
+        try:
+            return WORKLOAD_BUILDERS[self.name]
+        except KeyError:
+            raise ValueError(
+                f"unknown workload {self.name!r} "
+                f"(known: {', '.join(sorted(WORKLOAD_BUILDERS))})"
+            ) from None
+
+    def effective_config(self) -> object:
+        """The config that will be used: the default if none was given."""
+        builder, config_type = self._entry()
+        if self.config is None:
+            return config_type()
+        if not isinstance(self.config, config_type):
+            raise TypeError(
+                f"workload {self.name!r} takes {config_type.__name__}, "
+                f"got {type(self.config).__name__}"
+            )
+        return self.config
+
+    def build(self) -> Workload:
+        """Construct the workload descriptor."""
+        builder, _ = self._entry()
+        return builder(self.effective_config())
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A policy named by value: picklable and stably digestible.
+
+    Either a bare grammar name (``best``, ``avg3-peg``, ``const-132.7``,
+    ``const-132.7@1.23`` — see :func:`repro.core.catalog.resolve_policy`)
+    or a :data:`~repro.core.catalog.POLICY_FACTORIES` key plus keyword
+    parameters, e.g. ``PolicySpec.of("pering-avg", n=3, up="peg")``.
+
+    Attributes:
+        name: policy grammar name, or a catalog factory key when
+            ``params`` is non-empty.
+        params: sorted ``(key, value)`` pairs passed to the factory.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, **params: object) -> "PolicySpec":
+        """Build a parameterized spec; parameters are sorted for stability."""
+        return cls(name=name, params=tuple(sorted(params.items())))
+
+    def build_factory(self) -> Callable[[], Governor]:
+        """A fresh-governor factory for this spec.
+
+        Raises:
+            ValueError: for unknown names.
+        """
+        if not self.params:
+            return resolve_policy(self.name)
+        try:
+            factory = POLICY_FACTORIES[self.name]
+        except KeyError:
+            raise ValueError(
+                f"unknown policy factory {self.name!r} "
+                f"(known: {', '.join(sorted(POLICY_FACTORIES))})"
+            ) from None
+        kwargs = dict(self.params)
+        return lambda: factory(**kwargs)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One simulation of the grid, named entirely by value.
+
+    Attributes:
+        workload: what to run.
+        policy: which governor to install.
+        seed: workload jitter seed.
+        kernel_config: kernel tunables (None = defaults).
+        use_daq: measure through the DAQ model, as in the paper.
+        daq_seed: DAQ noise seed (defaults to ``seed``).
+    """
+
+    workload: WorkloadSpec
+    policy: PolicySpec
+    seed: int = 0
+    kernel_config: Optional[KernelConfig] = None
+    use_daq: bool = True
+    daq_seed: Optional[int] = None
+
+    def effective_kernel_config(self) -> KernelConfig:
+        """The kernel config that will be used (defaults if none given)."""
+        return self.kernel_config if self.kernel_config is not None else KernelConfig()
+
+    def run(self) -> "CellResult":
+        """Execute the cell serially in this process."""
+        from repro.measure.runner import run_workload
+
+        result = run_workload(
+            self.workload.build(),
+            self.policy.build_factory(),
+            seed=self.seed,
+            kernel_config=self.effective_kernel_config(),
+            use_daq=self.use_daq,
+            daq_seed=self.daq_seed,
+        )
+        return CellResult.from_experiment(result)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The picklable summary a sweep worker returns (and the cache stores).
+
+    Carries every number the CLI, the benchmarks and the determinism tests
+    compare — but not the full :class:`~repro.kernel.scheduler.KernelRun`,
+    which is far too large to ship between processes or persist per cell.
+
+    Attributes:
+        energy_j: DAQ-estimated energy (the paper's number).
+        exact_energy_j: the analytic integral.
+        mean_power_w: average power over the run.
+        mean_utilization: average per-quantum utilization.
+        duration_us: simulated wall-clock length.
+        miss_count: deadline misses beyond the workload's tolerance.
+        worst_miss_kind: event kind of the latest miss (None if on time).
+        worst_lateness_us: lateness of that miss (0.0 if on time).
+        clock_changes / clock_stall_us: frequency-transition accounting.
+        voltage_changes: rail-transition count.
+        final_step_index / final_mhz: clock step of the last quantum (the
+            settled speed; what ``find_ideal_constant`` reports).
+        residency: ``(mhz, fraction_of_quanta)`` pairs, ascending by MHz.
+    """
+
+    energy_j: float
+    exact_energy_j: float
+    mean_power_w: float
+    mean_utilization: float
+    duration_us: float
+    miss_count: int
+    worst_miss_kind: Optional[str]
+    worst_lateness_us: float
+    clock_changes: int
+    clock_stall_us: float
+    voltage_changes: int
+    final_step_index: int
+    final_mhz: float
+    residency: Tuple[Tuple[float, float], ...]
+
+    @property
+    def missed(self) -> bool:
+        """True if any deadline was perceptibly missed."""
+        return self.miss_count > 0
+
+    def residency_at(self, mhz: float) -> float:
+        """Fraction of quanta spent at ``mhz`` (0.0 if never)."""
+        for step_mhz, share in self.residency:
+            if step_mhz == mhz:
+                return share
+        return 0.0
+
+    @classmethod
+    def from_experiment(cls, result) -> "CellResult":
+        """Summarize an :class:`~repro.measure.runner.ExperimentResult`."""
+        run = result.run
+        counts: Dict[float, int] = {}
+        for q in run.quanta:
+            counts[q.mhz] = counts.get(q.mhz, 0) + 1
+        n = len(run.quanta)
+        residency = tuple(
+            (mhz, counts[mhz] / n) for mhz in sorted(counts)
+        ) if n else ()
+        worst = max(result.misses, key=lambda e: e.lateness_us) if result.misses else None
+        last = run.quanta[-1] if run.quanta else None
+        return cls(
+            energy_j=result.energy_j,
+            exact_energy_j=result.exact_energy_j,
+            mean_power_w=result.mean_power_w,
+            mean_utilization=run.mean_utilization(),
+            duration_us=run.duration_us,
+            miss_count=len(result.misses),
+            worst_miss_kind=worst.kind if worst else None,
+            worst_lateness_us=worst.lateness_us if worst else 0.0,
+            clock_changes=run.clock_changes,
+            clock_stall_us=run.clock_stall_us,
+            voltage_changes=run.voltage_changes,
+            final_step_index=last.step_index if last else 0,
+            final_mhz=last.mhz if last else 0.0,
+            residency=residency,
+        )
+
+    def to_json(self) -> dict:
+        """A JSON-safe dict; floats survive exactly (``repr`` round-trip)."""
+        payload = dataclasses.asdict(self)
+        payload["residency"] = [list(pair) for pair in self.residency]
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "CellResult":
+        """Inverse of :meth:`to_json`."""
+        data = dict(payload)
+        data["residency"] = tuple(tuple(pair) for pair in data["residency"])
+        return cls(**data)
+
+
+# -- cache keys ---------------------------------------------------------------------
+
+
+def _canonical(obj: object) -> object:
+    """A JSON-representable canonical form of specs and configs.
+
+    Dataclasses are tagged with their class name so two config types with
+    identical fields do not collide; tuples and lists are interchangeable;
+    mapping keys are stringified and sorted by the JSON encoder.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        body = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__class__": type(obj).__name__, **body}
+    if isinstance(obj, Mapping):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for a cache key")
+
+
+def cache_key(cell: SweepCell) -> str:
+    """The content address of a cell's result.
+
+    A SHA-256 digest over the canonical JSON of (policy name/params,
+    workload name/effective config, seed, DAQ settings, kernel config,
+    schema version).  Stable across processes and machines — it depends
+    only on the cell's values, never on object identity or hash seeds.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "policy": {"name": cell.policy.name, "params": _canonical(cell.policy.params)},
+        "workload": {
+            "name": cell.workload.name,
+            "config": _canonical(cell.workload.effective_config()),
+        },
+        "seed": cell.seed,
+        "use_daq": cell.use_daq,
+        "daq_seed": cell.daq_seed,
+        "kernel": _canonical(cell.effective_kernel_config()),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A content-addressed on-disk store of :class:`CellResult` objects.
+
+    One JSON file per key under ``root``; writes are atomic (temp file +
+    rename) so concurrent sweeps sharing a cache directory never observe a
+    torn entry.  Entries written under a different
+    :data:`CACHE_SCHEMA_VERSION` are treated as absent.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CellResult]:
+        """The cached result, or None on miss/corruption/schema change."""
+        try:
+            payload = json.loads(self.path_for(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        try:
+            return CellResult.from_json(payload["result"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: CellResult) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CACHE_SCHEMA_VERSION, "key": key, "result": result.to_json()}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.root.glob("*.json"))
+        except OSError:
+            return 0
+
+
+def _execute_cell(cell: SweepCell) -> CellResult:
+    """Worker entry point (module-level so it pickles)."""
+    return cell.run()
+
+
+@dataclass
+class SweepStats:
+    """Cumulative accounting of a :class:`SweepEngine`.
+
+    Attributes:
+        executed: simulations actually run (unique cells, deduplicated).
+        cache_hits: unique cells answered from the cache.
+    """
+
+    executed: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        """Unique cells served so far."""
+        return self.executed + self.cache_hits
+
+
+class SweepEngine:
+    """Runs batches of sweep cells, in parallel and through the cache.
+
+    Results come back in the order the cells were given, regardless of
+    which worker finished first, and duplicate cells within a batch are
+    simulated once.  ``jobs=1`` executes in-process (and is what the
+    determinism tests compare the pool against).
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = SweepStats()
+
+    def run(self, cells: Iterable[SweepCell]) -> List[CellResult]:
+        """Execute ``cells`` and return their results, input-ordered."""
+        ordered = list(cells)
+        keys = [cache_key(cell) for cell in ordered]
+        results: Dict[str, CellResult] = {}
+
+        pending: Dict[str, SweepCell] = {}
+        for key, cell in zip(keys, ordered):
+            if key in results or key in pending:
+                continue
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                results[key] = hit
+                self.stats.cache_hits += 1
+            else:
+                pending[key] = cell
+
+        if pending:
+            todo = list(pending.items())
+            if self.jobs > 1 and len(todo) > 1:
+                workers = min(self.jobs, len(todo))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    fresh = list(pool.map(_execute_cell, [c for _, c in todo]))
+            else:
+                fresh = [cell.run() for _, cell in todo]
+            for (key, _), result in zip(todo, fresh):
+                results[key] = result
+                if self.cache is not None:
+                    self.cache.put(key, result)
+            self.stats.executed += len(todo)
+
+        return [results[key] for key in keys]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full experiment grid: policies × workloads × seeds.
+
+    Attributes:
+        policies: the policy axis.
+        workloads: the workload axis.
+        seeds: the repetition axis.
+        kernel_config: shared kernel tunables (None = defaults).
+        use_daq: measure through the DAQ model.
+    """
+
+    policies: Tuple[PolicySpec, ...]
+    workloads: Tuple[WorkloadSpec, ...]
+    seeds: Tuple[int, ...] = (0,)
+    kernel_config: Optional[KernelConfig] = None
+    use_daq: bool = True
+
+    def cells(self) -> List[SweepCell]:
+        """The grid flattened in deterministic policy-major order."""
+        return [
+            SweepCell(
+                workload=workload,
+                policy=policy,
+                seed=seed,
+                kernel_config=self.kernel_config,
+                use_daq=self.use_daq,
+            )
+            for policy in self.policies
+            for workload in self.workloads
+            for seed in self.seeds
+        ]
+
+
+def run_sweep(
+    spec: SweepSpec, engine: Optional[SweepEngine] = None
+) -> List[CellResult]:
+    """Execute a sweep grid; results follow :meth:`SweepSpec.cells` order."""
+    return (engine or SweepEngine()).run(spec.cells())
+
+
+@dataclass(frozen=True)
+class RepeatedSummary:
+    """Aggregate of several runs of one cell family (cf. ``RepeatedResult``).
+
+    Exposes the same derived properties as
+    :class:`repro.measure.runner.RepeatedResult`, so report code can
+    consume either.
+    """
+
+    results: Tuple[CellResult, ...]
+    energy_ci: ConfidenceInterval
+
+    @property
+    def any_missed(self) -> bool:
+        """True if any run missed any deadline."""
+        return any(r.missed for r in self.results)
+
+    @property
+    def total_misses(self) -> int:
+        """Total deadline misses across runs."""
+        return sum(r.miss_count for r in self.results)
+
+    @property
+    def mean_energy_j(self) -> float:
+        """Mean measured energy."""
+        return self.energy_ci.mean
+
+
+def repeat_workload(
+    workload: WorkloadSpec,
+    policy: PolicySpec,
+    runs: int = 5,
+    base_seed: int = 0,
+    kernel_config: Optional[KernelConfig] = None,
+    use_daq: bool = True,
+    engine: Optional[SweepEngine] = None,
+) -> RepeatedSummary:
+    """Spec-based analogue of :func:`repro.measure.runner.repeat_workload`.
+
+    Uses the identical seed schedule (``base_seed + 1000 * i``), so its
+    energies are bitwise-equal to the serial harness's.
+    """
+    if runs < 2:
+        raise ValueError("need at least two runs for a confidence interval")
+    cells = [
+        SweepCell(
+            workload=workload,
+            policy=policy,
+            seed=base_seed + 1000 * i,
+            kernel_config=kernel_config,
+            use_daq=use_daq,
+        )
+        for i in range(runs)
+    ]
+    results = (engine or SweepEngine()).run(cells)
+    ci = confidence_interval([r.energy_j for r in results])
+    return RepeatedSummary(results=tuple(results), energy_ci=ci)
+
+
+def constant_step_cells(
+    workload: WorkloadSpec,
+    seed: int = 0,
+    kernel_config: Optional[KernelConfig] = None,
+) -> List[SweepCell]:
+    """One exact-energy cell per SA-1100 constant clock step."""
+    return [
+        SweepCell(
+            workload=workload,
+            policy=PolicySpec(name=f"const-{step.mhz:.1f}"),
+            seed=seed,
+            kernel_config=kernel_config,
+            use_daq=False,
+        )
+        for step in SA1100_CLOCK_TABLE
+    ]
+
+
+def find_ideal_constant(
+    workload: WorkloadSpec,
+    seed: int = 0,
+    kernel_config: Optional[KernelConfig] = None,
+    engine: Optional[SweepEngine] = None,
+) -> CellResult:
+    """Batched analogue of :func:`repro.measure.runner.find_ideal_constant`.
+
+    All constant-step runs are submitted as one batch (so they parallelize
+    and cache), then the cheapest feasible one wins — same tie-breaking
+    (first strictly-cheaper survivor in table order) as the serial search.
+
+    Raises:
+        ValueError: if no constant step meets the workload's deadlines.
+    """
+    cells = constant_step_cells(workload, seed=seed, kernel_config=kernel_config)
+    results = (engine or SweepEngine()).run(cells)
+    best: Optional[CellResult] = None
+    for result in results:
+        if result.missed:
+            continue
+        if best is None or result.exact_energy_j < best.exact_energy_j:
+            best = result
+    if best is None:
+        raise ValueError(f"no constant step meets {workload.name}'s deadlines")
+    return best

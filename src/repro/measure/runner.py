@@ -15,7 +15,7 @@ jitter).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
 from repro.hw.itsy import ItsyConfig, ItsyMachine
 from repro.kernel.governor import Governor
@@ -24,6 +24,15 @@ from repro.measure.daq import DaqCapture, DaqSystem
 from repro.measure.stats import ConfidenceInterval, confidence_interval
 from repro.traces.schema import AppEvent
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from repro.measure.parallel import (
+        CellResult,
+        PolicySpec,
+        RepeatedSummary,
+        SweepEngine,
+        WorkloadSpec,
+    )
 
 GovernorFactory = Callable[[], Governor]
 MachineFactory = Callable[[], ItsyMachine]
@@ -65,7 +74,7 @@ def run_workload(
     governor_factory: GovernorFactory,
     machine_factory: MachineFactory = default_machine,
     seed: int = 0,
-    kernel_config: KernelConfig = KernelConfig(),
+    kernel_config: Optional[KernelConfig] = None,
     use_daq: bool = True,
     daq_seed: Optional[int] = None,
 ) -> ExperimentResult:
@@ -76,11 +85,14 @@ def run_workload(
         governor_factory: builds a fresh governor for this run.
         machine_factory: builds a fresh machine for this run.
         seed: workload jitter seed.
-        kernel_config: kernel tunables.
+        kernel_config: kernel tunables (None means a fresh default; a
+            shared default-argument instance could alias between calls).
         use_daq: measure energy through the DAQ model (True, as in the
             paper) or use the analytic integral only.
         daq_seed: DAQ noise seed (defaults to ``seed``).
     """
+    if kernel_config is None:
+        kernel_config = KernelConfig()
     machine = machine_factory()
     kernel = Kernel(machine, governor=governor_factory(), config=kernel_config)
     workload.setup(kernel, seed)
@@ -109,11 +121,12 @@ def run_workload(
 
 
 def find_ideal_constant(
-    workload: Workload,
+    workload: Union[Workload, "WorkloadSpec"],
     machine_factory: MachineFactory = default_machine,
     seed: int = 0,
-    kernel_config: KernelConfig = KernelConfig(),
-) -> ExperimentResult:
+    kernel_config: Optional[KernelConfig] = None,
+    engine: Optional["SweepEngine"] = None,
+) -> Union[ExperimentResult, "CellResult"]:
     """The energy-minimal *feasible* constant clock step for a workload.
 
     This is the oracle the paper measures against ("the best possible
@@ -121,11 +134,29 @@ def find_ideal_constant(
     run the workload at every constant step, discard runs with deadline
     misses, return the cheapest survivor.
 
+    With an ``engine`` the workload must be a
+    :class:`~repro.measure.parallel.WorkloadSpec`; all constant steps are
+    then submitted as one batch (parallelized and cached) and the cheapest
+    feasible :class:`~repro.measure.parallel.CellResult` summary is
+    returned instead of a full :class:`ExperimentResult`.
+
     Raises:
-        ValueError: if no constant step meets the workload's deadlines.
+        ValueError: if no constant step meets the workload's deadlines, or
+            if an engine is given with a non-spec workload or a custom
+            machine factory (neither digests into a cache key).
     """
     from repro.hw.clocksteps import SA1100_CLOCK_TABLE
     from repro.kernel.governor import ConstantGovernor
+    from repro.measure import parallel
+
+    if isinstance(workload, parallel.WorkloadSpec):
+        if machine_factory is not default_machine:
+            raise ValueError("sweep cells only support the default machine")
+        return parallel.find_ideal_constant(
+            workload, seed=seed, kernel_config=kernel_config, engine=engine
+        )
+    if engine is not None:
+        raise ValueError("parallel execution needs a WorkloadSpec workload")
 
     best: Optional[ExperimentResult] = None
     for step in SA1100_CLOCK_TABLE:
@@ -170,15 +201,45 @@ class RepeatedResult:
 
 
 def repeat_workload(
-    workload: Workload,
-    governor_factory: GovernorFactory,
+    workload: Union[Workload, "WorkloadSpec"],
+    governor_factory: Union[GovernorFactory, "PolicySpec", str],
     machine_factory: MachineFactory = default_machine,
     runs: int = 5,
     base_seed: int = 0,
-    kernel_config: KernelConfig = KernelConfig(),
+    kernel_config: Optional[KernelConfig] = None,
     use_daq: bool = True,
-) -> RepeatedResult:
-    """Run the experiment ``runs`` times and report the 95 % energy CI."""
+    engine: Optional["SweepEngine"] = None,
+) -> Union[RepeatedResult, "RepeatedSummary"]:
+    """Run the experiment ``runs`` times and report the 95 % energy CI.
+
+    With an ``engine`` (or spec arguments) the runs fan out as sweep
+    cells: ``workload`` must be a
+    :class:`~repro.measure.parallel.WorkloadSpec` and ``governor_factory``
+    a :class:`~repro.measure.parallel.PolicySpec` or policy name, and a
+    :class:`~repro.measure.parallel.RepeatedSummary` (same derived
+    properties, summary results) is returned.  The seed schedule is
+    identical either way, so the energies are too.
+    """
+    from repro.measure import parallel
+
+    if isinstance(workload, parallel.WorkloadSpec) or engine is not None:
+        if not isinstance(workload, parallel.WorkloadSpec):
+            raise ValueError("parallel execution needs a WorkloadSpec workload")
+        if machine_factory is not default_machine:
+            raise ValueError("sweep cells only support the default machine")
+        if isinstance(governor_factory, str):
+            governor_factory = parallel.PolicySpec(name=governor_factory)
+        if not isinstance(governor_factory, parallel.PolicySpec):
+            raise ValueError("parallel execution needs a PolicySpec policy")
+        return parallel.repeat_workload(
+            workload,
+            governor_factory,
+            runs=runs,
+            base_seed=base_seed,
+            kernel_config=kernel_config,
+            use_daq=use_daq,
+            engine=engine,
+        )
     if runs < 2:
         raise ValueError("need at least two runs for a confidence interval")
     results = [

@@ -1,0 +1,170 @@
+"""Cache-key and result-cache tests for the sweep engine.
+
+The cache key must be a pure function of the cell's *values* — any change
+to the policy (predictor decay N, speed setter, thresholds), the workload
+config, the seed, or the kernel config must move the key, while
+irrelevancies (spelling a default config explicitly, process restarts,
+parameter ordering) must not.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.core.hysteresis import ThresholdPair
+from repro.kernel.scheduler import KernelConfig
+from repro.measure.parallel import (
+    CACHE_SCHEMA_VERSION,
+    PolicySpec,
+    ResultCache,
+    SweepCell,
+    WorkloadSpec,
+    cache_key,
+)
+from repro.workloads.mpeg import MpegConfig
+from repro.workloads.web import WebConfig
+
+
+def cell(**overrides) -> SweepCell:
+    defaults = dict(
+        workload=WorkloadSpec("mpeg", MpegConfig(duration_s=0.4)),
+        policy=PolicySpec("avg3-one"),
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SweepCell(**defaults)
+
+
+class TestKeySensitivity:
+    """Every axis of the experiment grid must move the key."""
+
+    def test_seed(self):
+        assert cache_key(cell(seed=0)) != cache_key(cell(seed=1))
+
+    def test_daq_seed_and_use_daq(self):
+        assert cache_key(cell(daq_seed=7)) != cache_key(cell())
+        assert cache_key(cell(use_daq=False)) != cache_key(cell())
+
+    def test_decay_n(self):
+        assert cache_key(cell(policy=PolicySpec("avg3-one"))) != cache_key(
+            cell(policy=PolicySpec("avg5-one"))
+        )
+
+    def test_speed_setter(self):
+        assert cache_key(cell(policy=PolicySpec("avg3-one"))) != cache_key(
+            cell(policy=PolicySpec("avg3-peg"))
+        )
+
+    def test_thresholds(self):
+        pering = PolicySpec.of(
+            "pering-avg", n=3, thresholds=ThresholdPair(low=0.50, high=0.70)
+        )
+        tighter = PolicySpec.of(
+            "pering-avg", n=3, thresholds=ThresholdPair(low=0.93, high=0.98)
+        )
+        assert cache_key(cell(policy=pering)) != cache_key(cell(policy=tighter))
+
+    def test_constant_voltage(self):
+        assert cache_key(cell(policy=PolicySpec("const-132.7"))) != cache_key(
+            cell(policy=PolicySpec("const-132.7@1.23"))
+        )
+
+    def test_workload_name_and_config(self):
+        assert cache_key(
+            cell(workload=WorkloadSpec("web", WebConfig(duration_s=0.4)))
+        ) != cache_key(cell())
+        assert cache_key(
+            cell(workload=WorkloadSpec("mpeg", MpegConfig(duration_s=0.5)))
+        ) != cache_key(cell())
+
+    def test_every_kernel_config_field(self):
+        base = cache_key(cell())
+        assert cache_key(cell(kernel_config=KernelConfig(quantum_us=5_000.0))) != base
+        assert cache_key(
+            cell(kernel_config=KernelConfig(sched_overhead_us=0.0))
+        ) != base
+        assert cache_key(
+            cell(kernel_config=KernelConfig(record_sched_log=True))
+        ) != base
+
+
+class TestKeyStability:
+    """Irrelevant differences must NOT move the key."""
+
+    def test_default_config_spelled_out(self):
+        assert cache_key(
+            cell(workload=WorkloadSpec("mpeg", MpegConfig()))
+        ) == cache_key(cell(workload=WorkloadSpec("mpeg")))
+
+    def test_default_kernel_config_spelled_out(self):
+        assert cache_key(cell(kernel_config=KernelConfig())) == cache_key(
+            cell(kernel_config=None)
+        )
+
+    def test_params_order_independent(self):
+        a = PolicySpec.of("pering-avg", n=3, up="peg")
+        b = PolicySpec.of("pering-avg", up="peg", n=3)
+        assert cache_key(cell(policy=a)) == cache_key(cell(policy=b))
+
+    def test_stable_across_process_restarts(self):
+        """The key depends on values only — never on hash randomization."""
+        here = cache_key(cell())
+        src = Path(repro.__file__).resolve().parents[1]
+        code = (
+            "from repro.measure.parallel import SweepCell, WorkloadSpec, "
+            "PolicySpec, cache_key\n"
+            "from repro.workloads.mpeg import MpegConfig\n"
+            "print(cache_key(SweepCell(workload=WorkloadSpec('mpeg', "
+            "MpegConfig(duration_s=0.4)), policy=PolicySpec('avg3-one'), "
+            "seed=0)))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        for salt in ("0", "1", "random"):
+            env["PYTHONHASHSEED"] = salt
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            assert out.stdout.strip() == here
+
+
+class TestResultCache:
+    def test_round_trip_exact(self, tmp_path):
+        result = cell(use_daq=False).run()
+        cache = ResultCache(tmp_path)
+        key = cache_key(cell(use_daq=False))
+        cache.put(key, result)
+        assert cache.get(key) == result
+        assert len(cache) == 1
+
+    def test_miss_on_absent_key(self, tmp_path):
+        assert ResultCache(tmp_path).get("0" * 64) is None
+
+    def test_miss_on_corrupt_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "1" * 64
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_miss_on_schema_change(self, tmp_path):
+        result = cell(use_daq=False).run()
+        cache = ResultCache(tmp_path)
+        key = cache_key(cell(use_daq=False))
+        cache.put(key, result)
+        payload = json.loads(cache.path_for(key).read_text())
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        cache.path_for(key).write_text(json.dumps(payload))
+        assert cache.get(key) is None
+
+    def test_no_temp_droppings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("2" * 64, cell(use_daq=False).run())
+        assert not list(tmp_path.glob("*.tmp"))

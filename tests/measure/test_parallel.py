@@ -1,0 +1,180 @@
+"""Determinism regression tests for the parallel sweep engine.
+
+The engine's contract is that parallelism and caching are pure plumbing:
+the numbers a sweep produces are bitwise-identical whether cells run
+serially in-process, fanned out over a process pool, or answered from a
+warm on-disk cache.  These tests pin that contract with the acceptance
+grid (3 policies x 2 workloads x 3 seeds, jobs=4).
+"""
+
+import pytest
+
+from repro.core.catalog import resolve_policy
+from repro.kernel.scheduler import KernelConfig
+from repro.measure import runner
+from repro.measure.parallel import (
+    CellResult,
+    PolicySpec,
+    ResultCache,
+    SweepCell,
+    SweepEngine,
+    SweepSpec,
+    WorkloadSpec,
+    find_ideal_constant,
+    repeat_workload,
+    run_sweep,
+)
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+from repro.workloads.web import WebConfig
+
+MPEG = WorkloadSpec("mpeg", MpegConfig(duration_s=0.4))
+WEB = WorkloadSpec("web", WebConfig(duration_s=0.4))
+
+#: The acceptance grid: 3 policies x 2 workloads x 3 seeds = 18 cells.
+GRID = SweepSpec(
+    policies=(PolicySpec("best"), PolicySpec("avg3-peg"), PolicySpec("const-132.7")),
+    workloads=(MPEG, WEB),
+    seeds=(0, 1, 2),
+    use_daq=False,
+)
+
+
+def cell(seed: int = 0, **overrides) -> SweepCell:
+    defaults = dict(workload=MPEG, policy=PolicySpec("best"), seed=seed)
+    defaults.update(overrides)
+    return SweepCell(**defaults)
+
+
+class TestSerialDeterminism:
+    def test_two_serial_runs_identical(self):
+        first, second = cell().run(), cell().run()
+        assert first.energy_j == second.energy_j
+        assert first.exact_energy_j == second.exact_energy_j
+        assert first.miss_count == second.miss_count
+        assert first == second
+
+    def test_cell_matches_plain_runner(self):
+        summary = cell(seed=3).run()
+        ref = runner.run_workload(
+            mpeg_workload(MpegConfig(duration_s=0.4)),
+            resolve_policy("best"),
+            seed=3,
+        )
+        assert summary.energy_j == ref.energy_j
+        assert summary.exact_energy_j == ref.exact_energy_j
+        assert summary.miss_count == len(ref.misses)
+
+
+class TestSerialVsParallel:
+    def test_grid_bitwise_equal(self):
+        serial = run_sweep(GRID, SweepEngine(jobs=1))
+        parallel = run_sweep(GRID, SweepEngine(jobs=4))
+        assert len(serial) == 18
+        # Dataclass equality compares every float field exactly.
+        assert serial == parallel
+
+    def test_results_follow_input_order(self):
+        cells = [cell(seed=s) for s in (5, 1, 3)]
+        results = SweepEngine(jobs=3).run(cells)
+        reference = [c.run() for c in cells]
+        assert results == reference
+
+
+class TestCacheDeterminism:
+    def test_cold_vs_warm_bitwise_equal(self, tmp_path):
+        serial = run_sweep(GRID)
+        cold = SweepEngine(jobs=4, cache=ResultCache(tmp_path))
+        assert run_sweep(GRID, cold) == serial
+        assert cold.stats.executed == 18
+        assert cold.stats.cache_hits == 0
+
+        warm = SweepEngine(jobs=4, cache=ResultCache(tmp_path))
+        assert run_sweep(GRID, warm) == serial
+        assert warm.stats.executed == 0, "warm re-run must execute nothing"
+        assert warm.stats.cache_hits == 18
+
+    def test_warm_serial_engine_also_free(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepEngine(cache=cache).run([cell()])
+        warm = SweepEngine(cache=cache)
+        assert warm.run([cell()]) == [cell().run()]
+        assert warm.stats.executed == 0
+
+    def test_duplicate_cells_simulated_once(self):
+        engine = SweepEngine()
+        results = engine.run([cell(), cell()])
+        assert engine.stats.executed == 1
+        assert results[0] == results[1]
+
+
+class TestSpecHelpers:
+    def test_repeat_workload_matches_serial_harness(self):
+        summary = repeat_workload(MPEG, PolicySpec("const-206.4"), runs=3)
+        ref = runner.repeat_workload(
+            mpeg_workload(MpegConfig(duration_s=0.4)),
+            resolve_policy("const-206.4"),
+            runs=3,
+        )
+        assert [r.energy_j for r in summary.results] == [
+            r.energy_j for r in ref.results
+        ]
+        assert summary.energy_ci == ref.energy_ci
+        assert summary.total_misses == ref.total_misses
+
+    def test_find_ideal_constant_matches_serial_harness(self):
+        mpeg_1s = WorkloadSpec("mpeg", MpegConfig(duration_s=1.0))
+        summary = find_ideal_constant(mpeg_1s, seed=1, engine=SweepEngine(jobs=4))
+        ref = runner.find_ideal_constant(
+            mpeg_workload(MpegConfig(duration_s=1.0)), seed=1
+        )
+        assert summary.final_mhz == ref.run.quanta[-1].mhz
+        assert summary.exact_energy_j == ref.exact_energy_j
+
+    def test_runner_accepts_specs(self):
+        summary = runner.repeat_workload(MPEG, "const-206.4", runs=2)
+        ref = repeat_workload(MPEG, PolicySpec("const-206.4"), runs=2)
+        assert summary.results == ref.results
+
+    def test_runner_rejects_engine_without_specs(self):
+        with pytest.raises(ValueError):
+            runner.repeat_workload(
+                mpeg_workload(MpegConfig(duration_s=0.4)),
+                resolve_policy("best"),
+                runs=2,
+                engine=SweepEngine(),
+            )
+
+    def test_kernel_config_flows_into_cells(self):
+        tweaked = KernelConfig(sched_overhead_us=0.0)
+        base = cell(use_daq=False).run()
+        other = cell(use_daq=False, kernel_config=tweaked).run()
+        assert base.exact_energy_j != other.exact_energy_j
+
+
+class TestEngineValidation:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepEngine(jobs=0)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("quake").build()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            cell(policy=PolicySpec("ondemand")).run()
+
+    def test_config_type_checked(self):
+        with pytest.raises(TypeError):
+            WorkloadSpec("mpeg", WebConfig()).build()
+
+
+class TestCellResultRoundTrip:
+    def test_json_round_trip_is_exact(self):
+        result = cell().run()
+        assert CellResult.from_json(result.to_json()) == result
+
+    def test_parameterized_policy_spec_builds(self):
+        spec = PolicySpec.of("pering-avg", n=3, up="peg", down="peg")
+        governor = spec.build_factory()()
+        assert governor.predictor.n == 3

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.cli import main, resolve_policy, resolve_workload
+from repro.cli import (
+    build_parser,
+    main,
+    resolve_policy,
+    resolve_workload,
+    sweep_engine,
+    workload_spec,
+)
+from repro.measure.parallel import WorkloadSpec
 from repro.core.cycleavg import CycleAverageGovernor
 from repro.core.deadline import SynthesizedDeadlineGovernor
 from repro.core.policy import IntervalPolicy
@@ -28,6 +36,11 @@ class TestPolicyResolution:
         gov = resolve_policy("avg9-peg")()
         assert isinstance(gov, IntervalPolicy)
         assert gov.predictor.n == 9
+
+    def test_const_with_voltage(self):
+        gov = resolve_policy("const-132.7@1.23")()
+        assert gov.step_index == 5
+        assert gov.volts == 1.23
 
     def test_cycleavg_and_synth(self):
         assert isinstance(resolve_policy("cycleavg")(), CycleAverageGovernor)
@@ -58,12 +71,33 @@ class TestWorkloadResolution:
         with pytest.raises(ValueError):
             resolve_workload("doom", None)
 
+    def test_spec_round_trip(self):
+        spec = workload_spec("web", 9.0)
+        assert isinstance(spec, WorkloadSpec)
+        assert spec.build().duration_s == 9.0
+
+
+#: Golden snapshot of ``python -m repro list-policies``.  Update it
+#: deliberately whenever the policy grammar changes — downstream scripts
+#: parse this output.
+LIST_POLICIES_SNAPSHOT = """\
+constant speeds : const-59.0, const-73.7, const-88.5, const-103.2, const-118.0, const-132.7, const-147.5, const-162.2, const-176.9, const-191.7, const-206.4
+  (append @<volts> for an explicit voltage, e.g. const-132.7@1.23)
+paper policies  : best, best-voltage
+interval sweep  : avg<N>-<one|double|peg>  (N = 0..10, 50/70 thresholds)
+other           : cycleavg (Figure 5), synth (synthesized deadlines)
+"""
+
 
 class TestCommands:
     def test_list_policies(self, capsys):
         assert main(["list-policies"]) == 0
         out = capsys.readouterr().out
         assert "best" in out and "avg<N>" in out
+
+    def test_list_policies_snapshot(self, capsys):
+        assert main(["list-policies"]) == 0
+        assert capsys.readouterr().out == LIST_POLICIES_SNAPSHOT
 
     def test_run_success_exit_zero(self, capsys):
         code = main(
@@ -114,3 +148,62 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "59.0" in out and "206.4" in out
+
+
+class TestSweepOptions:
+    """The --jobs/--cache/--no-cache surface of the simulation commands."""
+
+    def test_engine_default_is_serial_uncached(self):
+        args = build_parser().parse_args(["run", "mpeg"])
+        assert sweep_engine(args) is None
+
+    def test_run_with_jobs_smoke(self, capsys):
+        code = main(
+            ["run", "mpeg", "--policy", "best", "--duration", "1", "--jobs", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "energy          :" in out
+        assert "deadline misses : 0" in out
+
+    def test_run_parallel_output_matches_serial(self, capsys):
+        argv = ["run", "mpeg", "--policy", "best", "--duration", "1"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_run_warm_cache_matches(self, capsys, tmp_path):
+        argv = [
+            "run", "mpeg", "--policy", "best", "--duration", "1",
+            "--cache", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold_out = capsys.readouterr().out
+        assert list(tmp_path.glob("*.json")), "cache must be populated"
+        assert main(argv) == 0
+        assert capsys.readouterr().out == cold_out
+
+    def test_no_cache_disables_cache_dir(self, capsys, tmp_path):
+        argv = [
+            "run", "mpeg", "--policy", "best", "--duration", "1",
+            "--cache", str(tmp_path), "--no-cache",
+        ]
+        assert main(argv) == 0
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_fig9_parallel_matches_serial(self, capsys):
+        assert main(["fig9", "--duration", "2"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["fig9", "--duration", "2", "--jobs", "4"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_ideal_parallel_matches_serial(self, capsys):
+        assert main(["ideal", "mpeg", "--duration", "10"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["ideal", "mpeg", "--duration", "10", "--jobs", "4"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_battery_accepts_flags(self, capsys):
+        assert main(["battery", "--jobs", "2"]) == 0
+        assert "206.4" in capsys.readouterr().out
