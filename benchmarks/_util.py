@@ -12,9 +12,20 @@ import os
 from pathlib import Path
 from typing import Iterable, List, Sequence
 
+from repro.hw.machines import MachineSpec
 from repro.measure.parallel import ResultCache, SweepEngine
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_machine() -> MachineSpec:
+    """The machine the benchmark suite simulates.
+
+    Configured by ``REPRO_BENCH_MACHINE`` using the CLI's ``--machine``
+    grammar (``itsy``, ``itsy@1.23``, ``itsy-stock``, ``sa2``); defaults
+    to the modified Itsy the paper measures.
+    """
+    return MachineSpec.parse(os.environ.get("REPRO_BENCH_MACHINE", "itsy"))
 
 
 def sweep_engine(default_jobs: int = 1) -> SweepEngine:

@@ -41,7 +41,7 @@ def test_battery_lifetime(benchmark):
             lambda step: idle.idle_power_w(step) + 0.25
         )
         pulsed = PulsedDischargeModel(capacity_c=1000.0)
-        t_const = pulsed.time_to_death_s(power_w=6.0)
+        pulsed.time_to_death_s(power_w=6.0)
         delivered_const = pulsed.delivered
         pulsed2 = PulsedDischargeModel(capacity_c=1000.0)
         pulsed2.time_to_death_s(power_w=6.0, pulse_s=30.0, rest_s=30.0)

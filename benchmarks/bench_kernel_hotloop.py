@@ -1,0 +1,107 @@
+"""Hot-loop cost of kernel instrumentation: full vs minimal recorders.
+
+The kernel's event loop publishes every power segment, quantum, and
+transition to its recorders.  Full recording keeps the complete power
+timeline and quantum log (what the plots need); minimal recording keeps
+only the streaming meters (what an energy-only sweep cell needs).  This
+benchmark runs the paper's 60 s MPEG workload under the best policy in
+both modes and checks the two promises the recorder split makes:
+
+- the numbers are bitwise identical (the sweep cache shares entries
+  across recording modes on that basis), and
+- minimal recording is measurably faster, because the hot loop skips
+  the timeline/log appends entirely.
+
+Timings are best-of-N over interleaved runs so one noisy sample cannot
+flip the comparison.  Besides the usual text report this benchmark
+writes ``BENCH_kernel_hotloop.json`` at the repo root — a small
+machine-readable record of the hot-loop cost so successive revisions
+leave a perf trajectory.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.catalog import resolve_policy
+from repro.measure.runner import run_workload
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+from _util import Report, bench_machine, once
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel_hotloop.json"
+DURATION_S = 60.0
+ROUNDS = 5
+
+
+def timed_run(machine, recording: str):
+    policy = resolve_policy("best", clock_table=machine.clock_table())
+    start = time.perf_counter()
+    result = run_workload(
+        mpeg_workload(MpegConfig(duration_s=DURATION_S)),
+        policy,
+        machine_factory=machine,
+        use_daq=False,
+        recording=recording,
+    )
+    return result, time.perf_counter() - start
+
+
+def test_kernel_hotloop(benchmark):
+    machine = bench_machine()
+
+    def run():
+        full_s, minimal_s = [], []
+        for _ in range(ROUNDS):
+            full, dt = timed_run(machine, "full")
+            full_s.append(dt)
+            minimal, dt = timed_run(machine, "minimal")
+            minimal_s.append(dt)
+        return full, minimal, min(full_s), min(minimal_s)
+
+    full, minimal, full_best, minimal_best = once(benchmark, run)
+
+    report = Report("kernel_hotloop")
+    report.add(f"machine {machine.name}, {DURATION_S:g} s mpeg under best, "
+               f"best of {ROUNDS} interleaved runs")
+    report.table(
+        ["recording", "wall s", "energy J", "quanta"],
+        [
+            ["full", f"{full_best:.3f}", f"{full.exact_energy_j:.6f}",
+             len(full.run.quanta)],
+            ["minimal", f"{minimal_best:.3f}", f"{minimal.exact_energy_j:.6f}",
+             full.run.quantum_stats.count if full.run.quantum_stats
+             else minimal.run.quantum_stats.count],
+        ],
+    )
+    speedup = full_best / minimal_best
+    report.add(f"minimal recording speedup: {speedup:.2f}x")
+    report.emit()
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "benchmark": "kernel_hotloop",
+                "machine": machine.name,
+                "workload": "mpeg",
+                "duration_s": DURATION_S,
+                "policy": "best",
+                "rounds": ROUNDS,
+                "full_wall_s": round(full_best, 4),
+                "minimal_wall_s": round(minimal_best, 4),
+                "speedup": round(speedup, 3),
+                "energy_j": full.exact_energy_j,
+                "bitwise_equal": minimal.exact_energy_j == full.exact_energy_j,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # The recorder split's two promises.
+    assert minimal.exact_energy_j == full.exact_energy_j
+    assert minimal.run.mean_utilization() == full.run.mean_utilization()
+    assert minimal_best < full_best, (
+        f"minimal recording must beat full ({minimal_best:.3f}s vs "
+        f"{full_best:.3f}s)"
+    )

@@ -10,7 +10,6 @@ voltage-up; total well under 2 % of a scheduling quantum.
 
 import itertools
 
-from repro.hw.clocksteps import SA1100_CLOCK_TABLE
 from repro.hw.cpu import CpuModel
 from repro.hw.rails import VOLTAGE_HIGH, VOLTAGE_LOW
 

@@ -3,7 +3,9 @@
 Usage (after installation)::
 
     python -m repro list-policies
+    python -m repro list-machines
     python -m repro run mpeg --policy best
+    python -m repro run mpeg --policy past-peg-98-93 --machine sa2
     python -m repro run web --policy avg3-one --duration 60
     python -m repro table2 --runs 3
     python -m repro fig9
@@ -15,15 +17,17 @@ Policies are named:
   an explicit voltage (``const-132.7@1.23``);
 - ``best`` / ``best-voltage`` -- the paper's best policy, optionally with
   voltage scaling at 162.2 MHz;
-- ``avg<N>-<setter>`` -- AVG_N with one/double/peg both directions and
-  Pering's 50/70 thresholds (e.g. ``avg9-peg``);
+- ``<past|avgN>-<setter>`` -- an interval policy with one/double/peg both
+  directions and Pering's 50/70 thresholds (e.g. ``avg9-peg``), or with
+  explicit percent thresholds (``past-peg-98-93``);
 - ``cycleavg`` -- the naive busy-cycle averaging policy of Figure 5;
 - ``synth`` -- the synthesized-deadline governor (§6 future work).
 
-Simulation commands accept ``--jobs N`` to fan runs out over a process
-pool and ``--cache DIR`` to memoize results on disk (see
-:mod:`repro.measure.parallel`); both paths are bitwise-equal to the
-serial, uncached one.
+Simulation commands accept ``--machine`` to pick the hardware (``itsy``,
+``itsy@1.23``, ``itsy-stock``, ``sa2`` -- see ``list-machines``),
+``--jobs N`` to fan runs out over a process pool, and ``--cache DIR`` to
+memoize results on disk (see :mod:`repro.measure.parallel`); parallel and
+cached paths are bitwise-equal to the serial, uncached one.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from typing import List, Optional
 
 from repro.core.catalog import resolve_policy
 from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.hw.machines import MACHINE_PRESETS, MachineSpec
 from repro.measure.parallel import (
     PolicySpec,
     ResultCache,
@@ -82,6 +87,15 @@ def resolve_workload(name: str, duration_s: Optional[float] = None) -> Workload:
     return workload_spec(name, duration_s).build()
 
 
+def machine_spec(args) -> MachineSpec:
+    """The machine the ``--machine`` flag names (default: modified Itsy).
+
+    Raises:
+        ValueError: for unknown presets or a malformed boot voltage.
+    """
+    return MachineSpec.parse(getattr(args, "machine", "itsy"))
+
+
 def sweep_engine(args) -> Optional[SweepEngine]:
     """Build the sweep engine the ``--jobs``/``--cache`` flags ask for.
 
@@ -103,24 +117,41 @@ def cmd_list_policies(_args) -> int:
         f"const-{s.mhz:.1f}" for s in SA1100_CLOCK_TABLE
     ))
     print("  (append @<volts> for an explicit voltage, e.g. const-132.7@1.23)")
+    print("  (other machines take their own table, e.g. const-600.0 on sa2)")
     print("paper policies  : best, best-voltage")
-    print("interval sweep  : avg<N>-<one|double|peg>  (N = 0..10, 50/70 thresholds)")
+    print("interval sweep  : <past|avg<N>>-<one|double|peg>  (N = 0..10, "
+          "50/70 thresholds)")
+    print("  (append -<hi>-<lo> percent thresholds; past-peg-98-93 = best)")
     print("other           : cycleavg (Figure 5), synth (synthesized deadlines)")
+    return 0
+
+
+def cmd_list_machines(_args) -> int:
+    for name in sorted(MACHINE_PRESETS):
+        preset = MACHINE_PRESETS[name]
+        print(f"{name:12s}: {preset.description}")
+        table = preset.clock_table
+        print(f"{'':12s}  steps: "
+              + ", ".join(f"{s.mhz:.1f}" for s in table))
+    print("  (append @<volts> for a boot voltage, e.g. itsy@1.23)")
     return 0
 
 
 def cmd_run(args) -> int:
     engine = sweep_engine(args)
+    mspec = machine_spec(args)
     spec = workload_spec(args.workload, args.duration)
     workload = spec.build()
     print(f"workload        : {workload.name} ({workload.duration_s:.0f} s)")
     print(f"policy          : {args.policy}")
+    print(f"machine         : {args.machine}")
     if engine is not None:
         cell = SweepCell(
             workload=spec,
             policy=PolicySpec(name=args.policy),
             seed=args.seed,
             use_daq=not args.no_daq,
+            machine=mspec,
         )
         summary = engine.run([cell])[0]
         print(f"energy          : {summary.energy_j:.2f} J "
@@ -135,8 +166,11 @@ def cmd_run(args) -> int:
             print(f"  worst: {summary.worst_miss_kind} late by "
                   f"{summary.worst_lateness_us / 1000:.1f} ms")
         return 1 if summary.missed else 0
-    factory = resolve_policy(args.policy)
-    result = run_workload(workload, factory, seed=args.seed, use_daq=not args.no_daq)
+    factory = resolve_policy(args.policy, clock_table=mspec.clock_table())
+    result = run_workload(
+        workload, factory, machine_factory=mspec,
+        seed=args.seed, use_daq=not args.no_daq,
+    )
     run = result.run
     print(f"energy          : {result.energy_j:.2f} J "
           f"(exact {result.exact_energy_j:.2f} J)")
@@ -164,12 +198,16 @@ TABLE2_ROWS = [
 
 def cmd_table2(args) -> int:
     engine = sweep_engine(args)
+    mspec = machine_spec(args)
     spec = workload_spec("mpeg")
     print(f"{'Algorithm':30s} {'Energy 95% CI (J)':>20s} {'Misses':>7s}")
     if engine is not None:
         # Submit the whole table as one batch so rows share the pool.
         cells = [
-            SweepCell(workload=spec, policy=PolicySpec(name=policy), seed=1000 * i)
+            SweepCell(
+                workload=spec, policy=PolicySpec(name=policy),
+                seed=1000 * i, machine=mspec,
+            )
             for _, policy in TABLE2_ROWS
             for i in range(args.runs)
         ]
@@ -180,8 +218,12 @@ def cmd_table2(args) -> int:
             misses = sum(c.miss_count for c in row)
             print(f"{name:30s} {ci.low:9.2f} - {ci.high:5.2f} {misses:7d}")
         return 0
+    table = mspec.clock_table()
     for name, policy in TABLE2_ROWS:
-        agg = repeat_workload(spec.build(), resolve_policy(policy), runs=args.runs)
+        agg = repeat_workload(
+            spec.build(), resolve_policy(policy, clock_table=table),
+            machine_factory=mspec, runs=args.runs,
+        )
         ci = agg.energy_ci
         print(f"{name:30s} {ci.low:9.2f} - {ci.high:5.2f} {agg.total_misses:7d}")
     return 0
@@ -189,23 +231,30 @@ def cmd_table2(args) -> int:
 
 def cmd_fig9(args) -> int:
     engine = sweep_engine(args)
+    mspec = machine_spec(args)
+    table = mspec.clock_table()
     spec = workload_spec("mpeg", args.duration or 30.0)
     print(f"{'MHz':>6s} {'Utilization':>12s} {'Misses':>7s}")
     if engine is not None:
         from repro.measure.parallel import constant_step_cells
 
-        results = engine.run(constant_step_cells(spec, seed=args.seed))
-        for step, res in zip(SA1100_CLOCK_TABLE, results):
+        results = engine.run(
+            constant_step_cells(spec, machine=mspec, seed=args.seed)
+        )
+        for step, res in zip(table, results):
             print(
                 f"{step.mhz:6.1f} {res.mean_utilization * 100:11.1f}% "
                 f"{res.miss_count:7d}"
             )
         return 0
     cfg = MpegConfig(duration_s=args.duration or 30.0)
-    for step in SA1100_CLOCK_TABLE:
+    for step in table:
         res = run_workload(
             resolve_workload("mpeg", cfg.duration_s),
-            lambda s=step: resolve_policy(f"const-{s.mhz:.1f}")(),
+            lambda s=step: resolve_policy(
+                f"const-{s.mhz:.1f}", clock_table=table
+            )(),
+            machine_factory=mspec,
             seed=args.seed,
             use_daq=False,
         )
@@ -219,10 +268,18 @@ def cmd_fig9(args) -> int:
 def cmd_compare(args) -> int:
     from repro.measure.compare import energies, welch_compare
 
+    mspec = machine_spec(args)
+    table = mspec.clock_table()
     workload_a = resolve_workload(args.workload, args.duration)
-    agg_a = repeat_workload(workload_a, resolve_policy(args.policy_a), runs=args.runs)
+    agg_a = repeat_workload(
+        workload_a, resolve_policy(args.policy_a, clock_table=table),
+        machine_factory=mspec, runs=args.runs,
+    )
     workload_b = resolve_workload(args.workload, args.duration)
-    agg_b = repeat_workload(workload_b, resolve_policy(args.policy_b), runs=args.runs)
+    agg_b = repeat_workload(
+        workload_b, resolve_policy(args.policy_b, clock_table=table),
+        machine_factory=mspec, runs=args.runs,
+    )
     result = welch_compare(energies(agg_a), energies(agg_b))
     print(f"{args.policy_a:24s} {agg_a.energy_ci}  misses={agg_a.total_misses}")
     print(f"{args.policy_b:24s} {agg_b.energy_ci}  misses={agg_b.total_misses}")
@@ -240,17 +297,20 @@ def cmd_compare(args) -> int:
 
 def cmd_ideal(args) -> int:
     engine = sweep_engine(args)
+    mspec = machine_spec(args)
     spec = workload_spec(args.workload, args.duration)
     workload = spec.build()
     try:
         if engine is not None:
-            summary = find_ideal_constant(spec, seed=args.seed, engine=engine)
+            summary = find_ideal_constant(
+                spec, machine_factory=mspec, seed=args.seed, engine=engine
+            )
             print(f"workload        : {workload.name} ({workload.duration_s:.0f} s)")
             print(f"ideal constant  : {summary.final_mhz:.1f} MHz")
             print(f"energy          : {summary.exact_energy_j:.2f} J")
             print(f"mean utilization: {summary.mean_utilization:.3f}")
             return 0
-        result = find_ideal_constant(workload, seed=args.seed)
+        result = find_ideal_constant(workload, machine_factory=mspec, seed=args.seed)
     except ValueError as exc:
         print(f"no feasible constant step: {exc}", file=sys.stderr)
         return 1
@@ -292,12 +352,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore --cache and re-simulate everything",
     )
 
+    machine_opts = argparse.ArgumentParser(add_help=False)
+    machine_opts.add_argument(
+        "--machine", default="itsy", metavar="NAME[@V]",
+        help="machine preset, optionally with a boot voltage "
+             "(itsy, itsy@1.23, itsy-stock, sa2; see list-machines)",
+    )
+
     sub.add_parser("list-policies", help="list policy names").set_defaults(
         func=cmd_list_policies
     )
+    sub.add_parser("list-machines", help="list machine presets").set_defaults(
+        func=cmd_list_machines
+    )
 
     run_parser = sub.add_parser(
-        "run", help="run one workload under one policy", parents=[sweep_opts]
+        "run", help="run one workload under one policy",
+        parents=[sweep_opts, machine_opts],
     )
     run_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
     run_parser.add_argument("--policy", default="best")
@@ -308,18 +379,20 @@ def build_parser() -> argparse.ArgumentParser:
                             help="use the exact integral instead of the DAQ")
     run_parser.set_defaults(func=cmd_run)
 
-    t2 = sub.add_parser("table2", help="regenerate Table 2", parents=[sweep_opts])
+    t2 = sub.add_parser("table2", help="regenerate Table 2",
+                        parents=[sweep_opts, machine_opts])
     t2.add_argument("--runs", type=int, default=3)
     t2.set_defaults(func=cmd_table2)
 
     f9 = sub.add_parser("fig9", help="regenerate Figure 9's sweep",
-                        parents=[sweep_opts])
+                        parents=[sweep_opts, machine_opts])
     f9.add_argument("--seed", type=int, default=1)
     f9.add_argument("--duration", type=float, default=None)
     f9.set_defaults(func=cmd_fig9)
 
     cmp_parser = sub.add_parser(
-        "compare", help="compare two policies on one workload (Welch t-test)"
+        "compare", help="compare two policies on one workload (Welch t-test)",
+        parents=[machine_opts],
     )
     cmp_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
     cmp_parser.add_argument("policy_a")
@@ -330,7 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ideal_parser = sub.add_parser(
         "ideal", help="find the cheapest feasible constant clock step",
-        parents=[sweep_opts],
+        parents=[sweep_opts, machine_opts],
     )
     ideal_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
     ideal_parser.add_argument("--seed", type=int, default=0)

@@ -17,7 +17,12 @@ measurements depend on:
   pad/bus, frequency-tracking system power, fixed peripherals, nap).
 - :mod:`repro.hw.cpu` -- the CPU execution model, including the ~200 us
   stall on every clock-frequency change and the "nap" idle mode.
-- :mod:`repro.hw.itsy` -- whole-machine composition and presets.
+- :mod:`repro.hw.machine` -- the abstract machine interface the kernel
+  simulator drives.
+- :mod:`repro.hw.itsy` -- the Itsy: whole-machine composition and presets.
+- :mod:`repro.hw.sa2` -- the hypothetical SA-2 with true voltage scaling.
+- :mod:`repro.hw.machines` -- named machine presets (:class:`MachineSpec`)
+  for the sweep/cache layer and the CLI ``--machine`` flag.
 """
 
 from repro.hw.clocksteps import (
@@ -27,12 +32,28 @@ from repro.hw.clocksteps import (
 )
 from repro.hw.cpu import CoreState, CpuModel, CLOCK_CHANGE_STALL_US
 from repro.hw.itsy import ItsyConfig, ItsyMachine
+from repro.hw.machine import Machine
+from repro.hw.machines import (
+    MACHINE_PRESETS,
+    MachinePreset,
+    MachineSpec,
+    register_machine,
+)
 from repro.hw.memory import MemoryTimings, SA1100_MEMORY_TIMINGS
 from repro.hw.power import PowerModel, PowerParameters
-from repro.hw.rails import CoreRail, VOLTAGE_HIGH, VOLTAGE_LOW, VOLTAGE_IO
+from repro.hw.rails import (
+    CoreRail,
+    ScheduledRail,
+    VoltageError,
+    VOLTAGE_HIGH,
+    VOLTAGE_IO,
+    VOLTAGE_LOW,
+)
+from repro.hw.sa2 import Sa2Machine
 from repro.hw.work import Work
 
 __all__ = [
+    "MACHINE_PRESETS",
     "SA1100_CLOCK_TABLE",
     "SA1100_MEMORY_TIMINGS",
     "CLOCK_CHANGE_STALL_US",
@@ -43,11 +64,18 @@ __all__ = [
     "CpuModel",
     "ItsyConfig",
     "ItsyMachine",
+    "Machine",
+    "MachinePreset",
+    "MachineSpec",
     "MemoryTimings",
     "PowerModel",
     "PowerParameters",
+    "Sa2Machine",
+    "ScheduledRail",
     "VOLTAGE_HIGH",
     "VOLTAGE_IO",
     "VOLTAGE_LOW",
+    "VoltageError",
     "Work",
+    "register_machine",
 ]

@@ -9,10 +9,11 @@ initial voltage, whether the below-spec 1.23 V rail setting is available).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from repro.hw.clocksteps import SA1100_CLOCK_TABLE, ClockStep, ClockTable
+from repro.hw.clocksteps import SA1100_CLOCK_TABLE, ClockTable
 from repro.hw.cpu import CpuModel
+from repro.hw.machine import Machine
 from repro.hw.memory import SA1100_MEMORY_TIMINGS, MemoryTimings
-from repro.hw.power import CoreState, PowerModel, PowerParameters
+from repro.hw.power import PowerModel, PowerParameters
 from repro.hw.rails import CoreRail, VOLTAGE_HIGH, VOLTAGE_LOW
 
 
@@ -40,7 +41,7 @@ class ItsyConfig:
             raise ValueError("1.23 V requested but unavailable on this unit")
 
 
-class ItsyMachine:
+class ItsyMachine(Machine):
     """An Itsy unit: CPU + power model, as the kernel simulator sees it.
 
     The machine does not advance time itself; the kernel tells it what the
@@ -59,7 +60,7 @@ class ItsyMachine:
         self.config = config
         rail = CoreRail(low_voltage_max_mhz=config.low_voltage_max_mhz)
         initial_step = clock_table.step_for_mhz(config.initial_mhz)
-        self.cpu = CpuModel(
+        cpu = CpuModel(
             clock_table=clock_table,
             timings=timings,
             rail=rail,
@@ -67,32 +68,7 @@ class ItsyMachine:
         )
         if config.initial_volts != rail.volts:
             rail.set_voltage(config.initial_volts, initial_step)
-        self.power = PowerModel(power_params)
-
-    # -- convenience pass-throughs -------------------------------------------------
-
-    @property
-    def clock_table(self) -> ClockTable:
-        """The available clock steps."""
-        return self.cpu.clock_table
-
-    @property
-    def step(self) -> ClockStep:
-        """The current clock step."""
-        return self.cpu.step
-
-    @property
-    def volts(self) -> float:
-        """The current core voltage."""
-        return self.cpu.volts
-
-    def power_w(self, state: CoreState) -> float:
-        """Instantaneous whole-system power in the given core state."""
-        return self.power.total_w(self.cpu.step, self.cpu.volts, state)
-
-    def set_step_index(self, index: int) -> float:
-        """Change the clock step; returns the stall duration in us."""
-        return self.cpu.set_step_index(index)
+        super().__init__(cpu, PowerModel(power_params))
 
     def set_voltage(self, volts: float) -> float:
         """Change the core voltage; returns the settle duration in us.

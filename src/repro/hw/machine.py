@@ -1,0 +1,78 @@
+"""The machine interface the kernel simulator drives.
+
+:class:`Machine` is the contract between the discrete-event kernel and a
+concrete hardware model: a CPU execution model (clock table, memory
+timings, voltage rail, transition costs) plus a power model.  The kernel
+never advances time inside the machine; transition methods *return* their
+time cost for the kernel to account, and :meth:`power_w` reports the
+instantaneous whole-system power for the current state.
+
+Concrete machines (:class:`~repro.hw.itsy.ItsyMachine`,
+:class:`~repro.hw.sa2.Sa2Machine`) subclass this and override
+:meth:`auto_volts_for` to express their voltage-management convention:
+the Itsy raises the rail to 1.5 V only when a requested frequency is
+unsafe at the present voltage, while the SA-2 tracks a full per-step
+voltage schedule in both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.clocksteps import ClockStep, ClockTable
+from repro.hw.cpu import CpuModel
+from repro.hw.power import CoreState, PowerModel
+
+
+class Machine:
+    """A CPU model plus a power model, as the kernel simulator sees it."""
+
+    def __init__(self, cpu: CpuModel, power: PowerModel):
+        self.cpu = cpu
+        self.power = power
+
+    # -- convenience pass-throughs -------------------------------------------------
+
+    @property
+    def clock_table(self) -> ClockTable:
+        """The available clock steps."""
+        return self.cpu.clock_table
+
+    @property
+    def step(self) -> ClockStep:
+        """The current clock step."""
+        return self.cpu.step
+
+    @property
+    def volts(self) -> float:
+        """The current core voltage."""
+        return self.cpu.volts
+
+    def power_w(self, state: CoreState) -> float:
+        """Instantaneous whole-system power in the given core state."""
+        return self.power.total_w(self.cpu.step, self.cpu.volts, state)
+
+    def set_step_index(self, index: int) -> float:
+        """Change the clock step; returns the stall duration in us."""
+        return self.cpu.set_step_index(index)
+
+    def set_voltage(self, volts: float) -> float:
+        """Change the core voltage; returns the settle duration in us."""
+        return self.cpu.set_voltage(volts)
+
+    # -- voltage management convention ---------------------------------------------
+
+    def auto_volts_for(self, step: ClockStep) -> Optional[float]:
+        """Voltage the kernel should set when a governor requests ``step``
+        without an explicit voltage, or None to leave the rail alone.
+
+        The default implements the Itsy convention: the rail is touched
+        only when the requested frequency is unsafe at the present voltage,
+        in which case it is raised to the nominal setting.  Machines with a
+        per-step voltage schedule override this to track the schedule in
+        both directions.
+        """
+        rail = self.cpu.rail
+        if rail.allows(rail.volts, step):
+            return None
+        return rail.high_volts

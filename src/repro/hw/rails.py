@@ -20,6 +20,7 @@ configurable maximum safe frequency for the low voltage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 from repro.hw.clocksteps import ClockStep
 
@@ -122,6 +123,75 @@ class CoreRail:
             raise VoltageError(
                 f"{volts} V is unsafe at {step.mhz:.1f} MHz "
                 f"(limit {self.low_voltage_max_mhz:.1f} MHz)"
+            )
+        settle = self.settle_us_for(volts)
+        self.volts = volts
+        return settle
+
+
+@dataclass
+class ScheduledRail:
+    """A core rail that follows a per-clock-step voltage schedule.
+
+    This models true voltage scaling (the paper's hypothetical SA-2): each
+    clock step has a designated supply voltage, nondecreasing with
+    frequency, and a step is safe at any voltage at or above its scheduled
+    value.  Settle times default to zero (the SA-2 of the introduction is
+    an idealized machine); real parts would set them like the Itsy rail.
+
+    Attributes:
+        volts_by_index: scheduled voltage per clock step, slowest first.
+        volts: present rail voltage (defaults to the fastest step's).
+    """
+
+    volts_by_index: Tuple[float, ...]
+    volts: Optional[float] = None
+    down_settle_us: float = 0.0
+    up_settle_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.volts_by_index:
+            raise ValueError("voltage schedule must be non-empty")
+        if any(v <= 0 for v in self.volts_by_index):
+            raise ValueError("scheduled voltages must be positive")
+        if list(self.volts_by_index) != sorted(self.volts_by_index):
+            raise ValueError("voltage schedule must be nondecreasing")
+        if self.volts is None:
+            self.volts = self.volts_by_index[-1]
+        if not any(abs(self.volts - v) < 1e-9 for v in self.volts_by_index):
+            raise VoltageError(f"unsupported core voltage {self.volts}")
+
+    # -- queries -----------------------------------------------------------------
+
+    def volts_for(self, step: ClockStep) -> float:
+        """The scheduled voltage of ``step``."""
+        return self.volts_by_index[step.index]
+
+    def allows(self, volts: float, step: ClockStep) -> bool:
+        """True if running ``step`` at ``volts`` is within the safe envelope."""
+        return volts + 1e-9 >= self.volts_for(step)
+
+    def settle_us_for(self, volts: float) -> float:
+        """Settle time for a transition to ``volts`` (0 if no change)."""
+        if volts == self.volts:
+            return 0.0
+        return self.down_settle_us if volts < self.volts else self.up_settle_us
+
+    # -- transitions --------------------------------------------------------------
+
+    def set_voltage(self, volts: float, step: ClockStep) -> float:
+        """Change the rail voltage; return the settle time in microseconds.
+
+        Raises:
+            VoltageError: if ``volts`` is not on the schedule or is below
+                the scheduled voltage of ``step``.
+        """
+        if not any(abs(volts - v) < 1e-9 for v in self.volts_by_index):
+            raise VoltageError(f"unsupported core voltage {volts}")
+        if not self.allows(volts, step):
+            raise VoltageError(
+                f"{volts:.3f} V is unsafe at {step.mhz:.1f} MHz "
+                f"(schedule requires {self.volts_for(step):.3f} V)"
             )
         settle = self.settle_us_for(volts)
         self.volts = volts

@@ -23,12 +23,14 @@ nap power is negligible.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.hw.clocksteps import ClockStep, ClockTable
 from repro.hw.cpu import CpuModel
+from repro.hw.machine import Machine
 from repro.hw.memory import MemoryTimings
 from repro.hw.power import CoreState, PowerModel, PowerParameters
+from repro.hw.rails import ScheduledRail
 
 #: Eleven SA-2 clock steps, 150 to 600 MHz in 45 MHz increments.
 SA2_FREQUENCIES_MHZ: Tuple[float, ...] = tuple(150.0 + 45.0 * i for i in range(11))
@@ -94,3 +96,62 @@ def sa2_cpu() -> CpuModel:
         timings=SA2_MEMORY_TIMINGS,
         step=SA2_CLOCK_TABLE.max_step,
     )
+
+
+def sa2_voltage_schedule(clock_table: ClockTable) -> Tuple[float, ...]:
+    """The per-step voltage schedule: linear in frequency between the
+    endpoints, 1.018 V at the slowest step up to 1.8 V at the fastest."""
+    lo = clock_table.min_step.mhz
+    span = clock_table.max_step.mhz - lo
+    if span <= 0:
+        return (SA2_VOLTS_MAX,) * len(clock_table)
+    return tuple(
+        SA2_VOLTS_MIN + (s.mhz - lo) / span * (SA2_VOLTS_MAX - SA2_VOLTS_MIN)
+        for s in clock_table
+    )
+
+
+def sa2_memory_timings(num_steps: int) -> MemoryTimings:
+    """The idealized flat memory table, sized for ``num_steps`` steps."""
+    return MemoryTimings(
+        cycles_per_mem_ref=tuple([10] * num_steps),
+        cycles_per_cache_ref=tuple([40] * num_steps),
+    )
+
+
+class Sa2Machine(Machine):
+    """The hypothetical SA-2 as a whole machine the kernel can drive.
+
+    Unlike the Itsy's two-setting rail, the SA-2 rail follows a per-step
+    voltage schedule: when a governor requests a frequency without naming a
+    voltage, :meth:`auto_volts_for` returns the scheduled voltage so the
+    kernel tracks the schedule in both directions (raising before a
+    frequency increase, dropping after a decrease).
+    """
+
+    def __init__(
+        self,
+        clock_table: ClockTable = SA2_CLOCK_TABLE,
+        timings: Optional[MemoryTimings] = None,
+        initial_mhz: Optional[float] = None,
+    ):
+        if timings is None:
+            timings = sa2_memory_timings(len(clock_table))
+        schedule = sa2_voltage_schedule(clock_table)
+        step = (
+            clock_table.max_step
+            if initial_mhz is None
+            else clock_table.step_for_mhz(initial_mhz)
+        )
+        rail = ScheduledRail(volts_by_index=schedule, volts=schedule[step.index])
+        cpu = CpuModel(
+            clock_table=clock_table, timings=timings, rail=rail, step=step
+        )
+        super().__init__(cpu, sa2_power_model())
+        self._schedule = schedule
+
+    def auto_volts_for(self, step: ClockStep) -> Optional[float]:
+        volts = self._schedule[step.index]
+        if abs(volts - self.volts) < 1e-12:
+            return None
+        return volts

@@ -13,13 +13,19 @@ This package reproduces that environment in simulation:
 
 - :mod:`repro.kernel.process` -- processes as generator coroutines yielding
   actions (compute, sleep, spin, yield, exit);
-- :mod:`repro.kernel.scheduler` -- the kernel proper: 100 Hz tick, 10 ms
+- :mod:`repro.kernel.scheduler` -- the scheduling core: 100 Hz tick, 10 ms
   quanta with the scheduler forced every tick (the paper sets the process
   counter to 1), round-robin run queue, nap-mode idle, utilization
-  accounting, power recording, governor invocation;
+  accounting, governor invocation;
+- :mod:`repro.kernel.dvfs` -- voltage/frequency sequencing (request
+  clamping, raise-before/drop-after ordering, stall and sag accounting);
+- :mod:`repro.kernel.recorders` -- pluggable run instrumentation (power
+  timeline, quantum log, transition history, sched log, or streaming
+  energy/utilization aggregates for energy-only cells);
 - :mod:`repro.kernel.governor` -- the clock-scaling module interface.
 """
 
+from repro.kernel.dvfs import DvfsEngine
 from repro.kernel.governor import (
     ConstantGovernor,
     Governor,
@@ -37,23 +43,54 @@ from repro.kernel.process import (
     SpinUntil,
     Yield,
 )
+from repro.kernel.recorders import (
+    RECORDING_FULL,
+    RECORDING_MINIMAL,
+    EnergyMeterRecorder,
+    EnergyTotals,
+    PowerTimelineRecorder,
+    QuantumLogRecorder,
+    QuantumStats,
+    QuantumStatsRecorder,
+    RunRecorder,
+    SchedLogRecorder,
+    TransitionLogRecorder,
+    default_recorders,
+    minimal_recorders,
+    recorders_for,
+)
 from repro.kernel.scheduler import Kernel, KernelConfig, KernelRun
 
 __all__ = [
+    "RECORDING_FULL",
+    "RECORDING_MINIMAL",
     "Compute",
     "ConstantGovernor",
+    "DvfsEngine",
+    "EnergyMeterRecorder",
+    "EnergyTotals",
     "Exit",
     "Governor",
     "GovernorRequest",
     "Kernel",
     "KernelConfig",
     "KernelRun",
+    "PowerTimelineRecorder",
     "Process",
     "ProcessContext",
     "ProcessState",
+    "QuantumLogRecorder",
+    "QuantumStats",
+    "QuantumStatsRecorder",
+    "RunRecorder",
+    "SchedLogRecorder",
     "Sleep",
     "SleepUntil",
     "SpinUntil",
     "TickInfo",
+    "TransitionLogRecorder",
     "Yield",
+    "default_recorders",
+    "minimal_recorders",
+    "recorders_for",
 ]

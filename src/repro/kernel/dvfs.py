@@ -1,0 +1,102 @@
+"""Voltage/frequency sequencing: the DVFS side of the simulated kernel.
+
+:class:`DvfsEngine` applies governor requests to the machine the way the
+paper's modified kernel (and any real cpufreq driver) must: clamp the
+requested step into the table, raise the core rail *before* a frequency
+increase and drop it *after* a decrease, charge the ~200 us clock-change
+stall, and track the rail-sag window after a voltage drop (during which
+the rail — and hence power — is still at the old voltage).
+
+The engine is machine-generic: when a request names a frequency without a
+voltage, it asks :meth:`~repro.hw.machine.Machine.auto_volts_for` what the
+machine's voltage-management convention wants.  On the Itsy that raises
+the rail only when the requested frequency is unsafe at the present
+voltage; on the SA-2 it tracks the per-step voltage schedule in both
+directions.
+
+Time accounting stays in the scheduler core: the engine calls back into a
+small host interface (``now_us``, ``stall``, ``emit_freq_change``,
+``emit_volt_change``) implemented by the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hw.machine import Machine
+from repro.kernel.governor import GovernorRequest
+from repro.traces.schema import FreqChange, VoltChange
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw.cpu import TransitionCounters
+    from repro.kernel.scheduler import Kernel
+
+
+class DvfsEngine:
+    """Sequences clock and voltage transitions for one machine.
+
+    Attributes:
+        machine: the machine being driven.
+        sag_until_us: end of the current voltage-sag window (power must be
+            computed at :attr:`sag_volts` before this time).
+        sag_volts: the pre-drop voltage in effect during the sag window.
+    """
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.sag_until_us = -1.0
+        self.sag_volts = 0.0
+
+    @property
+    def counters(self) -> "TransitionCounters":
+        """Counts and cumulative costs of the transitions applied so far."""
+        return self.machine.cpu.counters
+
+    def apply(self, request: GovernorRequest, host: "Kernel") -> None:
+        """Apply a governor request with safe voltage/frequency sequencing.
+
+        Like a real cpufreq driver, the kernel adjusts the core rail on
+        its own (per the machine's convention) when a requested frequency
+        comes without a voltage.  An *explicit* voltage request that is
+        unsafe with the requested frequency is a governor bug and raises
+        ``VoltageError``.
+        """
+        machine = self.machine
+        target_volts = request.volts
+        if request.step_index is not None and target_volts is None:
+            table = machine.clock_table
+            clamped = table[table.clamp_index(request.step_index)]
+            target_volts = machine.auto_volts_for(clamped)
+        raise_volts_first = (
+            target_volts is not None and target_volts > machine.volts
+        )
+        if raise_volts_first:
+            self._apply_voltage(target_volts, host)
+
+        if request.step_index is not None:
+            old = machine.step
+            stall = machine.set_step_index(request.step_index)
+            if machine.step.index != old.index:
+                if stall > 0:
+                    # The processor cannot execute during the switch; the
+                    # clock generator output is treated as the new step's
+                    # nap power.
+                    host.stall(stall)
+                host.emit_freq_change(
+                    FreqChange(host.now_us, old.mhz, machine.step.mhz, stall)
+                )
+
+        if target_volts is not None and not raise_volts_first:
+            self._apply_voltage(target_volts, host)
+
+    def _apply_voltage(self, volts: float, host: "Kernel") -> None:
+        old = self.machine.volts
+        if volts == old:
+            return
+        settle = self.machine.set_voltage(volts)
+        if volts < old and settle > 0:
+            # The rail sags slowly: power stays at the old voltage until
+            # the rail settles.  Execution continues meanwhile.
+            self.sag_until_us = host.now_us + settle
+            self.sag_volts = old
+        host.emit_volt_change(VoltChange(host.now_us, old, volts, settle))

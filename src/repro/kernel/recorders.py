@@ -1,0 +1,295 @@
+"""Pluggable run instrumentation for the kernel simulator.
+
+The kernel fans its observations out to a set of :class:`RunRecorder`
+observers instead of recording everything unconditionally.  Each recorder
+subscribes to the hooks it overrides (the kernel skips non-overridden
+hooks entirely, so unused instrumentation costs nothing in the hot loop)
+and deposits its product into the :class:`~repro.kernel.scheduler.KernelRun`
+at the end via :meth:`RunRecorder.contribute`.
+
+Two stock recorder sets cover the common cases:
+
+- :func:`default_recorders` — full instrumentation, equivalent to the
+  original always-on recording: the power timeline, the per-quantum log,
+  the frequency/voltage change history, and (when configured) the
+  scheduler activity log.
+- :func:`minimal_recorders` — just enough for an energy-only sweep cell:
+  a streaming energy meter and streaming quantum statistics.  The meter
+  replicates the timeline's segment-merge arithmetic operation for
+  operation, so the energy it reports is **bitwise equal** to
+  ``timeline.energy_joules()`` under full recording.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.traces.schema import (
+    FreqChange,
+    PowerTimeline,
+    QuantumRecord,
+    SchedDecision,
+    VoltChange,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.scheduler import KernelConfig, KernelRun
+
+#: Recording-mode names understood by the measurement layer.
+RECORDING_FULL = "full"
+RECORDING_MINIMAL = "minimal"
+
+
+class RunRecorder:
+    """Base observer: every hook is a no-op.
+
+    Subclasses override only the hooks they need; the kernel detects
+    overridden hooks by comparing against these base attributes and does
+    not call (or even build arguments for) the rest.
+    """
+
+    def on_power(self, start_us: float, end_us: float, watts: float) -> None:
+        """A power segment: the machine drew ``watts`` over the interval."""
+
+    def on_quantum(self, record: QuantumRecord) -> None:
+        """A scheduling quantum closed."""
+
+    def on_sched_decision(self, decision: SchedDecision) -> None:
+        """The scheduler picked a process (or went idle)."""
+
+    def on_freq_change(self, change: FreqChange) -> None:
+        """A clock-frequency change was applied."""
+
+    def on_volt_change(self, change: VoltChange) -> None:
+        """A core-voltage change was applied."""
+
+    def contribute(self, run: "KernelRun") -> None:
+        """Deposit this recorder's product into the finished run."""
+
+
+class PowerTimelineRecorder(RunRecorder):
+    """Records the full continuous power signal (the DAQ's input)."""
+
+    def __init__(self) -> None:
+        self.timeline = PowerTimeline()
+
+    def on_power(self, start_us: float, end_us: float, watts: float) -> None:
+        self.timeline.record(start_us, end_us, watts)
+
+    def contribute(self, run: "KernelRun") -> None:
+        run.timeline = self.timeline
+
+
+@dataclass(frozen=True)
+class EnergyTotals:
+    """Streaming-integrated energy of a run (minimal-recording mode)."""
+
+    energy_j: float
+    start_us: float
+    end_us: float
+
+    def mean_power_w(self) -> float:
+        """Average power over the recorded window, in watts."""
+        duration_s = (self.end_us - self.start_us) * 1e-6
+        if duration_s <= 0:
+            return 0.0
+        return self.energy_j / duration_s
+
+
+class EnergyMeterRecorder(RunRecorder):
+    """Integrates energy on the fly without storing the timeline.
+
+    Replicates :meth:`~repro.traces.schema.PowerTimeline.record` exactly —
+    the same zero-length skip, the same adjacent-equal-power merge with
+    the same tolerances, and the same per-segment ``w * dt`` summation
+    order — so the total is bitwise equal to the full timeline's
+    ``energy_joules()``.
+    """
+
+    def __init__(self) -> None:
+        self._pending = False
+        self._pend_start = 0.0
+        self._pend_end = 0.0
+        self._pend_w = 0.0
+        self._energy_j = 0.0
+        self._start_us = 0.0
+
+    def on_power(self, start_us: float, end_us: float, watts: float) -> None:
+        if end_us <= start_us + 1e-9:
+            return
+        if watts < 0:
+            raise ValueError("power cannot be negative")
+        if self._pending:
+            if (
+                abs(self._pend_end - start_us) < 1e-6
+                and abs(self._pend_w - watts) < 1e-12
+            ):
+                self._pend_end = end_us
+                return
+            self._energy_j += (
+                self._pend_w * (self._pend_end - self._pend_start) * 1e-6
+            )
+        else:
+            self._start_us = start_us
+            self._pending = True
+        self._pend_start = start_us
+        self._pend_end = end_us
+        self._pend_w = watts
+
+    def totals(self) -> EnergyTotals:
+        """The integrated energy including any still-pending segment."""
+        energy = self._energy_j
+        end = self._pend_end if self._pending else self._start_us
+        if self._pending:
+            energy += self._pend_w * (self._pend_end - self._pend_start) * 1e-6
+        return EnergyTotals(
+            energy_j=energy, start_us=self._start_us, end_us=end
+        )
+
+    def contribute(self, run: "KernelRun") -> None:
+        run.energy = self.totals()
+
+
+class QuantumLogRecorder(RunRecorder):
+    """Keeps every per-quantum utilization record (Figures 3/4/8)."""
+
+    def __init__(self) -> None:
+        self.quanta: List[QuantumRecord] = []
+
+    def on_quantum(self, record: QuantumRecord) -> None:
+        self.quanta.append(record)
+
+    def contribute(self, run: "KernelRun") -> None:
+        run.quanta = self.quanta
+
+
+@dataclass(frozen=True)
+class QuantumStats:
+    """Streaming per-quantum aggregates (minimal-recording mode)."""
+
+    count: int
+    utilization_sum: float
+    quanta_by_step: Dict[int, int] = field(default_factory=dict)
+    mhz_by_step: Dict[int, float] = field(default_factory=dict)
+    final_step_index: int = 0
+    final_mhz: float = 0.0
+    final_volts: float = 0.0
+
+    def mean_utilization(self) -> float:
+        """Average utilization, bitwise equal to the full-log mean."""
+        if not self.count:
+            return 0.0
+        return self.utilization_sum / self.count
+
+
+class QuantumStatsRecorder(RunRecorder):
+    """Accumulates quantum aggregates without keeping the log.
+
+    The utilization sum adds ``record.utilization`` in arrival order —
+    the same left-to-right float summation as
+    :meth:`KernelRun.mean_utilization` over the full log — so the mean is
+    bitwise equal between recording modes.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._utilization_sum = 0.0
+        self._by_step: Dict[int, int] = {}
+        self._mhz_by_step: Dict[int, float] = {}
+        self._last: Optional[QuantumRecord] = None
+
+    def on_quantum(self, record: QuantumRecord) -> None:
+        self._count += 1
+        self._utilization_sum += record.utilization
+        self._by_step[record.step_index] = (
+            self._by_step.get(record.step_index, 0) + 1
+        )
+        self._mhz_by_step[record.step_index] = record.mhz
+        self._last = record
+
+    def stats(self) -> QuantumStats:
+        """The aggregates accumulated so far."""
+        last = self._last
+        return QuantumStats(
+            count=self._count,
+            utilization_sum=self._utilization_sum,
+            quanta_by_step=dict(self._by_step),
+            mhz_by_step=dict(self._mhz_by_step),
+            final_step_index=last.step_index if last else 0,
+            final_mhz=last.mhz if last else 0.0,
+            final_volts=last.volts if last else 0.0,
+        )
+
+    def contribute(self, run: "KernelRun") -> None:
+        run.quantum_stats = self.stats()
+
+
+class TransitionLogRecorder(RunRecorder):
+    """Keeps the clock-frequency and core-voltage change history."""
+
+    def __init__(self) -> None:
+        self.freq_changes: List[FreqChange] = []
+        self.volt_changes: List[VoltChange] = []
+
+    def on_freq_change(self, change: FreqChange) -> None:
+        self.freq_changes.append(change)
+
+    def on_volt_change(self, change: VoltChange) -> None:
+        self.volt_changes.append(change)
+
+    def contribute(self, run: "KernelRun") -> None:
+        run.freq_changes = self.freq_changes
+        run.volt_changes = self.volt_changes
+
+
+class SchedLogRecorder(RunRecorder):
+    """Keeps the microsecond scheduler activity log (paper §4.3)."""
+
+    def __init__(self) -> None:
+        self.decisions: List[SchedDecision] = []
+
+    def on_sched_decision(self, decision: SchedDecision) -> None:
+        self.decisions.append(decision)
+
+    def contribute(self, run: "KernelRun") -> None:
+        run.sched_log = self.decisions
+
+
+def default_recorders(config: "KernelConfig") -> List[RunRecorder]:
+    """The full instrumentation set (the original always-on recording)."""
+    recorders: List[RunRecorder] = [
+        PowerTimelineRecorder(),
+        QuantumLogRecorder(),
+        TransitionLogRecorder(),
+    ]
+    if config.record_sched_log:
+        recorders.append(SchedLogRecorder())
+    return recorders
+
+
+def minimal_recorders(config: "KernelConfig") -> List[RunRecorder]:
+    """Just enough instrumentation for an energy-only sweep cell."""
+    recorders: List[RunRecorder] = [
+        EnergyMeterRecorder(),
+        QuantumStatsRecorder(),
+    ]
+    if config.record_sched_log:
+        recorders.append(SchedLogRecorder())
+    return recorders
+
+
+def recorders_for(mode: str, config: "KernelConfig") -> List[RunRecorder]:
+    """Build a recorder set by mode name (``"full"`` / ``"minimal"``).
+
+    Raises:
+        ValueError: for unknown mode names.
+    """
+    if mode == RECORDING_FULL:
+        return default_recorders(config)
+    if mode == RECORDING_MINIMAL:
+        return minimal_recorders(config)
+    raise ValueError(
+        f"unknown recording mode {mode!r}; "
+        f"expected {RECORDING_FULL!r} or {RECORDING_MINIMAL!r}"
+    )

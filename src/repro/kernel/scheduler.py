@@ -21,17 +21,23 @@ Faithful to the paper's modified kernel (§4.3):
 The simulation is event-free in structure: time advances process-slice by
 process-slice inside each quantum, then tick bookkeeping runs.  All times
 are float microseconds; quanta are exact multiples of ``quantum_us``.
+
+The class is a lean scheduling core: voltage/frequency sequencing lives in
+:class:`~repro.kernel.dvfs.DvfsEngine` and all instrumentation in the
+pluggable :mod:`~repro.kernel.recorders` observers, so callers that only
+need energy totals can run with a minimal recorder set.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional
 
-from repro.hw.itsy import ItsyMachine
+from repro.hw.machine import Machine
 from repro.hw.power import CoreState
-from repro.kernel.governor import Governor, GovernorRequest, TickInfo
+from repro.kernel.dvfs import DvfsEngine
+from repro.kernel.governor import Governor, TickInfo
 from repro.kernel.process import (
     Compute,
     Exit,
@@ -42,6 +48,12 @@ from repro.kernel.process import (
     SleepUntil,
     SpinUntil,
     Yield,
+)
+from repro.kernel.recorders import (
+    EnergyTotals,
+    QuantumStats,
+    RunRecorder,
+    default_recorders,
 )
 from repro.traces.schema import (
     AppEvent,
@@ -85,23 +97,33 @@ class KernelConfig:
 
 @dataclass
 class KernelRun:
-    """Everything recorded during one simulated run."""
+    """Everything recorded during one simulated run.
+
+    Which fields are populated depends on the recorder set the kernel ran
+    with: under the default (full) recorders ``quanta``, ``timeline``,
+    ``freq_changes``/``volt_changes`` and (if configured) ``sched_log``
+    hold the complete record; under minimal recorders those stay empty and
+    the streaming aggregates ``energy`` / ``quantum_stats`` are set
+    instead.  Derived views fall back to the aggregates transparently.
+    """
 
     duration_us: float
-    quanta: List[QuantumRecord]
-    timeline: PowerTimeline
-    freq_changes: List[FreqChange]
-    volt_changes: List[VoltChange]
-    sched_log: List[SchedDecision]
-    events: List[AppEvent]
+    quanta: List[QuantumRecord] = field(default_factory=list)
+    timeline: PowerTimeline = field(default_factory=PowerTimeline)
+    freq_changes: List[FreqChange] = field(default_factory=list)
+    volt_changes: List[VoltChange] = field(default_factory=list)
+    sched_log: List[SchedDecision] = field(default_factory=list)
+    events: List[AppEvent] = field(default_factory=list)
     #: non-idle execution time per pid (pid 0 never appears; spinning and
     #: computing both count, matching the kernel's busy accounting).
-    busy_us_by_pid: Dict[int, float] = None  # type: ignore[assignment]
-    process_names: Dict[int, str] = None  # type: ignore[assignment]
+    busy_us_by_pid: Dict[int, float] = field(default_factory=dict)
+    process_names: Dict[int, str] = field(default_factory=dict)
     clock_changes: int = 0
     clock_stall_us: float = 0.0
     voltage_changes: int = 0
     voltage_settle_us: float = 0.0
+    quantum_stats: Optional[QuantumStats] = None
+    energy: Optional[EnergyTotals] = None
 
     # -- derived views -------------------------------------------------------------
 
@@ -132,16 +154,22 @@ class KernelRun:
 
     def mean_utilization(self) -> float:
         """Average utilization over the run."""
-        if not self.quanta:
-            return 0.0
-        return sum(q.utilization for q in self.quanta) / len(self.quanta)
+        if self.quanta:
+            return sum(q.utilization for q in self.quanta) / len(self.quanta)
+        if self.quantum_stats is not None:
+            return self.quantum_stats.mean_utilization()
+        return 0.0
 
     def energy_joules(self) -> float:
         """Exact energy of the run (the DAQ estimator lives in measure/)."""
+        if len(self.timeline) == 0 and self.energy is not None:
+            return self.energy.energy_j
         return self.timeline.energy_joules()
 
     def mean_power_w(self) -> float:
         """Average power of the run."""
+        if len(self.timeline) == 0 and self.energy is not None:
+            return self.energy.mean_power_w()
         return self.timeline.mean_power_w()
 
     def events_of_kind(self, kind: str) -> List[AppEvent]:
@@ -163,19 +191,26 @@ class KernelRun:
 
 
 class Kernel:
-    """One simulated boot of the Itsy's kernel.  Use once: spawn, then run."""
+    """One simulated boot of the machine's kernel.  Use once: spawn, run."""
 
     IDLE_PID = 0
 
     def __init__(
         self,
-        machine: ItsyMachine,
+        machine: Machine,
         governor: Optional[Governor] = None,
         config: Optional[KernelConfig] = None,
+        recorders: Optional[Iterable[RunRecorder]] = None,
     ):
         self.machine = machine
         self.governor = governor
         self.config = config if config is not None else KernelConfig()
+        self._recorders: List[RunRecorder] = (
+            default_recorders(self.config)
+            if recorders is None
+            else list(recorders)
+        )
+        self.dvfs = DvfsEngine(machine)
         self._procs: Dict[int, Process] = {}
         self._runq: Deque[Process] = deque()
         self._sleepers: List[Process] = []
@@ -186,18 +221,39 @@ class Kernel:
         self._now = 0.0
         self._busy_us = 0.0  # non-idle time in the current quantum
         self._busy_by_pid: Dict[int, float] = {}
-        self._timeline = PowerTimeline()
-        self._quanta: List[QuantumRecord] = []
-        self._freq_changes: List[FreqChange] = []
-        self._volt_changes: List[VoltChange] = []
-        self._sched_log: List[SchedDecision] = []
-        # voltage-sag window: power computed at old voltage until sag end
-        self._sag_until = -1.0
-        self._sag_volts = 0.0
         # clock step/voltage in effect for the current quantum (changes
         # happen only in tick processing, so they are constant within one)
         self._quantum_step = machine.step
         self._quantum_volts = machine.volts
+
+        # Per-hook sink lists: only hooks a recorder actually overrides
+        # are dispatched, so unused instrumentation costs nothing.
+        base = RunRecorder
+        self._power_sinks = [
+            r.on_power
+            for r in self._recorders
+            if type(r).on_power is not base.on_power
+        ]
+        self._quantum_sinks = [
+            r.on_quantum
+            for r in self._recorders
+            if type(r).on_quantum is not base.on_quantum
+        ]
+        self._sched_sinks = [
+            r.on_sched_decision
+            for r in self._recorders
+            if type(r).on_sched_decision is not base.on_sched_decision
+        ]
+        self._freq_sinks = [
+            r.on_freq_change
+            for r in self._recorders
+            if type(r).on_freq_change is not base.on_freq_change
+        ]
+        self._volt_sinks = [
+            r.on_volt_change
+            for r in self._recorders
+            if type(r).on_volt_change is not base.on_volt_change
+        ]
 
     # -- setup ----------------------------------------------------------------------
 
@@ -214,6 +270,30 @@ class Kernel:
         self._procs[proc.pid] = proc
         self._runq.append(proc)
         return proc
+
+    # -- host interface for the DVFS engine -------------------------------------------
+
+    @property
+    def now_us(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def stall(self, duration_us: float) -> None:
+        """The processor cannot execute for ``duration_us`` (clock switch);
+        the time is charged as busy and drawn at nap power."""
+        self._record_power(CoreState.NAP, self._now, self._now + duration_us)
+        self._busy_us += duration_us
+        self._now += duration_us
+
+    def emit_freq_change(self, change: FreqChange) -> None:
+        """Fan a frequency-change record out to the recorders."""
+        for sink in self._freq_sinks:
+            sink(change)
+
+    def emit_volt_change(self, change: VoltChange) -> None:
+        """Fan a voltage-change record out to the recorders."""
+        for sink in self._volt_sinks:
+            sink(change)
 
     # -- main loop --------------------------------------------------------------------
 
@@ -257,16 +337,20 @@ class Kernel:
             proc = self._pick_next()
             if proc is None:
                 # idle: pid 0 naps until the next clock interrupt.
-                if self.config.record_sched_log:
-                    self._sched_log.append(
-                        SchedDecision(self._now, self.IDLE_PID, "idle", self.machine.step.mhz)
+                if self._sched_sinks:
+                    self._emit_sched_decision(
+                        SchedDecision(
+                            self._now, self.IDLE_PID, "idle", self.machine.step.mhz
+                        )
                     )
                 self._record_power(CoreState.NAP, self._now, next_tick)
                 self._now = next_tick
             else:
-                if self.config.record_sched_log:
-                    self._sched_log.append(
-                        SchedDecision(self._now, proc.pid, proc.name, self.machine.step.mhz)
+                if self._sched_sinks:
+                    self._emit_sched_decision(
+                        SchedDecision(
+                            self._now, proc.pid, proc.name, self.machine.step.mhz
+                        )
                     )
                 self._run_process(proc, next_tick)
             if self._now >= next_tick - _EPS:
@@ -274,13 +358,8 @@ class Kernel:
                 next_tick += q
 
         counters = self.machine.cpu.counters
-        return KernelRun(
+        run = KernelRun(
             duration_us=end_us,
-            quanta=self._quanta,
-            timeline=self._timeline,
-            freq_changes=self._freq_changes,
-            volt_changes=self._volt_changes,
-            sched_log=self._sched_log,
             events=[e for p in self._procs.values() for e in p.context.events],
             busy_us_by_pid=dict(self._busy_by_pid),
             process_names={p.pid: p.name for p in self._procs.values()},
@@ -289,6 +368,9 @@ class Kernel:
             voltage_changes=counters.voltage_changes,
             voltage_settle_us=counters.voltage_settle_us,
         )
+        for recorder in self._recorders:
+            recorder.contribute(run)
+        return run
 
     # -- scheduling ---------------------------------------------------------------------
 
@@ -299,6 +381,10 @@ class Kernel:
             if proc.state is ProcessState.RUNNABLE:
                 return proc
         return None
+
+    def _emit_sched_decision(self, decision: SchedDecision) -> None:
+        for sink in self._sched_sinks:
+            sink(decision)
 
     def _run_process(self, proc: Process, limit_us: float) -> None:
         """Run ``proc`` until it blocks/exits/yields or the quantum ends."""
@@ -428,7 +514,8 @@ class Kernel:
             mhz=self._quantum_step.mhz,
             volts=self._quantum_volts,
         )
-        self._quanta.append(record)
+        for sink in self._quantum_sinks:
+            sink(record)
         self._busy_us = 0.0
         if final:
             return
@@ -464,82 +551,31 @@ class Kernel:
             )
             request = self.governor.on_tick(info)
             if request is not None and not request.is_noop:
-                self._apply_request(request)
+                self.dvfs.apply(request, self)
 
         self._quantum_step = self.machine.step
         self._quantum_volts = self.machine.volts
 
-    def _apply_request(self, request: GovernorRequest) -> None:
-        """Apply a governor request with safe voltage/frequency sequencing.
-
-        Like a real cpufreq driver, the kernel raises the core rail on its
-        own when a requested frequency is unsafe at the present voltage
-        and the request does not say otherwise.  An *explicit* voltage
-        request that is unsafe with the requested frequency is a governor
-        bug and raises ``VoltageError``.
-        """
-        machine = self.machine
-        target_volts = request.volts
-        if (
-            request.step_index is not None
-            and target_volts is None
-            and not machine.cpu.rail.allows(
-                machine.volts,
-                machine.clock_table[
-                    machine.clock_table.clamp_index(request.step_index)
-                ],
-            )
-        ):
-            target_volts = machine.cpu.rail.high_volts
-        raise_volts_first = (
-            target_volts is not None and target_volts > machine.volts
-        )
-        if raise_volts_first:
-            self._apply_voltage(target_volts)
-
-        if request.step_index is not None:
-            old = machine.step
-            stall = machine.set_step_index(request.step_index)
-            if machine.step.index != old.index:
-                if stall > 0:
-                    # The processor cannot execute during the switch; the
-                    # clock generator output is treated as the new step's
-                    # nap power.
-                    self._record_power(CoreState.NAP, self._now, self._now + stall)
-                    self._busy_us += stall
-                    self._now += stall
-                self._freq_changes.append(
-                    FreqChange(self._now, old.mhz, machine.step.mhz, stall)
-                )
-
-        if target_volts is not None and not raise_volts_first:
-            self._apply_voltage(target_volts)
-
-    def _apply_voltage(self, volts: float) -> None:
-        old = self.machine.volts
-        if volts == old:
-            return
-        settle = self.machine.set_voltage(volts)
-        if volts < old and settle > 0:
-            # The rail sags slowly: power stays at the old voltage until
-            # the rail settles.  Execution continues meanwhile.
-            self._sag_until = self._now + settle
-            self._sag_volts = old
-        self._volt_changes.append(VoltChange(self._now, old, volts, settle))
-
     # -- power recording -----------------------------------------------------------------
 
     def _record_power(self, state: CoreState, start_us: float, end_us: float) -> None:
-        """Record machine power over [start, end], honouring rail sag."""
+        """Fan machine power over [start, end] to the recorders, honouring
+        the DVFS engine's rail-sag window."""
         if end_us <= start_us + _EPS:
             return
-        if start_us < self._sag_until - _EPS:
-            split = min(end_us, self._sag_until)
-            watts = self.machine.power.total_w(
-                self.machine.step, self._sag_volts, state
+        if not self._power_sinks:
+            return
+        machine = self.machine
+        if start_us < self.dvfs.sag_until_us - _EPS:
+            split = min(end_us, self.dvfs.sag_until_us)
+            watts = machine.power.total_w(
+                machine.step, self.dvfs.sag_volts, state
             )
-            self._timeline.record(start_us, split, watts)
+            for sink in self._power_sinks:
+                sink(start_us, split, watts)
             if end_us <= split + _EPS:
                 return
             start_us = split
-        self._timeline.record(start_us, end_us, self.machine.power_w(state))
+        watts = machine.power_w(state)
+        for sink in self._power_sinks:
+            sink(start_us, end_us, watts)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import inspect
 import json
 import os
 import tempfile
@@ -46,8 +47,10 @@ from typing import (
 )
 
 from repro.core.catalog import POLICY_FACTORIES, resolve_policy
-from repro.hw.clocksteps import SA1100_CLOCK_TABLE
+from repro.hw.clocksteps import ClockTable
+from repro.hw.machines import MachineSpec
 from repro.kernel.governor import Governor
+from repro.kernel.recorders import RECORDING_FULL, RECORDING_MINIMAL
 from repro.kernel.scheduler import KernelConfig
 from repro.measure.stats import ConfidenceInterval, confidence_interval
 from repro.workloads.base import Workload
@@ -59,7 +62,8 @@ from repro.workloads.web import WebConfig, web_workload
 #: Bump when the simulator's observable numbers change (kernel model,
 #: power model, workload calibration, or the :class:`CellResult` schema):
 #: every cached result keyed under the old version is then ignored.
-CACHE_SCHEMA_VERSION = 1
+#: Version 2 added the machine axis to the key.
+CACHE_SCHEMA_VERSION = 2
 
 #: Workload builders by CLI name.  Each entry is ``(builder, config_type)``
 #: where ``builder(config)`` returns a :class:`Workload`.
@@ -153,14 +157,23 @@ class PolicySpec:
         """Build a parameterized spec; parameters are sorted for stability."""
         return cls(name=name, params=tuple(sorted(params.items())))
 
-    def build_factory(self) -> Callable[[], Governor]:
+    def build_factory(
+        self, clock_table: Optional[ClockTable] = None
+    ) -> Callable[[], Governor]:
         """A fresh-governor factory for this spec.
+
+        Args:
+            clock_table: the machine's clock table, so speed setters and
+                constant speeds resolve against the machine the cell
+                actually runs on (None = the SA-1100 default).  Explicit
+                ``clock_table`` entries in :attr:`params` win; factories
+                that take no such parameter are left alone.
 
         Raises:
             ValueError: for unknown names.
         """
         if not self.params:
-            return resolve_policy(self.name)
+            return resolve_policy(self.name, clock_table=clock_table)
         try:
             factory = POLICY_FACTORIES[self.name]
         except KeyError:
@@ -169,6 +182,12 @@ class PolicySpec:
                 f"(known: {', '.join(sorted(POLICY_FACTORIES))})"
             ) from None
         kwargs = dict(self.params)
+        if (
+            clock_table is not None
+            and "clock_table" not in kwargs
+            and "clock_table" in inspect.signature(factory).parameters
+        ):
+            kwargs["clock_table"] = clock_table
         return lambda: factory(**kwargs)
 
 
@@ -179,10 +198,15 @@ class SweepCell:
     Attributes:
         workload: what to run.
         policy: which governor to install.
+        machine: which machine to run it on (default: modified Itsy).
         seed: workload jitter seed.
         kernel_config: kernel tunables (None = defaults).
         use_daq: measure through the DAQ model, as in the paper.
         daq_seed: DAQ noise seed (defaults to ``seed``).
+        recording: kernel instrumentation level (``"full"`` or
+            ``"minimal"``).  Not part of the cache key: recording modes
+            are bitwise-equivalent in everything a :class:`CellResult`
+            carries, so either mode may answer for the other.
     """
 
     workload: WorkloadSpec
@@ -191,6 +215,8 @@ class SweepCell:
     kernel_config: Optional[KernelConfig] = None
     use_daq: bool = True
     daq_seed: Optional[int] = None
+    machine: MachineSpec = MachineSpec()
+    recording: str = RECORDING_FULL
 
     def effective_kernel_config(self) -> KernelConfig:
         """The kernel config that will be used (defaults if none given)."""
@@ -202,11 +228,13 @@ class SweepCell:
 
         result = run_workload(
             self.workload.build(),
-            self.policy.build_factory(),
+            self.policy.build_factory(self.machine.clock_table()),
+            machine_factory=self.machine,
             seed=self.seed,
             kernel_config=self.effective_kernel_config(),
             use_daq=self.use_daq,
             daq_seed=self.daq_seed,
+            recording=self.recording,
         )
         return CellResult.from_experiment(result)
 
@@ -264,17 +292,39 @@ class CellResult:
 
     @classmethod
     def from_experiment(cls, result) -> "CellResult":
-        """Summarize an :class:`~repro.measure.runner.ExperimentResult`."""
+        """Summarize an :class:`~repro.measure.runner.ExperimentResult`.
+
+        Under minimal recording the run carries no quantum log; the
+        residency and final-step fields then come from the streaming
+        :class:`~repro.kernel.recorders.QuantumStats`, whose counts and
+        divisions are identical to the full log's, so the summary is
+        bitwise-equal either way.
+        """
         run = result.run
         counts: Dict[float, int] = {}
         for q in run.quanta:
             counts[q.mhz] = counts.get(q.mhz, 0) + 1
         n = len(run.quanta)
+        stats = run.quantum_stats
+        if not n and stats is not None and stats.count:
+            counts = {
+                stats.mhz_by_step[index]: quanta
+                for index, quanta in stats.quanta_by_step.items()
+            }
+            n = stats.count
         residency = tuple(
             (mhz, counts[mhz] / n) for mhz in sorted(counts)
         ) if n else ()
         worst = max(result.misses, key=lambda e: e.lateness_us) if result.misses else None
-        last = run.quanta[-1] if run.quanta else None
+        if run.quanta:
+            final_step_index = run.quanta[-1].step_index
+            final_mhz = run.quanta[-1].mhz
+        elif stats is not None and stats.count:
+            final_step_index = stats.final_step_index
+            final_mhz = stats.final_mhz
+        else:
+            final_step_index = 0
+            final_mhz = 0.0
         return cls(
             energy_j=result.energy_j,
             exact_energy_j=result.exact_energy_j,
@@ -287,8 +337,8 @@ class CellResult:
             clock_changes=run.clock_changes,
             clock_stall_us=run.clock_stall_us,
             voltage_changes=run.voltage_changes,
-            final_step_index=last.step_index if last else 0,
-            final_mhz=last.mhz if last else 0.0,
+            final_step_index=final_step_index,
+            final_mhz=final_mhz,
             residency=residency,
         )
 
@@ -335,9 +385,12 @@ def cache_key(cell: SweepCell) -> str:
     """The content address of a cell's result.
 
     A SHA-256 digest over the canonical JSON of (policy name/params,
-    workload name/effective config, seed, DAQ settings, kernel config,
-    schema version).  Stable across processes and machines — it depends
-    only on the cell's values, never on object identity or hash seeds.
+    workload name/effective config, machine spec, seed, DAQ settings,
+    kernel config, schema version).  Stable across processes and hosts —
+    it depends only on the cell's values, never on object identity or
+    hash seeds.  The recording mode is deliberately absent: full and
+    minimal recording produce bitwise-identical :class:`CellResult`\\ s,
+    so they share cache entries.
     """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
@@ -346,6 +399,7 @@ def cache_key(cell: SweepCell) -> str:
             "name": cell.workload.name,
             "config": _canonical(cell.workload.effective_config()),
         },
+        "machine": _canonical(cell.machine),
         "seed": cell.seed,
         "use_daq": cell.use_daq,
         "daq_seed": cell.daq_seed,
@@ -482,12 +536,13 @@ class SweepEngine:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A full experiment grid: policies × workloads × seeds.
+    """A full experiment grid: machines × policies × workloads × seeds.
 
     Attributes:
         policies: the policy axis.
         workloads: the workload axis.
         seeds: the repetition axis.
+        machines: the machine axis (default: the modified Itsy only).
         kernel_config: shared kernel tunables (None = defaults).
         use_daq: measure through the DAQ model.
     """
@@ -495,11 +550,12 @@ class SweepSpec:
     policies: Tuple[PolicySpec, ...]
     workloads: Tuple[WorkloadSpec, ...]
     seeds: Tuple[int, ...] = (0,)
+    machines: Tuple[MachineSpec, ...] = (MachineSpec(),)
     kernel_config: Optional[KernelConfig] = None
     use_daq: bool = True
 
     def cells(self) -> List[SweepCell]:
-        """The grid flattened in deterministic policy-major order."""
+        """The grid flattened in deterministic machine-major order."""
         return [
             SweepCell(
                 workload=workload,
@@ -507,7 +563,9 @@ class SweepSpec:
                 seed=seed,
                 kernel_config=self.kernel_config,
                 use_daq=self.use_daq,
+                machine=machine,
             )
+            for machine in self.machines
             for policy in self.policies
             for workload in self.workloads
             for seed in self.seeds
@@ -552,6 +610,7 @@ class RepeatedSummary:
 def repeat_workload(
     workload: WorkloadSpec,
     policy: PolicySpec,
+    machine: MachineSpec = MachineSpec(),
     runs: int = 5,
     base_seed: int = 0,
     kernel_config: Optional[KernelConfig] = None,
@@ -572,6 +631,7 @@ def repeat_workload(
             seed=base_seed + 1000 * i,
             kernel_config=kernel_config,
             use_daq=use_daq,
+            machine=machine,
         )
         for i in range(runs)
     ]
@@ -582,10 +642,18 @@ def repeat_workload(
 
 def constant_step_cells(
     workload: WorkloadSpec,
+    machine: MachineSpec = MachineSpec(),
     seed: int = 0,
     kernel_config: Optional[KernelConfig] = None,
+    recording: str = RECORDING_MINIMAL,
 ) -> List[SweepCell]:
-    """One exact-energy cell per SA-1100 constant clock step."""
+    """One exact-energy cell per constant clock step of ``machine``.
+
+    These cells never touch the DAQ, so they default to minimal recording:
+    the streaming energy meter and quantum statistics carry everything a
+    :class:`CellResult` needs, bitwise-equal to full recording but without
+    building the power timeline and quantum log in the hot loop.
+    """
     return [
         SweepCell(
             workload=workload,
@@ -593,13 +661,16 @@ def constant_step_cells(
             seed=seed,
             kernel_config=kernel_config,
             use_daq=False,
+            machine=machine,
+            recording=recording,
         )
-        for step in SA1100_CLOCK_TABLE
+        for step in machine.clock_table()
     ]
 
 
 def find_ideal_constant(
     workload: WorkloadSpec,
+    machine: MachineSpec = MachineSpec(),
     seed: int = 0,
     kernel_config: Optional[KernelConfig] = None,
     engine: Optional[SweepEngine] = None,
@@ -613,7 +684,9 @@ def find_ideal_constant(
     Raises:
         ValueError: if no constant step meets the workload's deadlines.
     """
-    cells = constant_step_cells(workload, seed=seed, kernel_config=kernel_config)
+    cells = constant_step_cells(
+        workload, machine=machine, seed=seed, kernel_config=kernel_config
+    )
     results = (engine or SweepEngine()).run(cells)
     best: Optional[CellResult] = None
     for result in results:

@@ -18,7 +18,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
 from repro.hw.itsy import ItsyConfig, ItsyMachine
+from repro.hw.machine import Machine
+from repro.hw.machines import MachineSpec
 from repro.kernel.governor import Governor
+from repro.kernel.recorders import RECORDING_FULL, recorders_for
 from repro.kernel.scheduler import Kernel, KernelConfig, KernelRun
 from repro.measure.daq import DaqCapture, DaqSystem
 from repro.measure.stats import ConfidenceInterval, confidence_interval
@@ -35,12 +38,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
     )
 
 GovernorFactory = Callable[[], Governor]
-MachineFactory = Callable[[], ItsyMachine]
+#: Anything that yields a fresh machine per run: a zero-argument callable
+#: or a (callable) :class:`~repro.hw.machines.MachineSpec`.
+MachineFactory = Callable[[], Machine]
 
 
 def default_machine() -> ItsyMachine:
     """A modified Itsy booted at 206.4 MHz / 1.5 V."""
     return ItsyMachine(ItsyConfig())
+
+
+def _machine_spec_for(machine_factory: MachineFactory) -> MachineSpec:
+    """The :class:`MachineSpec` equivalent of ``machine_factory``.
+
+    Sweep cells name their machine by value so it can travel to worker
+    processes and into cache keys; arbitrary factory callables cannot.
+
+    Raises:
+        ValueError: for factories that are not specs (or the default).
+    """
+    if isinstance(machine_factory, MachineSpec):
+        return machine_factory
+    if machine_factory is default_machine:
+        return MachineSpec()
+    raise ValueError("parallel execution needs a MachineSpec machine")
 
 
 @dataclass
@@ -77,24 +98,39 @@ def run_workload(
     kernel_config: Optional[KernelConfig] = None,
     use_daq: bool = True,
     daq_seed: Optional[int] = None,
+    recording: str = RECORDING_FULL,
 ) -> ExperimentResult:
     """Run one workload under one governor and measure it.
 
     Args:
         workload: the workload descriptor (spawns its own processes).
         governor_factory: builds a fresh governor for this run.
-        machine_factory: builds a fresh machine for this run.
+        machine_factory: builds a fresh machine for this run (a callable
+            or a :class:`~repro.hw.machines.MachineSpec`).
         seed: workload jitter seed.
         kernel_config: kernel tunables (None means a fresh default; a
             shared default-argument instance could alias between calls).
         use_daq: measure energy through the DAQ model (True, as in the
             paper) or use the analytic integral only.
         daq_seed: DAQ noise seed (defaults to ``seed``).
+        recording: kernel instrumentation level, ``"full"`` or
+            ``"minimal"`` (energy totals and quantum statistics only;
+            bitwise-equal energies, but no timeline for the DAQ).
     """
+    if use_daq and recording != RECORDING_FULL:
+        raise ValueError(
+            "the DAQ samples the power timeline; minimal recording "
+            "requires use_daq=False"
+        )
     if kernel_config is None:
         kernel_config = KernelConfig()
     machine = machine_factory()
-    kernel = Kernel(machine, governor=governor_factory(), config=kernel_config)
+    kernel = Kernel(
+        machine,
+        governor=governor_factory(),
+        config=kernel_config,
+        recorders=recorders_for(recording, kernel_config),
+    )
     workload.setup(kernel, seed)
     run = kernel.run(workload.duration_us)
 
@@ -142,24 +178,27 @@ def find_ideal_constant(
 
     Raises:
         ValueError: if no constant step meets the workload's deadlines, or
-            if an engine is given with a non-spec workload or a custom
-            machine factory (neither digests into a cache key).
+            if an engine is given with a non-spec workload or a machine
+            factory that is not a spec (it would not digest into a cache
+            key).
     """
-    from repro.hw.clocksteps import SA1100_CLOCK_TABLE
     from repro.kernel.governor import ConstantGovernor
     from repro.measure import parallel
 
     if isinstance(workload, parallel.WorkloadSpec):
-        if machine_factory is not default_machine:
-            raise ValueError("sweep cells only support the default machine")
         return parallel.find_ideal_constant(
-            workload, seed=seed, kernel_config=kernel_config, engine=engine
+            workload,
+            machine=_machine_spec_for(machine_factory),
+            seed=seed,
+            kernel_config=kernel_config,
+            engine=engine,
         )
     if engine is not None:
         raise ValueError("parallel execution needs a WorkloadSpec workload")
 
+    clock_table = machine_factory().clock_table
     best: Optional[ExperimentResult] = None
-    for step in SA1100_CLOCK_TABLE:
+    for step in clock_table:
         result = run_workload(
             workload,
             lambda s=step: ConstantGovernor(step_index=s.index),
@@ -225,8 +264,6 @@ def repeat_workload(
     if isinstance(workload, parallel.WorkloadSpec) or engine is not None:
         if not isinstance(workload, parallel.WorkloadSpec):
             raise ValueError("parallel execution needs a WorkloadSpec workload")
-        if machine_factory is not default_machine:
-            raise ValueError("sweep cells only support the default machine")
         if isinstance(governor_factory, str):
             governor_factory = parallel.PolicySpec(name=governor_factory)
         if not isinstance(governor_factory, parallel.PolicySpec):
@@ -234,6 +271,7 @@ def repeat_workload(
         return parallel.repeat_workload(
             workload,
             governor_factory,
+            machine=_machine_spec_for(machine_factory),
             runs=runs,
             base_seed=base_seed,
             kernel_config=kernel_config,

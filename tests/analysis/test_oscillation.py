@@ -1,6 +1,5 @@
 """Tests for oscillation metrics (Figure 7)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.oscillation import oscillation_stats

@@ -1,7 +1,5 @@
 """Tests for battery-lifetime figures of merit."""
 
-import pytest
-
 from repro.battery.lifetime import (
     best_step_for_computations,
     computations_per_lifetime,

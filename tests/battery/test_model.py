@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.battery.model import AAA_ALKALINE_PAIR, Battery, RateCapacityCurve
+from repro.battery.model import AAA_ALKALINE_PAIR, RateCapacityCurve
 
 
 class TestRateCapacityCurve:

@@ -61,9 +61,9 @@ class TestRecoveryEffect:
     def test_pulsed_discharge_outlives_constant(self):
         """§2.1: interspersing high demand with rest increases capacity."""
         const = make_battery()
-        t_const = const.time_to_death_s(power_w=6.0)
+        const.time_to_death_s(power_w=6.0)
         pulsed = make_battery()
-        t_pulsed = pulsed.time_to_death_s(
+        pulsed.time_to_death_s(
             power_w=6.0, rest_power_w=0.0, pulse_s=30.0, rest_s=30.0
         )
         # Compare time spent *under load*: the pulsed battery delivers more.

@@ -29,7 +29,7 @@ class TestFactories:
         assert gov.step_index == 5
 
     def test_constant_speed_unknown_frequency(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="no 100 MHz step"):
             constant_speed(100.0)
 
     def test_best_policy_shape(self):

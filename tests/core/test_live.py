@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.govil import AgedAveragesPredictor, FlatPredictor, PeakPredictor
 from repro.core.live import LivePredictorGovernor
-from repro.hw.clocksteps import SA1100_CLOCK_TABLE
 from repro.hw.itsy import ItsyConfig, ItsyMachine
 from repro.hw.rails import VOLTAGE_HIGH
 from repro.kernel.governor import TickInfo

@@ -1,7 +1,5 @@
 """Tests for the assembled IntervalPolicy governor."""
 
-import pytest
-
 from repro.core.hysteresis import Direction, ThresholdPair
 from repro.core.policy import IntervalPolicy, VoltageRule
 from repro.core.predictors import AvgN, Past

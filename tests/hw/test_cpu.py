@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.hw.clocksteps import SA1100_CLOCK_TABLE
 from repro.hw.cpu import CLOCK_CHANGE_STALL_US, CpuModel
 from repro.hw.rails import VOLTAGE_HIGH, VOLTAGE_LOW, VoltageError
 from repro.hw.work import Work

@@ -1,0 +1,128 @@
+"""Tests for the machine-spec layer (named presets plus overrides)."""
+
+import pickle
+
+import pytest
+
+from repro.hw.itsy import ItsyMachine
+from repro.hw.machines import (
+    MACHINE_PRESETS,
+    MachinePreset,
+    MachineSpec,
+    register_machine,
+)
+from repro.hw.sa2 import Sa2Machine
+
+
+class TestParse:
+    def test_bare_preset(self):
+        assert MachineSpec.parse("itsy") == MachineSpec()
+        assert MachineSpec.parse("sa2") == MachineSpec(name="sa2")
+
+    def test_boot_voltage(self):
+        spec = MachineSpec.parse("itsy@1.23")
+        assert spec.name == "itsy"
+        assert spec.initial_volts == 1.23
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            MachineSpec.parse("sa3")
+
+    def test_malformed_voltage_rejected(self):
+        with pytest.raises(ValueError, match="bad machine spec"):
+            MachineSpec.parse("itsy@fast")
+
+
+class TestPresets:
+    def test_registry_names(self):
+        assert {"itsy", "itsy-stock", "sa2"} <= set(MACHINE_PRESETS)
+
+    def test_default_is_modified_itsy(self):
+        machine = MachineSpec().build()
+        assert isinstance(machine, ItsyMachine)
+        assert machine.step.mhz == 206.4
+        assert machine.volts == 1.5
+
+    def test_itsy_low_voltage_boots_fastest_safe_step(self):
+        machine = MachineSpec.parse("itsy@1.23").build()
+        assert machine.volts == 1.23
+        assert machine.step.mhz == pytest.approx(162.2)
+
+    def test_stock_itsy_rejects_low_voltage(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="itsy-stock", initial_volts=1.23).build()
+
+    def test_sa2_builds_with_schedule(self):
+        machine = MachineSpec(name="sa2").build()
+        assert isinstance(machine, Sa2Machine)
+        assert machine.step.mhz == 600.0
+        assert machine.volts == pytest.approx(1.8)
+
+    def test_sa2_rejects_boot_voltage(self):
+        with pytest.raises(ValueError, match="voltage schedule"):
+            MachineSpec(name="sa2", initial_volts=1.5).build()
+
+    def test_spec_is_a_machine_factory(self):
+        spec = MachineSpec()
+        assert isinstance(spec(), ItsyMachine)
+        assert spec() is not spec()
+
+
+class TestOverrides:
+    def test_initial_mhz(self):
+        machine = MachineSpec(initial_mhz=132.7).build()
+        assert machine.step.mhz == pytest.approx(132.7)
+
+    def test_initial_mhz_off_table_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(initial_mhz=100.0).build()
+
+    def test_custom_clock_table(self):
+        spec = MachineSpec(frequencies_mhz=(100.0, 200.0))
+        machine = spec.build()
+        assert [s.mhz for s in machine.clock_table] == [100.0, 200.0]
+        assert machine.step.mhz == 200.0
+
+    def test_power_override_changes_model(self):
+        base = MachineSpec().build()
+        hot = MachineSpec(power=(("fixed_w", 0.5),)).build()
+        assert hot.power.params.fixed_w == 0.5
+        assert hot.power.params.fixed_w != base.power.params.fixed_w
+
+    def test_unknown_power_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown power parameter"):
+            MachineSpec(power=(("warp_w", 1.0),)).build()
+
+    def test_power_dict_normalized_for_hashing(self):
+        by_dict = MachineSpec(power={"fixed_w": 0.5})
+        by_tuple = MachineSpec(power=(("fixed_w", 0.5),))
+        assert by_dict == by_tuple
+        assert hash(by_dict) == hash(by_tuple)
+
+
+class TestSpecProperties:
+    def test_pickles(self):
+        spec = MachineSpec.parse("sa2")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert isinstance(clone.build(), Sa2Machine)
+
+    def test_clock_table_matches_built_machine(self):
+        for name in ("itsy", "itsy-stock", "sa2"):
+            spec = MachineSpec(name=name)
+            assert [s.mhz for s in spec.clock_table()] == [
+                s.mhz for s in spec.build().clock_table
+            ]
+
+    def test_register_machine_round_trip(self):
+        preset = MachinePreset(
+            name="test-only",
+            builder=lambda spec: MachineSpec().build(),
+            clock_table=MACHINE_PRESETS["itsy"].clock_table,
+            description="scratch",
+        )
+        register_machine(preset)
+        try:
+            assert MachineSpec(name="test-only").build().step.mhz == 206.4
+        finally:
+            del MACHINE_PRESETS["test-only"]

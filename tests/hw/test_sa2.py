@@ -3,9 +3,11 @@
 import pytest
 
 from repro.hw.power import CoreState
+from repro.hw.rails import VoltageError
 from repro.hw.sa2 import (
     SA2_CLOCK_TABLE,
     SA2_FREQUENCIES_MHZ,
+    Sa2Machine,
     sa2_cpu,
     sa2_energy_for_instructions,
     sa2_power_w,
@@ -63,6 +65,51 @@ class TestPaperNumbers:
 
     def test_idle_is_free(self):
         assert sa2_power_w(SA2_CLOCK_TABLE.max_step, CoreState.NAP) == 0.0
+
+
+class TestSa2Machine:
+    def test_boots_at_top_step_and_voltage(self):
+        machine = Sa2Machine()
+        assert machine.step.mhz == 600.0
+        assert machine.volts == pytest.approx(1.8)
+
+    def test_auto_volts_follows_schedule_both_directions(self):
+        machine = Sa2Machine()
+        low = machine.clock_table.min_step
+        assert machine.auto_volts_for(low) == pytest.approx(
+            sa2_volts_for_step(low)
+        )
+        # Drop after decrease: frequency first, then the scheduled voltage.
+        machine.set_step_index(0)
+        machine.set_voltage(machine.auto_volts_for(low))
+        high = machine.clock_table.max_step
+        assert machine.auto_volts_for(high) == pytest.approx(1.8)
+
+    def test_auto_volts_none_when_already_scheduled(self):
+        machine = Sa2Machine()
+        assert machine.auto_volts_for(machine.step) is None
+
+    def test_rail_rejects_undervolted_step(self):
+        machine = Sa2Machine()
+        low_volts = sa2_volts_for_step(machine.clock_table.min_step)
+        with pytest.raises(VoltageError):
+            machine.set_voltage(low_volts)  # still at 600 MHz
+
+    def test_power_tracks_schedule(self):
+        machine = Sa2Machine()
+        full = machine.power_w(CoreState.ACTIVE)
+        assert full == pytest.approx(0.500, rel=1e-6)
+        machine.set_step_index(0)
+        machine.set_voltage(machine.auto_volts_for(machine.step))
+        assert machine.power_w(CoreState.ACTIVE) == pytest.approx(0.040, rel=0.01)
+
+    def test_custom_initial_mhz(self):
+        machine = Sa2Machine(initial_mhz=150.0)
+        assert machine.step.mhz == 150.0
+        # The rail boots at the scheduled voltage for the boot step.
+        assert machine.volts == pytest.approx(
+            sa2_volts_for_step(machine.clock_table.min_step)
+        )
 
 
 class TestCpuModel:

@@ -5,8 +5,6 @@ across all the applications"); a reproduction that only holds for a lucky
 seed would be hollow.  These tests sweep seeds on shortened traces.
 """
 
-import pytest
-
 from repro.core.catalog import best_policy, constant_speed
 from repro.measure.runner import run_workload
 from repro.workloads.chess import ChessConfig, chess_workload

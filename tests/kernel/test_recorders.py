@@ -1,0 +1,152 @@
+"""Tests for the pluggable run-recorder layer.
+
+The contract that matters is bitwise equivalence: minimal recording must
+report exactly the numbers full recording reports (energy, mean power,
+mean utilization, final step), because the sweep cache deliberately keys
+results without the recording mode.
+"""
+
+import pytest
+
+from repro.hw.itsy import ItsyConfig, ItsyMachine
+from repro.kernel.governor import Governor, GovernorRequest
+from repro.kernel.process import Sleep, SpinUntil
+from repro.kernel.recorders import (
+    EnergyMeterRecorder,
+    QuantumStatsRecorder,
+    RunRecorder,
+    SchedLogRecorder,
+    default_recorders,
+    minimal_recorders,
+    recorders_for,
+)
+from repro.kernel.scheduler import Kernel, KernelConfig
+
+Q = 10_000.0
+
+
+class Zigzag(Governor):
+    """Bounces across the clock table to exercise freq/volt machinery."""
+
+    def __init__(self):
+        self.tick = 0
+
+    def on_tick(self, info):
+        self.tick += 1
+        return GovernorRequest(step_index=0 if self.tick % 2 else 10)
+
+
+def busy_body(ctx):
+    yield SpinUntil(2 * Q)
+    yield Sleep(Q)
+    yield SpinUntil(6 * Q)
+
+
+def run_with(recorders=None, config=None):
+    config = config if config is not None else KernelConfig()
+    kernel = Kernel(
+        ItsyMachine(ItsyConfig()), Zigzag(), config, recorders=recorders
+    )
+    kernel.spawn("busy", busy_body)
+    return kernel.run(8 * Q)
+
+
+class TestRecorderSets:
+    def test_default_set_populates_everything(self):
+        run = run_with()
+        assert len(run.quanta) == 8
+        assert len(run.timeline) > 0
+        assert run.freq_changes, "zigzag governor must log clock changes"
+        assert run.volt_changes == []  # 1.5 V is safe at every step
+
+    def test_minimal_set_skips_logs(self):
+        run = run_with(minimal_recorders(KernelConfig()))
+        assert run.quanta == []
+        assert len(run.timeline) == 0
+        assert run.freq_changes == []
+        assert run.energy is not None
+        assert run.quantum_stats is not None
+
+    def test_sched_log_only_when_configured(self):
+        config = KernelConfig(record_sched_log=True)
+        assert any(
+            isinstance(r, SchedLogRecorder) for r in default_recorders(config)
+        )
+        assert any(
+            isinstance(r, SchedLogRecorder) for r in minimal_recorders(config)
+        )
+        run = run_with(minimal_recorders(config), config=config)
+        assert run.sched_log
+
+    def test_recorders_for_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown recording mode"):
+            recorders_for("verbose", KernelConfig())
+
+
+class TestBitwiseEquivalence:
+    def test_energy_and_means_bitwise_equal(self):
+        full = run_with()
+        minimal = run_with(minimal_recorders(KernelConfig()))
+        assert minimal.energy_joules() == full.energy_joules()
+        assert minimal.mean_power_w() == full.mean_power_w()
+        assert minimal.mean_utilization() == full.mean_utilization()
+        assert minimal.duration_us == full.duration_us
+
+    def test_quantum_stats_match_full_log(self):
+        full = run_with()
+        stats = run_with(minimal_recorders(KernelConfig())).quantum_stats
+        assert stats.count == len(full.quanta)
+        assert stats.final_step_index == full.quanta[-1].step_index
+        assert stats.final_mhz == full.quanta[-1].mhz
+        by_step = {}
+        for q in full.quanta:
+            by_step[q.step_index] = by_step.get(q.step_index, 0) + 1
+        assert stats.quanta_by_step == by_step
+        assert stats.mhz_by_step == {
+            q.step_index: q.mhz for q in full.quanta
+        }
+
+    def test_counters_identical_across_modes(self):
+        full = run_with()
+        minimal = run_with(minimal_recorders(KernelConfig()))
+        assert minimal.clock_changes == full.clock_changes
+        assert minimal.clock_stall_us == full.clock_stall_us
+        assert minimal.voltage_changes == full.voltage_changes
+        assert minimal.busy_us_by_pid == full.busy_us_by_pid
+
+
+class TestStreamingMeters:
+    def test_energy_meter_replicates_timeline_merge(self):
+        full = run_with()
+        meter = EnergyMeterRecorder()
+        for start, end, watts in full.timeline:
+            meter.on_power(start, end, watts)
+        totals = meter.totals()
+        assert totals.energy_j == full.timeline.energy_joules()
+        assert totals.start_us == full.timeline.start_us
+        assert totals.end_us == full.timeline.end_us
+
+    def test_energy_meter_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            EnergyMeterRecorder().on_power(0.0, 1.0, -0.1)
+
+    def test_empty_meters_are_benign(self):
+        totals = EnergyMeterRecorder().totals()
+        assert totals.energy_j == 0.0
+        assert totals.mean_power_w() == 0.0
+        assert QuantumStatsRecorder().stats().mean_utilization() == 0.0
+
+
+class TestCustomRecorder:
+    def test_only_overridden_hooks_are_wired(self):
+        seen = []
+
+        class QuantumCounter(RunRecorder):
+            def on_quantum(self, record):
+                seen.append(record.end_us)
+
+        run = run_with([QuantumCounter()])
+        assert len(seen) == 8
+        # Nothing contributed: the run keeps its empty defaults.
+        assert run.quanta == []
+        assert run.energy is None

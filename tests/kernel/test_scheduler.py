@@ -4,7 +4,7 @@ import pytest
 
 from repro.hw.itsy import ItsyConfig, ItsyMachine
 from repro.hw.work import Work
-from repro.kernel.governor import ConstantGovernor, Governor, GovernorRequest
+from repro.kernel.governor import ConstantGovernor, Governor
 from repro.kernel.process import (
     Compute,
     Exit,

@@ -15,12 +15,14 @@ from pathlib import Path
 
 import repro
 from repro.core.hysteresis import ThresholdPair
+from repro.hw.machines import MachineSpec
 from repro.kernel.scheduler import KernelConfig
 from repro.measure.parallel import (
     CACHE_SCHEMA_VERSION,
     PolicySpec,
     ResultCache,
     SweepCell,
+    SweepEngine,
     WorkloadSpec,
     cache_key,
 )
@@ -80,6 +82,19 @@ class TestKeySensitivity:
             cell(workload=WorkloadSpec("mpeg", MpegConfig(duration_s=0.5)))
         ) != cache_key(cell())
 
+    def test_machine_preset(self):
+        assert cache_key(cell(machine=MachineSpec(name="sa2"))) != cache_key(cell())
+
+    def test_machine_boot_voltage(self):
+        assert cache_key(
+            cell(machine=MachineSpec.parse("itsy@1.23"))
+        ) != cache_key(cell())
+
+    def test_machine_power_override(self):
+        assert cache_key(
+            cell(machine=MachineSpec(power=(("fixed_w", 0.5),)))
+        ) != cache_key(cell())
+
     def test_every_kernel_config_field(self):
         base = cache_key(cell())
         assert cache_key(cell(kernel_config=KernelConfig(quantum_us=5_000.0))) != base
@@ -102,6 +117,17 @@ class TestKeyStability:
     def test_default_kernel_config_spelled_out(self):
         assert cache_key(cell(kernel_config=KernelConfig())) == cache_key(
             cell(kernel_config=None)
+        )
+
+    def test_default_machine_spelled_out(self):
+        assert cache_key(cell(machine=MachineSpec())) == cache_key(
+            cell(machine=MachineSpec(name="itsy"))
+        )
+
+    def test_recording_mode_does_not_move_key(self):
+        """Recording modes are bitwise-equivalent, so they share entries."""
+        assert cache_key(cell(recording="minimal")) == cache_key(
+            cell(recording="full")
         )
 
     def test_params_order_independent(self):
@@ -168,3 +194,23 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         cache.put("2" * 64, cell(use_daq=False).run())
         assert not list(tmp_path.glob("*.tmp"))
+
+    def test_old_schema_entries_reexecute_cleanly(self, tmp_path):
+        """An engine over a cache of old-schema entries must miss and
+        re-simulate — never error out or serve stale numbers."""
+        the_cell = cell(use_daq=False)
+        key = cache_key(the_cell)
+        stale = ResultCache(tmp_path)
+        stale.put(key, the_cell.run())
+        payload = json.loads(stale.path_for(key).read_text())
+        payload["schema"] = CACHE_SCHEMA_VERSION - 1
+        stale.path_for(key).write_text(json.dumps(payload))
+
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        results = engine.run([the_cell])
+        assert engine.stats.executed == 1
+        assert engine.stats.cache_hits == 0
+        assert results == [the_cell.run()]
+        # The refreshed entry is keyed under the current schema again.
+        refreshed = json.loads(stale.path_for(key).read_text())
+        assert refreshed["schema"] == CACHE_SCHEMA_VERSION

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.measure.compare import Comparison, welch_compare
+from repro.measure.compare import welch_compare
 
 
 class TestWelchCompare:
@@ -51,7 +51,7 @@ class TestWelchCompare:
     def test_matches_paper_style_ci_reasoning(self):
         """Welch agrees with Table 2's interval-overlap reasoning on the
         actual experiment data."""
-        from repro.core.catalog import best_policy, constant_speed
+        from repro.core.catalog import constant_speed
         from repro.measure.compare import energies
         from repro.measure.runner import repeat_workload
         from repro.workloads.mpeg import MpegConfig, mpeg_workload

@@ -10,6 +10,7 @@ grid (3 policies x 2 workloads x 3 seeds, jobs=4).
 import pytest
 
 from repro.core.catalog import resolve_policy
+from repro.hw.machines import MachineSpec
 from repro.kernel.scheduler import KernelConfig
 from repro.measure import runner
 from repro.measure.parallel import (
@@ -20,6 +21,7 @@ from repro.measure.parallel import (
     SweepEngine,
     SweepSpec,
     WorkloadSpec,
+    constant_step_cells,
     find_ideal_constant,
     repeat_workload,
     run_sweep,
@@ -29,6 +31,7 @@ from repro.workloads.web import WebConfig
 
 MPEG = WorkloadSpec("mpeg", MpegConfig(duration_s=0.4))
 WEB = WorkloadSpec("web", WebConfig(duration_s=0.4))
+SA2 = MachineSpec(name="sa2")
 
 #: The acceptance grid: 3 policies x 2 workloads x 3 seeds = 18 cells.
 GRID = SweepSpec(
@@ -149,6 +152,86 @@ class TestSpecHelpers:
         base = cell(use_daq=False).run()
         other = cell(use_daq=False, kernel_config=tweaked).run()
         assert base.exact_energy_j != other.exact_energy_j
+
+
+class TestMachineAxis:
+    def test_sa2_serial_parallel_cached_bitwise_equal(self, tmp_path):
+        cells = [
+            cell(seed=s, machine=SA2, policy=PolicySpec("past-peg-98-93"),
+                 use_daq=False)
+            for s in (0, 1)
+        ]
+        serial = [c.run() for c in cells]
+        assert SweepEngine(jobs=2).run(cells) == serial
+        cache = ResultCache(tmp_path)
+        assert SweepEngine(jobs=2, cache=cache).run(cells) == serial
+        warm = SweepEngine(cache=cache)
+        assert warm.run(cells) == serial
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == 2
+
+    def test_sa2_cells_resolve_const_against_sa2_table(self):
+        cells = constant_step_cells(MPEG, machine=SA2)
+        assert len(cells) == 11
+        assert cells[0].policy.name == "const-150.0"
+        assert cells[-1].policy.name == "const-600.0"
+
+    def test_sa2_find_ideal_constant_caches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = SweepEngine(jobs=4, cache=cache)
+        first = find_ideal_constant(MPEG, machine=SA2, engine=cold)
+        assert cold.stats.executed == 11
+        warm = SweepEngine(cache=cache)
+        again = find_ideal_constant(MPEG, machine=SA2, engine=warm)
+        assert warm.stats.cache_hits == 11
+        assert warm.stats.executed == 0
+        assert again == first
+
+    def test_machine_axis_multiplies_grid(self):
+        spec = SweepSpec(
+            policies=(PolicySpec("best"),),
+            workloads=(MPEG,),
+            machines=(MachineSpec(), SA2),
+        )
+        cells = spec.cells()
+        assert len(cells) == 2
+        assert {c.machine.name for c in cells} == {"itsy", "sa2"}
+
+    def test_runner_rejects_opaque_machine_factory_with_engine(self):
+        from repro.hw.itsy import ItsyConfig, ItsyMachine
+
+        with pytest.raises(ValueError, match="MachineSpec"):
+            runner.repeat_workload(
+                MPEG,
+                PolicySpec("best"),
+                machine_factory=lambda: ItsyMachine(ItsyConfig()),
+                runs=2,
+            )
+
+
+class TestRecordingModes:
+    def test_minimal_cell_result_bitwise_equals_full(self):
+        base = dict(workload=MPEG, policy=PolicySpec("best"), use_daq=False)
+        full = SweepCell(recording="full", **base).run()
+        minimal = SweepCell(recording="minimal", **base).run()
+        assert minimal == full
+
+    def test_minimal_on_sa2_bitwise_equals_full(self):
+        base = dict(
+            workload=MPEG, policy=PolicySpec("avg3-peg"),
+            machine=SA2, use_daq=False,
+        )
+        assert (
+            SweepCell(recording="minimal", **base).run()
+            == SweepCell(recording="full", **base).run()
+        )
+
+    def test_daq_requires_full_recording(self):
+        with pytest.raises(ValueError, match="use_daq=False"):
+            cell(recording="minimal").run()  # use_daq defaults True
+
+    def test_constant_step_cells_default_minimal(self):
+        assert all(c.recording == "minimal" for c in constant_step_cells(MPEG))
 
 
 class TestEngineValidation:

@@ -3,13 +3,11 @@
 import pytest
 
 from repro.core.catalog import best_policy, constant_speed
-from repro.kernel.scheduler import Kernel
 from repro.measure.runner import (
     default_machine,
     repeat_workload,
     run_workload,
 )
-from repro.workloads.base import Workload
 from repro.workloads.mpeg import MpegConfig, mpeg_workload
 
 SHORT = mpeg_workload(MpegConfig(duration_s=4.0))

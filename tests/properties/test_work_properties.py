@@ -1,6 +1,6 @@
 """Property-based tests for the Work model."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.hw.clocksteps import SA1100_CLOCK_TABLE

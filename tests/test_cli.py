@@ -83,9 +83,22 @@ class TestWorkloadResolution:
 LIST_POLICIES_SNAPSHOT = """\
 constant speeds : const-59.0, const-73.7, const-88.5, const-103.2, const-118.0, const-132.7, const-147.5, const-162.2, const-176.9, const-191.7, const-206.4
   (append @<volts> for an explicit voltage, e.g. const-132.7@1.23)
+  (other machines take their own table, e.g. const-600.0 on sa2)
 paper policies  : best, best-voltage
-interval sweep  : avg<N>-<one|double|peg>  (N = 0..10, 50/70 thresholds)
+interval sweep  : <past|avg<N>>-<one|double|peg>  (N = 0..10, 50/70 thresholds)
+  (append -<hi>-<lo> percent thresholds; past-peg-98-93 = best)
 other           : cycleavg (Figure 5), synth (synthesized deadlines)
+"""
+
+#: Golden snapshot of ``python -m repro list-machines`` — same contract.
+LIST_MACHINES_SNAPSHOT = """\
+itsy        : WRL-modified Itsy (SA-1100): 59.0-206.4 MHz, 1.5 V core switchable to 1.23 V
+              steps: 59.0, 73.7, 88.5, 103.2, 118.0, 132.7, 147.5, 162.2, 176.9, 191.7, 206.4
+itsy-stock  : unmodified Itsy (SA-1100): 59.0-206.4 MHz, 1.5 V core only
+              steps: 59.0, 73.7, 88.5, 103.2, 118.0, 132.7, 147.5, 162.2, 176.9, 191.7, 206.4
+sa2         : hypothetical StrongARM SA-2: 150-600 MHz, per-step voltage schedule 1.018-1.8 V
+              steps: 150.0, 195.0, 240.0, 285.0, 330.0, 375.0, 420.0, 465.0, 510.0, 555.0, 600.0
+  (append @<volts> for a boot voltage, e.g. itsy@1.23)
 """
 
 
@@ -98,6 +111,10 @@ class TestCommands:
     def test_list_policies_snapshot(self, capsys):
         assert main(["list-policies"]) == 0
         assert capsys.readouterr().out == LIST_POLICIES_SNAPSHOT
+
+    def test_list_machines_snapshot(self, capsys):
+        assert main(["list-machines"]) == 0
+        assert capsys.readouterr().out == LIST_MACHINES_SNAPSHOT
 
     def test_run_success_exit_zero(self, capsys):
         code = main(
@@ -148,6 +165,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "59.0" in out and "206.4" in out
+
+
+class TestMachineOptions:
+    """The --machine surface of the simulation commands."""
+
+    def test_run_on_sa2(self, capsys):
+        code = main(
+            ["run", "mpeg", "--policy", "past-peg-98-93", "--machine", "sa2",
+             "--duration", "2", "--no-daq"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "machine         : sa2" in out
+        assert "deadline misses : 0" in out
+
+    def test_run_sa2_parallel_matches_serial(self, capsys):
+        argv = ["run", "mpeg", "--policy", "past-peg-98-93", "--machine", "sa2",
+                "--duration", "1", "--no-daq"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_run_on_low_voltage_itsy(self, capsys):
+        code = main(
+            ["run", "mpeg", "--policy", "const-132.7", "--machine", "itsy@1.23",
+             "--duration", "1", "--no-daq"]
+        )
+        assert code in (0, 1)  # feasibility is the workload's business
+        assert "machine         : itsy@1.23" in capsys.readouterr().out
+
+    def test_unknown_machine_exit_two(self, capsys):
+        code = main(["run", "mpeg", "--machine", "sa3"])
+        assert code == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+    def test_ideal_on_sa2(self, capsys):
+        code = main(["ideal", "mpeg", "--duration", "2", "--machine", "sa2",
+                     "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ideal constant  : 150.0 MHz" in out
+
+    def test_fig9_on_sa2_lists_sa2_steps(self, capsys):
+        code = main(["fig9", "--duration", "1", "--machine", "sa2",
+                     "--jobs", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert " 600.0" in out and " 150.0" in out
 
 
 class TestSweepOptions:

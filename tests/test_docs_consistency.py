@@ -29,7 +29,7 @@ class TestDesignMd:
         for path in (REPO / "benchmarks").glob("bench_*.py"):
             stem = path.stem.replace("bench_", "")
             assert (
-                path.name in docs or f"bench_ablation" in path.name and "bench_ablation_*" in docs
+                path.name in docs or "bench_ablation" in path.name and "bench_ablation_*" in docs
                 or stem in docs
             ), f"{path.name} is not mentioned in DESIGN.md or EXPERIMENTS.md"
 

@@ -13,7 +13,7 @@ from repro.traces.io import (
     save_quanta_csv,
     save_run_summary,
 )
-from repro.traces.schema import AppEvent, QuantumRecord
+from repro.traces.schema import AppEvent
 from repro.workloads.mpeg import MpegConfig, mpeg_workload
 
 

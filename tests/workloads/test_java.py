@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.catalog import constant_speed
 from repro.hw.itsy import ItsyConfig, ItsyMachine
 from repro.kernel.scheduler import Kernel, KernelConfig
 from repro.workloads.java import JavaConfig, jit_warmup_work, spawn_jvm_poller
@@ -37,7 +36,7 @@ class TestPoller:
         assert slow.mean_utilization() > 1.5 * fast.mean_utilization()
 
     def test_poller_stops_at_duration(self):
-        run = run_poller(seconds=1.0)
+        run_poller(seconds=1.0)
         # run two extra quanta beyond the poller's life: no activity there
         kernel = Kernel(
             ItsyMachine(ItsyConfig()), config=KernelConfig(sched_overhead_us=0.0)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.catalog import constant_speed
 from repro.hw.itsy import ItsyConfig, ItsyMachine
 from repro.hw.work import Work
 from repro.kernel.scheduler import Kernel, KernelConfig

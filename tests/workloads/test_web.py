@@ -1,7 +1,5 @@
 """Tests for the Web workload (shortened traces for speed)."""
 
-import pytest
-
 from repro.core.catalog import constant_speed
 from repro.measure.runner import run_workload
 from repro.workloads.web import WebConfig, web_workload
