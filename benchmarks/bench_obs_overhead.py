@@ -1,0 +1,132 @@
+"""Cost of the observability layer: tracing + metrics on vs off.
+
+The obs package rides the recorder observer protocol, which only wires a
+hook into the kernel hot loop when a recorder actually overrides it.  That
+design makes two promises this benchmark checks on the paper's 60 s MPEG
+workload under the best policy:
+
+- disabled observability is free: a run with ``extra_recorders`` unset
+  must cost within 5 % of the plain pre-obs call form (the acceptance
+  bar for the whole layer), and
+- enabled observability is an observer, not a participant: with a
+  ``TraceRecorder`` and a ``KernelMetricsRecorder`` attached the results
+  stay bitwise identical, and the (real) cost of buffering every event
+  is reported rather than hidden.
+
+Timings are best-of-N over interleaved runs so one noisy sample cannot
+flip the comparison.  Besides the usual text report this benchmark
+writes ``BENCH_obs_overhead.json`` at the repo root — the
+machine-readable record the acceptance criterion reads.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.catalog import resolve_policy
+from repro.measure.runner import run_workload
+from repro.obs.metrics import KernelMetricsRecorder, MetricsRegistry
+from repro.obs.trace import TraceRecorder
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+from _util import Report, bench_machine, once
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+DURATION_S = 60.0
+ROUNDS = 5
+MAX_DISABLED_OVERHEAD_PCT = 5.0
+
+
+def timed_run(machine, mode: str):
+    policy = resolve_policy("best", clock_table=machine.clock_table())
+    kwargs = {}
+    if mode == "disabled":
+        kwargs["extra_recorders"] = None
+    elif mode == "enabled":
+        kwargs["extra_recorders"] = [
+            TraceRecorder(),
+            KernelMetricsRecorder(MetricsRegistry()),
+        ]
+    start = time.perf_counter()
+    result = run_workload(
+        mpeg_workload(MpegConfig(duration_s=DURATION_S)),
+        policy,
+        machine_factory=machine,
+        use_daq=False,
+        **kwargs,
+    )
+    return result, time.perf_counter() - start
+
+
+def test_obs_overhead(benchmark):
+    machine = bench_machine()
+    modes = ("baseline", "disabled", "enabled")
+
+    def run():
+        walls = {mode: [] for mode in modes}
+        results = {}
+        for _ in range(ROUNDS):
+            for mode in modes:
+                results[mode], dt = timed_run(machine, mode)
+                walls[mode].append(dt)
+        return results, {mode: min(walls[mode]) for mode in modes}
+
+    results, best = once(benchmark, run)
+    disabled_pct = (best["disabled"] / best["baseline"] - 1.0) * 100.0
+    enabled_pct = (best["enabled"] / best["baseline"] - 1.0) * 100.0
+
+    report = Report("obs_overhead")
+    report.add(f"machine {machine.name}, {DURATION_S:g} s mpeg under best, "
+               f"best of {ROUNDS} interleaved runs")
+    report.table(
+        ["observability", "wall s", "vs baseline", "energy J"],
+        [
+            [mode, f"{best[mode]:.3f}",
+             f"{(best[mode] / best['baseline'] - 1.0) * 100.0:+.1f}%",
+             f"{results[mode].exact_energy_j:.6f}"]
+            for mode in modes
+        ],
+    )
+    report.add(f"disabled overhead: {disabled_pct:+.1f}% "
+               f"(bar: {MAX_DISABLED_OVERHEAD_PCT:g}%)")
+    report.add(f"enabled (trace+metrics) overhead: {enabled_pct:+.1f}%")
+    report.emit()
+
+    bitwise_equal = (
+        results["disabled"].exact_energy_j == results["baseline"].exact_energy_j
+        and results["enabled"].exact_energy_j == results["baseline"].exact_energy_j
+    )
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "benchmark": "obs_overhead",
+                "machine": machine.name,
+                "workload": "mpeg",
+                "duration_s": DURATION_S,
+                "policy": "best",
+                "rounds": ROUNDS,
+                "baseline_wall_s": round(best["baseline"], 4),
+                "disabled_wall_s": round(best["disabled"], 4),
+                "enabled_wall_s": round(best["enabled"], 4),
+                "disabled_overhead_pct": round(disabled_pct, 2),
+                "enabled_overhead_pct": round(enabled_pct, 2),
+                "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
+                "energy_j": results["baseline"].exact_energy_j,
+                "bitwise_equal": bitwise_equal,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # The observability layer's two promises.
+    assert bitwise_equal
+    for mode in ("disabled", "enabled"):
+        assert (results[mode].run.mean_utilization()
+                == results["baseline"].run.mean_utilization())
+        assert (results[mode].run.clock_changes
+                == results["baseline"].run.clock_changes)
+    assert disabled_pct <= MAX_DISABLED_OVERHEAD_PCT, (
+        f"disabled observability must be free "
+        f"({disabled_pct:+.1f}% > {MAX_DISABLED_OVERHEAD_PCT:g}%)"
+    )

@@ -10,6 +10,7 @@ Usage (after installation)::
     python -m repro table2 --runs 3
     python -m repro fig9
     python -m repro battery
+    python -m repro trace mpeg --policy past-peg-98-93 -o trace.json
 
 Policies are named:
 
@@ -25,9 +26,12 @@ Policies are named:
 
 Simulation commands accept ``--machine`` to pick the hardware (``itsy``,
 ``itsy@1.23``, ``itsy-stock``, ``sa2`` -- see ``list-machines``),
-``--jobs N`` to fan runs out over a process pool, and ``--cache DIR`` to
-memoize results on disk (see :mod:`repro.measure.parallel`); parallel and
-cached paths are bitwise-equal to the serial, uncached one.
+``--jobs N`` to fan runs out over a process pool, ``--cache DIR`` to
+memoize results on disk (see :mod:`repro.measure.parallel`), and
+``--run-log PATH`` to append one structured JSONL record per sweep cell
+(see :mod:`repro.obs.runlog`); parallel, cached and observed paths are
+bitwise-equal to the serial, uncached one.  ``trace`` exports a single
+run as Chrome trace-event JSON for Perfetto (see :mod:`repro.obs.trace`).
 """
 
 from __future__ import annotations
@@ -43,9 +47,11 @@ from repro.measure.parallel import (
     PolicySpec,
     ResultCache,
     SweepCell,
+    SweepCellError,
     SweepEngine,
     WorkloadSpec,
 )
+from repro.obs.runlog import RunLogWriter
 from repro.measure.runner import find_ideal_constant, repeat_workload, run_workload
 from repro.measure.stats import confidence_interval
 from repro.workloads.base import Workload
@@ -97,19 +103,30 @@ def machine_spec(args) -> MachineSpec:
 
 
 def sweep_engine(args) -> Optional[SweepEngine]:
-    """Build the sweep engine the ``--jobs``/``--cache`` flags ask for.
+    """Build the sweep engine the ``--jobs``/``--cache``/``--run-log``
+    flags ask for.
 
-    Returns None when neither flag is given: the command then takes the
-    legacy serial, uncached path.
+    Returns None when none of the flags is given: the command then takes
+    the legacy serial, uncached path.
     """
     jobs = getattr(args, "jobs", 1)
     cache_dir = getattr(args, "cache", None)
+    run_log_path = getattr(args, "run_log", None)
     if getattr(args, "no_cache", False):
         cache_dir = None
-    if jobs <= 1 and cache_dir is None:
+    if jobs <= 1 and cache_dir is None and run_log_path is None:
         return None
     cache = ResultCache(cache_dir) if cache_dir else None
-    return SweepEngine(jobs=max(jobs, 1), cache=cache)
+    run_log = RunLogWriter(run_log_path) if run_log_path else None
+    return SweepEngine(jobs=max(jobs, 1), cache=cache, run_log=run_log)
+
+
+def report_sweep_stats(engine: Optional[SweepEngine]) -> None:
+    """Print the engine's executed/cached/wall summary to stderr."""
+    if engine is not None:
+        print(engine.stats.summary(), file=sys.stderr)
+        if engine.run_log is not None:
+            engine.run_log.close()
 
 
 def cmd_list_policies(_args) -> int:
@@ -165,6 +182,7 @@ def cmd_run(args) -> int:
         if summary.missed:
             print(f"  worst: {summary.worst_miss_kind} late by "
                   f"{summary.worst_lateness_us / 1000:.1f} ms")
+        report_sweep_stats(engine)
         return 1 if summary.missed else 0
     factory = resolve_policy(args.policy, clock_table=mspec.clock_table())
     result = run_workload(
@@ -217,6 +235,7 @@ def cmd_table2(args) -> int:
             ci = confidence_interval([c.energy_j for c in row])
             misses = sum(c.miss_count for c in row)
             print(f"{name:30s} {ci.low:9.2f} - {ci.high:5.2f} {misses:7d}")
+        report_sweep_stats(engine)
         return 0
     table = mspec.clock_table()
     for name, policy in TABLE2_ROWS:
@@ -246,6 +265,7 @@ def cmd_fig9(args) -> int:
                 f"{step.mhz:6.1f} {res.mean_utilization * 100:11.1f}% "
                 f"{res.miss_count:7d}"
             )
+        report_sweep_stats(engine)
         return 0
     cfg = MpegConfig(duration_s=args.duration or 30.0)
     for step in table:
@@ -309,6 +329,7 @@ def cmd_ideal(args) -> int:
             print(f"ideal constant  : {summary.final_mhz:.1f} MHz")
             print(f"energy          : {summary.exact_energy_j:.2f} J")
             print(f"mean utilization: {summary.mean_utilization:.3f}")
+            report_sweep_stats(engine)
             return 0
         result = find_ideal_constant(workload, machine_factory=mspec, seed=args.seed)
     except ValueError as exc:
@@ -320,6 +341,44 @@ def cmd_ideal(args) -> int:
     print(f"energy          : {result.exact_energy_j:.2f} J")
     print(f"mean utilization: {result.run.mean_utilization():.3f}")
     return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one workload under a tracer and export Chrome trace-event JSON."""
+    from repro.obs.metrics import KernelMetricsRecorder, MetricsRegistry
+    from repro.obs.trace import TraceRecorder, write_chrome_trace
+
+    mspec = machine_spec(args)
+    spec = workload_spec(args.workload, args.duration)
+    workload = spec.build()
+    tracer = TraceRecorder()
+    registry = MetricsRegistry()
+    result = run_workload(
+        workload,
+        resolve_policy(args.policy, clock_table=mspec.clock_table()),
+        machine_factory=mspec,
+        seed=args.seed,
+        use_daq=False,
+        extra_recorders=[tracer, KernelMetricsRecorder(registry)],
+    )
+    payload = tracer.chrome_trace(
+        run=result.run, tolerance_us=workload.tolerance_us
+    )
+    out = write_chrome_trace(payload, args.output)
+    snap = registry.snapshot()
+    print(f"workload        : {workload.name} ({workload.duration_s:.0f} s)")
+    print(f"policy          : {args.policy}")
+    print(f"machine         : {args.machine}")
+    print(f"energy          : {result.exact_energy_j:.2f} J")
+    print(f"quanta          : {snap.counters.get('kernel.quanta', 0):.0f}")
+    print(f"clock changes   : "
+          f"{snap.counters.get('kernel.freq_changes', 0):.0f} "
+          f"(stalled {snap.counters.get('kernel.clock_stall_us', 0) / 1000:.1f} ms)")
+    print(f"deadline misses : {len(result.misses)}")
+    print(f"trace           : {out} "
+          f"({len(payload['traceEvents'])} events; open in Perfetto or "
+          f"chrome://tracing)")
+    return 1 if result.misses else 0
 
 
 def cmd_battery(_args) -> int:
@@ -350,6 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_opts.add_argument(
         "--no-cache", action="store_true",
         help="ignore --cache and re-simulate everything",
+    )
+    sweep_opts.add_argument(
+        "--run-log", default=None, metavar="PATH", dest="run_log",
+        help="append one structured JSONL audit record per sweep cell",
     )
 
     machine_opts = argparse.ArgumentParser(add_help=False)
@@ -410,6 +473,20 @@ def build_parser() -> argparse.ArgumentParser:
     ideal_parser.add_argument("--duration", type=float, default=None)
     ideal_parser.set_defaults(func=cmd_ideal)
 
+    trace_parser = sub.add_parser(
+        "trace",
+        help="export one traced run as Chrome trace-event JSON (Perfetto)",
+        parents=[machine_opts],
+    )
+    trace_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
+    trace_parser.add_argument("--policy", default="best")
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--duration", type=float, default=None,
+                              help="override trace length (seconds)")
+    trace_parser.add_argument("-o", "--output", default="trace.json",
+                              metavar="PATH", help="output file (JSON)")
+    trace_parser.set_defaults(func=cmd_trace)
+
     # battery is analytic (no simulation), but accepts the sweep flags so
     # scripts can pass a uniform option set to every subcommand.
     sub.add_parser(
@@ -424,7 +501,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ValueError as exc:
+    except (ValueError, SweepCellError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -95,6 +95,23 @@ class MachineSpec:
                 f"bad machine spec {text!r}: expected <name>[@<volts>]"
             ) from None
 
+    @property
+    def label(self) -> str:
+        """A short human-readable name: the ``--machine`` grammar, plus a
+        ``*`` marker when programmatic overrides make the spec unnameable
+        on the command line."""
+        text = self.name
+        if self.initial_volts is not None:
+            text += f"@{self.initial_volts:g}"
+        if (
+            self.initial_mhz is not None
+            or self.frequencies_mhz is not None
+            or self.low_voltage_max_mhz is not None
+            or self.power
+        ):
+            text += "*"
+        return text
+
     def clock_table(self) -> ClockTable:
         """The clock table this machine will have once built."""
         if self.frequencies_mhz is not None:

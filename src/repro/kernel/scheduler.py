@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Optional
 
 from repro.hw.machine import Machine
 from repro.hw.power import CoreState
@@ -63,6 +63,9 @@ from repro.traces.schema import (
     SchedDecision,
     VoltChange,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.trace import TraceRecorder
 
 _EPS = 1e-6
 
@@ -124,6 +127,9 @@ class KernelRun:
     voltage_settle_us: float = 0.0
     quantum_stats: Optional[QuantumStats] = None
     energy: Optional[EnergyTotals] = None
+    #: the live event capture, when a :class:`repro.obs.trace.TraceRecorder`
+    #: was attached (None otherwise; set by the recorder's ``contribute``).
+    trace: Optional["TraceRecorder"] = None
 
     # -- derived views -------------------------------------------------------------
 

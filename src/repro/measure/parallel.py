@@ -35,6 +35,7 @@ import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -50,8 +51,18 @@ from repro.core.catalog import POLICY_FACTORIES, resolve_policy
 from repro.hw.clocksteps import ClockTable
 from repro.hw.machines import MachineSpec
 from repro.kernel.governor import Governor
-from repro.kernel.recorders import RECORDING_FULL, RECORDING_MINIMAL
+from repro.kernel.recorders import (
+    RECORDING_FULL,
+    RECORDING_MINIMAL,
+    RunRecorder,
+)
 from repro.kernel.scheduler import KernelConfig
+from repro.obs.metrics import (
+    KernelMetricsRecorder,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.runlog import RunLogRecord, RunLogWriter, now_unix
 from repro.measure.stats import ConfidenceInterval, confidence_interval
 from repro.workloads.base import Workload
 from repro.workloads.chess import ChessConfig, chess_workload
@@ -157,6 +168,14 @@ class PolicySpec:
         """Build a parameterized spec; parameters are sorted for stability."""
         return cls(name=name, params=tuple(sorted(params.items())))
 
+    @property
+    def label(self) -> str:
+        """A short human-readable name, e.g. ``pering-avg(n=3, up='peg')``."""
+        if not self.params:
+            return self.name
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.name}({args})"
+
     def build_factory(
         self, clock_table: Optional[ClockTable] = None
     ) -> Callable[[], Governor]:
@@ -222,8 +241,22 @@ class SweepCell:
         """The kernel config that will be used (defaults if none given)."""
         return self.kernel_config if self.kernel_config is not None else KernelConfig()
 
-    def run(self) -> "CellResult":
-        """Execute the cell serially in this process."""
+    def describe(self) -> str:
+        """The cell's coordinates, for error messages and logs."""
+        return (
+            f"policy={self.policy.label} workload={self.workload.name} "
+            f"machine={self.machine.label} seed={self.seed}"
+        )
+
+    def run(
+        self, extra_recorders: Optional[Iterable[RunRecorder]] = None
+    ) -> "CellResult":
+        """Execute the cell serially in this process.
+
+        Args:
+            extra_recorders: additional pure-observer recorders to attach
+                (results are bitwise-identical with or without them).
+        """
         from repro.measure.runner import run_workload
 
         result = run_workload(
@@ -235,6 +268,7 @@ class SweepCell:
             use_daq=self.use_daq,
             daq_seed=self.daq_seed,
             recording=self.recording,
+            extra_recorders=extra_recorders,
         )
         return CellResult.from_experiment(result)
 
@@ -466,6 +500,39 @@ def _execute_cell(cell: SweepCell) -> CellResult:
     return cell.run()
 
 
+def _execute_cell_observed(
+    cell: SweepCell, with_metrics: bool
+) -> Tuple[CellResult, float, Optional[MetricsSnapshot]]:
+    """Instrumented worker: times the cell and (optionally) collects the
+    kernel hot-loop metrics in a worker-local registry whose snapshot the
+    parent merges.  The simulation itself is the very same ``cell.run``
+    the plain worker calls, so results stay bitwise-identical."""
+    registry = MetricsRegistry() if with_metrics else None
+    extra = [KernelMetricsRecorder(registry)] if registry is not None else None
+    start = perf_counter()
+    result = cell.run(extra_recorders=extra)
+    wall_s = perf_counter() - start
+    return result, wall_s, registry.snapshot() if registry is not None else None
+
+
+class SweepCellError(RuntimeError):
+    """A sweep worker failed; names the cell instead of an opaque pool error.
+
+    A crashed worker process surfaces as
+    :class:`~concurrent.futures.process.BrokenProcessPool` with no hint of
+    *which* simulation sank it; this wrapper carries the failing cell's
+    coordinates (policy / workload / machine / seed) and keeps the original
+    exception as ``__cause__``.
+    """
+
+    def __init__(self, cell: SweepCell, cause: BaseException):
+        self.cell = cell
+        super().__init__(
+            f"sweep cell failed ({cell.describe()}): "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
 @dataclass
 class SweepStats:
     """Cumulative accounting of a :class:`SweepEngine`.
@@ -473,15 +540,24 @@ class SweepStats:
     Attributes:
         executed: simulations actually run (unique cells, deduplicated).
         cache_hits: unique cells answered from the cache.
+        wall_s: wall-clock time spent inside :meth:`SweepEngine.run`.
     """
 
     executed: int = 0
     cache_hits: int = 0
+    wall_s: float = 0.0
 
     @property
     def total(self) -> int:
         """Unique cells served so far."""
         return self.executed + self.cache_hits
+
+    def summary(self) -> str:
+        """The one-line accounting every sweep CLI command prints."""
+        return (
+            f"sweep: {self.executed} simulated, {self.cache_hits} cached, "
+            f"{self.wall_s:.1f} s"
+        )
 
 
 class SweepEngine:
@@ -491,17 +567,38 @@ class SweepEngine:
     which worker finished first, and duplicate cells within a batch are
     simulated once.  ``jobs=1`` executes in-process (and is what the
     determinism tests compare the pool against).
+
+    Observability is opt-in and free when off: with ``metrics`` the engine
+    counts cells/cache traffic, times each cell, and merges the workers'
+    kernel hot-loop counters back into the given registry; with
+    ``run_log`` it appends one structured JSONL audit record per unique
+    cell.  Neither can change a result — instrumented workers run the very
+    same simulation, and the determinism tests pin the equality bitwise.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        run_log: Optional[RunLogWriter] = None,
+    ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.cache = cache
+        self.metrics = metrics
+        self.run_log = run_log
         self.stats = SweepStats()
 
     def run(self, cells: Iterable[SweepCell]) -> List[CellResult]:
-        """Execute ``cells`` and return their results, input-ordered."""
+        """Execute ``cells`` and return their results, input-ordered.
+
+        Raises:
+            SweepCellError: when a worker fails (or the pool breaks),
+                naming the affected cell.
+        """
+        start = perf_counter()
         ordered = list(cells)
         keys = [cache_key(cell) for cell in ordered]
         results: Dict[str, CellResult] = {}
@@ -514,24 +611,85 @@ class SweepEngine:
             if hit is not None:
                 results[key] = hit
                 self.stats.cache_hits += 1
+                self._observe(cell, key, hit, wall_s=0.0, cached=True)
             else:
                 pending[key] = cell
 
         if pending:
             todo = list(pending.items())
+            observed = self.metrics is not None or self.run_log is not None
+            with_metrics = self.metrics is not None
             if self.jobs > 1 and len(todo) > 1:
                 workers = min(self.jobs, len(todo))
+                if self.metrics is not None:
+                    self.metrics.gauge("sweep.workers").set(workers)
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    fresh = list(pool.map(_execute_cell, [c for _, c in todo]))
+                    futures = [
+                        pool.submit(_execute_cell_observed, cell, with_metrics)
+                        if observed
+                        else pool.submit(_execute_cell, cell)
+                        for _, cell in todo
+                    ]
+                    fresh = []
+                    for (_, cell), future in zip(todo, futures):
+                        try:
+                            fresh.append(future.result())
+                        except Exception as exc:
+                            raise SweepCellError(cell, exc) from exc
+            elif observed:
+                fresh = [
+                    _execute_cell_observed(cell, with_metrics)
+                    for _, cell in todo
+                ]
             else:
                 fresh = [cell.run() for _, cell in todo]
-            for (key, _), result in zip(todo, fresh):
+            for (key, cell), outcome in zip(todo, fresh):
+                if observed:
+                    result, wall_s, snap = outcome
+                    if self.metrics is not None and snap is not None:
+                        self.metrics.merge(snap)
+                else:
+                    result, wall_s = outcome, 0.0
                 results[key] = result
                 if self.cache is not None:
                     self.cache.put(key, result)
+                self._observe(cell, key, result, wall_s=wall_s, cached=False)
             self.stats.executed += len(todo)
 
+        self.stats.wall_s += perf_counter() - start
         return [results[key] for key in keys]
+
+    def _observe(
+        self,
+        cell: SweepCell,
+        key: str,
+        result: CellResult,
+        wall_s: float,
+        cached: bool,
+    ) -> None:
+        """Account one served cell to the metrics registry and run-log."""
+        if self.metrics is not None:
+            which = "sweep.cells_cached" if cached else "sweep.cells_executed"
+            self.metrics.counter(which).inc()
+            if not cached:
+                self.metrics.histogram("sweep.cell_wall_s").observe(wall_s)
+        if self.run_log is not None:
+            self.run_log.write(
+                RunLogRecord(
+                    run_id=key,
+                    policy=cell.policy.label,
+                    workload=cell.workload.name,
+                    machine=cell.machine.label,
+                    seed=cell.seed,
+                    duration_us=result.duration_us,
+                    energy_j=result.energy_j,
+                    exact_energy_j=result.exact_energy_j,
+                    miss_count=result.miss_count,
+                    cache="hit" if cached else "executed",
+                    wall_s=wall_s,
+                    unix_time=now_unix(),
+                )
+            )
 
 
 @dataclass(frozen=True)

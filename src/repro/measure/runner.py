@@ -15,13 +15,13 @@ jitter).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Union
 
 from repro.hw.itsy import ItsyConfig, ItsyMachine
 from repro.hw.machine import Machine
 from repro.hw.machines import MachineSpec
 from repro.kernel.governor import Governor
-from repro.kernel.recorders import RECORDING_FULL, recorders_for
+from repro.kernel.recorders import RECORDING_FULL, RunRecorder, recorders_for
 from repro.kernel.scheduler import Kernel, KernelConfig, KernelRun
 from repro.measure.daq import DaqCapture, DaqSystem
 from repro.measure.stats import ConfidenceInterval, confidence_interval
@@ -99,6 +99,7 @@ def run_workload(
     use_daq: bool = True,
     daq_seed: Optional[int] = None,
     recording: str = RECORDING_FULL,
+    extra_recorders: Optional[Iterable[RunRecorder]] = None,
 ) -> ExperimentResult:
     """Run one workload under one governor and measure it.
 
@@ -116,6 +117,11 @@ def run_workload(
         recording: kernel instrumentation level, ``"full"`` or
             ``"minimal"`` (energy totals and quantum statistics only;
             bitwise-equal energies, but no timeline for the DAQ).
+        extra_recorders: additional observers (e.g. a
+            :class:`~repro.obs.trace.TraceRecorder` or
+            :class:`~repro.obs.metrics.KernelMetricsRecorder`) appended
+            to the mode's recorder set.  Pure observation: results are
+            bitwise-identical with or without them.
     """
     if use_daq and recording != RECORDING_FULL:
         raise ValueError(
@@ -125,11 +131,14 @@ def run_workload(
     if kernel_config is None:
         kernel_config = KernelConfig()
     machine = machine_factory()
+    recorders = recorders_for(recording, kernel_config)
+    if extra_recorders is not None:
+        recorders.extend(extra_recorders)
     kernel = Kernel(
         machine,
         governor=governor_factory(),
         config=kernel_config,
-        recorders=recorders_for(recording, kernel_config),
+        recorders=recorders,
     )
     workload.setup(kernel, seed)
     run = kernel.run(workload.duration_us)

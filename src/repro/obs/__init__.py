@@ -1,0 +1,55 @@
+"""Observability: kernel event tracing, metrics, and structured run-logs.
+
+The reproduction's answer to the paper's measurement rig.  Three tiers,
+all built on existing hook points and all guaranteed not to perturb
+results (recorders are pure observers; the determinism tests pin runs
+with and without observability to bitwise equality):
+
+- :mod:`repro.obs.trace` — :class:`TraceRecorder` captures every kernel
+  observation and exports Chrome trace-event JSON for Perfetto /
+  ``chrome://tracing`` (the software analogue of the DAQ capture);
+- :mod:`repro.obs.metrics` — a counter/gauge/histogram registry with
+  picklable snapshots that merge across sweep worker processes;
+- :mod:`repro.obs.runlog` — append-only JSONL audit records, one per
+  sweep cell.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    KernelMetricsRecorder,
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+)
+from repro.obs.runlog import (
+    RUN_LOG_VERSION,
+    RunLogRecord,
+    RunLogWriter,
+    read_run_log,
+)
+from repro.obs.trace import (
+    TraceRecorder,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "KernelMetricsRecorder",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "merge_snapshots",
+    "RUN_LOG_VERSION",
+    "RunLogRecord",
+    "RunLogWriter",
+    "read_run_log",
+    "TraceRecorder",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,133 @@
+"""Structured JSONL run-logs: a durable record of what a sweep executed.
+
+The paper's Table 2 footnotes exactly how each number was produced (how
+many runs, which seeds, which machine).  Long sweeps deserve the same
+auditability: :class:`RunLogWriter` appends one JSON object per sweep
+cell — run id (the cell's content-address in the result cache), machine,
+policy, workload, seed, energy, misses, cache status, wall time — so a
+finished sweep can be reconstructed, diffed, or re-keyed after the fact
+without rerunning anything.
+
+Records are flushed line-by-line, so a log is readable (and every
+completed cell is preserved) even if the sweep crashes mid-grid.  The
+format is append-only JSONL: one self-describing object per line, no
+header, safe to concatenate across sweeps sharing a log file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Union
+
+#: Bump when the record layout changes incompatibly.
+RUN_LOG_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunLogRecord:
+    """One sweep cell's audit record.
+
+    Attributes:
+        run_id: the cell's cache key (content address) — stable across
+            hosts, so identical cells in different logs share an id.
+        policy: policy grammar name (with factory params appended when
+            the spec carries any).
+        workload: workload name.
+        machine: machine spec string (``itsy``, ``itsy@1.23``, ``sa2``).
+        seed: workload jitter seed.
+        duration_us: simulated length.
+        energy_j: measured (DAQ or exact) energy.
+        exact_energy_j: the analytic integral.
+        miss_count: deadline misses beyond the workload tolerance.
+        cache: ``"hit"`` or ``"executed"``.
+        wall_s: wall-clock execution time (0.0 for cache hits).
+        unix_time: wall-clock time the record was written.
+    """
+
+    run_id: str
+    policy: str
+    workload: str
+    machine: str
+    seed: int
+    duration_us: float
+    energy_j: float
+    exact_energy_j: float
+    miss_count: int
+    cache: str
+    wall_s: float
+    unix_time: float
+
+    def to_json(self) -> dict:
+        """The record as a JSON-safe dict, version-stamped."""
+        return {"v": RUN_LOG_VERSION, **asdict(self)}
+
+
+class RunLogWriter:
+    """Appends :class:`RunLogRecord` lines to a JSONL file.
+
+    Opens lazily on the first write (so merely configuring a log path
+    never creates an empty file) and flushes every record.  Usable as a
+    context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+        self.written = 0
+
+    def write(self, record: RunLogRecord) -> None:
+        """Append one record and flush it to disk."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+        self._handle.flush()
+        self.written += 1
+
+    def close(self) -> None:
+        """Close the underlying file (no-op if never written to)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def now_unix() -> float:
+    """Wall-clock timestamp for run-log records (patchable in tests)."""
+    return time.time()
+
+
+def read_run_log(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSONL run-log back into a list of record dicts.
+
+    Blank lines are skipped; malformed lines raise, since a run-log that
+    cannot be parsed has lost its audit value.
+
+    Raises:
+        ValueError: for lines that are not valid JSON objects.
+    """
+    records: List[dict] = []
+    for lineno, line in enumerate(_lines(path), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: bad run-log line: {exc}") from None
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{lineno}: run-log line is not an object")
+        records.append(record)
+    return records
+
+
+def _lines(path: Union[str, Path]) -> Iterator[str]:
+    with Path(path).open() as handle:
+        yield from handle

@@ -1,0 +1,336 @@
+"""Kernel event tracing: the software analogue of the paper's DAQ capture.
+
+The paper's key evidence is time-domain: the DAQ's 5 kHz power samples and
+the kernel's scheduler activity log, lined up on one time axis, are what
+make AVG_N's oscillation (Fig. 7) and PAST's fast settling visible.
+:class:`TraceRecorder` reproduces that instrument inside the simulator —
+it subscribes to every kernel observer hook (power segments, quanta,
+scheduler decisions, frequency/voltage changes) and keeps them as an
+ordered event buffer — and :meth:`TraceRecorder.chrome_trace` exports the
+buffer as Chrome trace-event JSON, so any run opens in Perfetto or
+``chrome://tracing`` with:
+
+- counter tracks for clock frequency, core voltage, and power;
+- one slice track per process showing exactly when it ran;
+- a DVFS track with the ~200 us clock-change stalls and rail-sag windows;
+- instant markers for every deadline miss.
+
+Like every recorder, the tracer is a pure observer: attaching it cannot
+change a run's numbers (the determinism tests pin this bitwise), and runs
+without it pay nothing because the kernel only wires up overridden hooks.
+
+The exporter emits the subset of the Trace Event Format that Perfetto
+renders: metadata (``M``), complete (``X``), counter (``C``) and instant
+(``i``) events.  :func:`validate_chrome_trace` structurally checks a
+payload against that subset; the CI trace smoke job and the schema tests
+both go through it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
+
+from repro.kernel.recorders import RunRecorder
+from repro.traces.schema import (
+    AppEvent,
+    FreqChange,
+    QuantumRecord,
+    SchedDecision,
+    VoltChange,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.scheduler import KernelRun
+
+#: The synthetic "process" ids the exported trace groups its tracks under.
+#: (Trace-event pids are display containers, not simulated pids.)
+TRACE_PID_MACHINE = 1
+TRACE_PID_PROCESSES = 2
+
+#: Event phases the exporter emits (and the validator accepts).
+_PHASES = {"M", "X", "C", "i", "I"}
+
+
+class TraceRecorder(RunRecorder):
+    """Captures every kernel observation into an ordered event buffer.
+
+    Attributes:
+        power: ``(start_us, end_us, watts)`` power segments.
+        quanta: per-quantum utilization records.
+        decisions: scheduler activity log entries (always captured here,
+            independent of ``KernelConfig.record_sched_log``).
+        freq_changes / volt_changes: the DVFS transition history.
+    """
+
+    def __init__(self) -> None:
+        self.power: List[Tuple[float, float, float]] = []
+        self.quanta: List[QuantumRecord] = []
+        self.decisions: List[SchedDecision] = []
+        self.freq_changes: List[FreqChange] = []
+        self.volt_changes: List[VoltChange] = []
+        self._run: Optional["KernelRun"] = None
+
+    # -- observer hooks ---------------------------------------------------------
+
+    def on_power(self, start_us: float, end_us: float, watts: float) -> None:
+        self.power.append((start_us, end_us, watts))
+
+    def on_quantum(self, record: QuantumRecord) -> None:
+        self.quanta.append(record)
+
+    def on_sched_decision(self, decision: SchedDecision) -> None:
+        self.decisions.append(decision)
+
+    def on_freq_change(self, change: FreqChange) -> None:
+        self.freq_changes.append(change)
+
+    def on_volt_change(self, change: VoltChange) -> None:
+        self.volt_changes.append(change)
+
+    def contribute(self, run: "KernelRun") -> None:
+        self._run = run
+        run.trace = self
+
+    # -- derived windows --------------------------------------------------------
+
+    def stall_windows(self) -> List[Tuple[float, float]]:
+        """``(start_us, end_us)`` spans the CPU stalled for clock switches.
+
+        The DVFS engine stamps a :class:`FreqChange` *after* the stall it
+        charged, so each window ends at the change time.
+        """
+        return [
+            (c.time_us - c.stall_us, c.time_us)
+            for c in self.freq_changes
+            if c.stall_us > 0
+        ]
+
+    def sag_windows(self) -> List[Tuple[float, float]]:
+        """``(start_us, end_us)`` spans the rail sagged after voltage drops.
+
+        Execution continues during a sag, but power is still drawn at the
+        old (higher) voltage — exactly the window the paper's DAQ sees.
+        """
+        return [
+            (c.time_us, c.time_us + c.settle_us)
+            for c in self.volt_changes
+            if c.to_volts < c.from_volts and c.settle_us > 0
+        ]
+
+    # -- export -----------------------------------------------------------------
+
+    def chrome_trace(
+        self,
+        run: Optional["KernelRun"] = None,
+        tolerance_us: float = 0.0,
+    ) -> dict:
+        """The captured run as a Chrome trace-event JSON payload.
+
+        Args:
+            run: the finished kernel run, for process names and deadline
+                events.  Defaults to the run this recorder contributed to.
+            tolerance_us: per-workload perceptibility tolerance; events
+                later than their deadline by more than this become
+                ``deadline miss`` instants.
+
+        Returns:
+            A dict with ``traceEvents`` (ts/dur in microseconds, the
+            format's native unit) ready for ``json.dump`` and Perfetto.
+        """
+        run = run if run is not None else self._run
+        events: List[dict] = [
+            _meta(TRACE_PID_MACHINE, None, "process_name", "machine"),
+            _meta(TRACE_PID_MACHINE, 1, "thread_name", "frequency (MHz)"),
+            _meta(TRACE_PID_MACHINE, 2, "thread_name", "voltage (V)"),
+            _meta(TRACE_PID_MACHINE, 3, "thread_name", "power (W)"),
+            _meta(TRACE_PID_MACHINE, 4, "thread_name", "dvfs"),
+            _meta(TRACE_PID_PROCESSES, None, "process_name", "processes"),
+        ]
+
+        # Counter tracks.  One sample per quantum gives Perfetto a stepped
+        # line at the same 10 ms granularity the governor observes; the
+        # power track follows the merged segment boundaries (the exact
+        # signal the DAQ samples).
+        for q in self.quanta:
+            events.append(_counter("frequency (MHz)", q.start_us, {"mhz": q.mhz}))
+            events.append(_counter("voltage (V)", q.start_us, {"volts": q.volts}))
+        for start_us, _end_us, watts in self.power:
+            events.append(_counter("power (W)", start_us, {"watts": watts}))
+
+        # Per-process execution slices from the scheduler activity log:
+        # each decision runs until the next one (or the end of the run).
+        end_us = self._end_us(run)
+        names = dict(run.process_names) if run is not None else {}
+        seen_tids = {}
+        for i, d in enumerate(self.decisions):
+            nxt = self.decisions[i + 1].time_us if i + 1 < len(self.decisions) else end_us
+            dur = max(0.0, nxt - d.time_us)
+            if d.pid not in seen_tids:
+                seen_tids[d.pid] = True
+                label = names.get(d.pid, d.name)
+                events.append(
+                    _meta(TRACE_PID_PROCESSES, d.pid, "thread_name",
+                          f"{label} (pid {d.pid})")
+                )
+            events.append({
+                "name": d.name,
+                "ph": "X",
+                "ts": d.time_us,
+                "dur": dur,
+                "pid": TRACE_PID_PROCESSES,
+                "tid": d.pid,
+                "args": {"mhz": d.mhz},
+            })
+
+        # The DVFS track: transition instants plus their cost windows.
+        for c in self.freq_changes:
+            events.append({
+                "name": f"clock {c.from_mhz:.1f}->{c.to_mhz:.1f} MHz",
+                "ph": "i", "s": "g",
+                "ts": c.time_us,
+                "pid": TRACE_PID_MACHINE, "tid": 4,
+                "args": {"from_mhz": c.from_mhz, "to_mhz": c.to_mhz,
+                         "stall_us": c.stall_us},
+            })
+        for c in self.volt_changes:
+            events.append({
+                "name": f"rail {c.from_volts:.2f}->{c.to_volts:.2f} V",
+                "ph": "i", "s": "g",
+                "ts": c.time_us,
+                "pid": TRACE_PID_MACHINE, "tid": 4,
+                "args": {"from_volts": c.from_volts, "to_volts": c.to_volts,
+                         "settle_us": c.settle_us},
+            })
+        for start_us, stop_us in self.stall_windows():
+            events.append({
+                "name": "clock-change stall",
+                "ph": "X",
+                "ts": start_us,
+                "dur": stop_us - start_us,
+                "pid": TRACE_PID_MACHINE, "tid": 4,
+                "args": {},
+            })
+        for start_us, stop_us in self.sag_windows():
+            events.append({
+                "name": "rail sag",
+                "ph": "X",
+                "ts": start_us,
+                "dur": stop_us - start_us,
+                "pid": TRACE_PID_MACHINE, "tid": 4,
+                "args": {},
+            })
+
+        # Deadline misses as global instants, one per offending event.
+        if run is not None:
+            for miss in run.deadline_misses(tolerance_us=tolerance_us):
+                events.append(_miss_event(miss))
+
+        events.sort(key=_sort_key)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs.trace",
+                "quanta": len(self.quanta),
+                "power_segments": len(self.power),
+                "sched_decisions": len(self.decisions),
+                "freq_changes": len(self.freq_changes),
+                "volt_changes": len(self.volt_changes),
+            },
+        }
+
+    def _end_us(self, run: Optional["KernelRun"]) -> float:
+        if run is not None:
+            return run.duration_us
+        if self.power:
+            return self.power[-1][1]
+        if self.quanta:
+            return self.quanta[-1].end_us
+        return 0.0
+
+
+def _meta(pid: int, tid: Optional[int], name: str, value: str) -> dict:
+    event = {"name": name, "ph": "M", "pid": pid, "args": {"name": value}}
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def _counter(name: str, ts_us: float, args: dict) -> dict:
+    return {"name": name, "ph": "C", "ts": ts_us, "pid": TRACE_PID_MACHINE,
+            "args": args}
+
+
+def _miss_event(miss: AppEvent) -> dict:
+    return {
+        "name": f"deadline miss: {miss.kind}",
+        "ph": "i", "s": "g",
+        "ts": miss.time_us,
+        "pid": TRACE_PID_PROCESSES, "tid": miss.pid,
+        "args": {"lateness_us": miss.lateness_us, "kind": miss.kind},
+    }
+
+
+def _sort_key(event: dict) -> Tuple[int, float]:
+    # Metadata first, then chronological; stable for equal timestamps.
+    return (0 if event["ph"] == "M" else 1, event.get("ts", 0.0))
+
+
+def write_chrome_trace(payload: dict, path: Union[str, Path]) -> Path:
+    """Validate ``payload`` and write it to ``path`` as JSON.
+
+    Raises:
+        ValueError: if the payload fails :func:`validate_chrome_trace`.
+    """
+    validate_chrome_trace(payload)
+    out = Path(path)
+    out.write_text(json.dumps(payload) + "\n")
+    return out
+
+
+def validate_chrome_trace(payload: object) -> None:
+    """Structurally validate a Chrome trace-event JSON payload.
+
+    Checks the contract Perfetto / ``chrome://tracing`` rely on for the
+    event kinds this exporter emits: a ``traceEvents`` list whose entries
+    carry a name, a known phase, a pid, finite non-negative timestamps,
+    and non-negative durations on complete events.
+
+    Raises:
+        ValueError: describing the first violation found.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace payload needs a 'traceEvents' list")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where} needs a non-empty 'name'")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            raise ValueError(f"{where} has unknown phase {phase!r}")
+        if not isinstance(event.get("pid"), int):
+            raise ValueError(f"{where} needs an integer 'pid'")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts != ts or ts < 0:
+                raise ValueError(f"{where} needs a finite 'ts' >= 0")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur != dur or dur < 0:
+                raise ValueError(f"{where} needs a finite 'dur' >= 0")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"{where} counter needs non-empty 'args'")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"{where} counter arg {key!r} is not numeric"
+                    )

@@ -18,6 +18,7 @@ from repro.measure.parallel import (
     PolicySpec,
     ResultCache,
     SweepCell,
+    SweepCellError,
     SweepEngine,
     SweepSpec,
     WorkloadSpec,
@@ -250,6 +251,63 @@ class TestEngineValidation:
     def test_config_type_checked(self):
         with pytest.raises(TypeError):
             WorkloadSpec("mpeg", WebConfig()).build()
+
+
+class TestSweepCellError:
+    def test_pool_failure_names_the_cell(self):
+        cells = [cell(), cell(policy=PolicySpec("ondemand"), seed=1)]
+        with pytest.raises(SweepCellError) as excinfo:
+            SweepEngine(jobs=2).run(cells)
+        err = excinfo.value
+        assert err.cell.policy.name == "ondemand"
+        assert "policy=ondemand" in str(err)
+        assert "workload=mpeg" in str(err)
+        assert "seed=1" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_serial_path_keeps_the_raw_error(self):
+        # In-process failures already have a useful traceback; only the
+        # pool path needs the naming wrapper.
+        with pytest.raises(ValueError):
+            SweepEngine(jobs=1).run([cell(policy=PolicySpec("ondemand"))])
+
+
+class TestSweepObservability:
+    def test_stats_time_the_run(self):
+        engine = SweepEngine(jobs=1)
+        engine.run([cell()])
+        assert engine.stats.executed == 1
+        assert engine.stats.wall_s > 0
+        assert engine.stats.summary().startswith("sweep: 1 simulated, 0 cached")
+
+    def test_metrics_count_executed_and_cached_cells(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path)
+        SweepEngine(jobs=1, cache=cache, metrics=registry).run(
+            [cell(), cell(seed=1)]
+        )
+        SweepEngine(jobs=1, cache=cache, metrics=registry).run([cell()])
+        snap = registry.snapshot()
+        assert snap.counters["sweep.cells_executed"] == 2
+        assert snap.counters["sweep.cells_cached"] == 1
+        assert snap.histograms["sweep.cell_wall_s"].count == 2
+        assert snap.counters["kernel.quanta"] > 0
+
+    def test_pool_metrics_merge_and_results_stay_bitwise(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cells = [cell(seed=s) for s in range(3)]
+        observed = SweepEngine(jobs=2, metrics=registry).run(cells)
+        plain = SweepEngine(jobs=2).run(cells)
+        assert observed == plain
+        snap = registry.snapshot()
+        assert snap.counters["sweep.cells_executed"] == 3
+        assert snap.gauges["sweep.workers"] == 2
+        # Kernel counters arrive via worker snapshots merged in the parent.
+        assert snap.counters["kernel.quanta"] > 0
 
 
 class TestCellResultRoundTrip:

@@ -60,6 +60,15 @@ class TestTimeAbove:
         assert time_above_w(tl, 0.5) == pytest.approx(1.0)
         assert time_above_w(tl, 3.0) == 0.0
 
+    def test_empty_timeline_is_zero(self):
+        assert time_above_w(PowerTimeline(), 1.0) == 0.0
+        assert time_above_w(PowerTimeline(), 0.0) == 0.0
+
+    def test_zero_duration_segments_contribute_nothing(self):
+        tl = PowerTimeline()
+        tl.record(0.0, 0.0, 5.0)
+        assert time_above_w(tl, 1.0) == 0.0
+
 
 class TestBurstProfile:
     def test_burst_quiet_decomposition(self):
@@ -90,3 +99,13 @@ class TestBurstProfile:
 
     def test_empty_timeline(self):
         assert burst_profile(PowerTimeline(), 1.0) == []
+
+    def test_all_zero_duration_segments_yield_no_phases(self):
+        tl = PowerTimeline()
+        tl.record(0.0, 0.0, 2.0)
+        tl.record(0.0, 0.0, 0.1)
+        assert burst_profile(tl, 1.0) == []
+
+    def test_single_segment_is_a_single_phase(self):
+        phases = burst_profile(timeline([(1e6, 2.0)]), threshold_w=1.0)
+        assert phases == [(pytest.approx(2.0), pytest.approx(1.0))]

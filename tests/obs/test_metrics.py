@@ -1,0 +1,143 @@
+"""Tests for the metrics registry and the kernel metrics recorder."""
+
+import pickle
+
+import pytest
+
+from repro.core.catalog import resolve_policy
+from repro.measure.runner import run_workload
+from repro.obs.metrics import (
+    HistogramSnapshot,
+    KernelMetricsRecorder,
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+)
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        assert reg.counter("n") is c  # get-or-create returns the same one
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("n").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(5)
+        g.set(2)
+        assert g.value == 2.0
+
+    def test_histogram(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap.count == 3
+        assert snap.sum == 6.0
+        assert snap.min == 1.0 and snap.max == 3.0
+        assert snap.mean == 2.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert HistogramSnapshot().mean == 0.0
+
+
+class TestSnapshots:
+    def populated(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(1.5)
+        return reg
+
+    def test_snapshot_pickles(self):
+        snap = self.populated().snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+
+    def test_merge_accumulates(self):
+        a, b = self.populated(), self.populated()
+        b.gauge("g").set(9)
+        b.histogram("h").observe(0.5)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap.counters["c"] == 8.0
+        assert snap.gauges["g"] == 9.0  # last writer wins
+        assert snap.histograms["h"].count == 3
+        assert snap.histograms["h"].min == 0.5
+
+    def test_merge_snapshots_skips_none(self):
+        merged = merge_snapshots(
+            self.populated().snapshot(), None, self.populated().snapshot()
+        )
+        assert merged.counters["c"] == 8.0
+
+    def test_to_json_is_serializable(self):
+        import json
+
+        payload = self.populated().snapshot().to_json()
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["counters"]["c"] == 4.0
+        assert parsed["histograms"]["h"]["count"] == 1
+
+    def test_empty_histogram_json_bounds_are_null(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        payload = reg.snapshot().to_json()
+        assert payload["histograms"]["h"]["min"] is None
+        assert payload["histograms"]["h"]["max"] is None
+
+    def test_snapshot_default_is_empty(self):
+        snap = MetricsSnapshot()
+        assert snap.counters == {} and snap.gauges == {}
+
+
+class TestKernelMetricsRecorder:
+    def run_with_metrics(self, policy="best", duration_s=2.0):
+        registry = MetricsRegistry()
+        result = run_workload(
+            mpeg_workload(MpegConfig(duration_s=duration_s)),
+            resolve_policy(policy),
+            use_daq=False,
+            extra_recorders=[KernelMetricsRecorder(registry)],
+        )
+        return registry.snapshot(), result
+
+    def test_counts_match_the_run(self):
+        snap, result = self.run_with_metrics()
+        run = result.run
+        assert snap.counters["kernel.quanta"] == len(run.quanta)
+        assert snap.counters["kernel.freq_changes"] == run.clock_changes
+        assert snap.counters["kernel.clock_stall_us"] == pytest.approx(
+            run.clock_stall_us
+        )
+        assert snap.counters["kernel.volt_changes"] == run.voltage_changes
+        assert snap.counters["kernel.busy_us"] == pytest.approx(
+            sum(q.busy_us for q in run.quanta)
+        )
+        assert snap.gauges["kernel.final_mhz"] == run.quanta[-1].mhz
+
+    def test_busy_plus_idle_covers_every_quantum(self):
+        snap, result = self.run_with_metrics()
+        quanta = snap.counters["kernel.quanta"]
+        covered = snap.counters["kernel.busy_us"] + snap.counters["kernel.idle_us"]
+        # busy is clamped per quantum, so covered >= quanta * quantum_us.
+        assert covered >= quanta * 10_000.0 - 1e-6
+
+    def test_utilization_histogram_matches_mean(self):
+        snap, result = self.run_with_metrics()
+        hist = snap.histograms["kernel.quantum_utilization"]
+        assert hist.count == len(result.run.quanta)
+        assert hist.mean == pytest.approx(result.run.mean_utilization())
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        KernelMetricsRecorder(registry, prefix="sa2")
+        assert "sa2.quanta" in registry.snapshot().counters

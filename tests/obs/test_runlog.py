@@ -1,0 +1,149 @@
+"""Tests for the structured JSONL sweep run-log."""
+
+import json
+
+import pytest
+
+from repro.measure.parallel import (
+    PolicySpec,
+    ResultCache,
+    SweepCell,
+    SweepEngine,
+    WorkloadSpec,
+)
+from repro.obs.runlog import (
+    RUN_LOG_VERSION,
+    RunLogRecord,
+    RunLogWriter,
+    read_run_log,
+)
+from repro.workloads.mpeg import MpegConfig
+
+MPEG = WorkloadSpec("mpeg", MpegConfig(duration_s=0.3))
+
+
+def record(**overrides) -> RunLogRecord:
+    defaults = dict(
+        run_id="abc123",
+        policy="best",
+        workload="mpeg",
+        machine="itsy",
+        seed=0,
+        duration_us=300000.0,
+        energy_j=0.5,
+        exact_energy_j=0.5,
+        miss_count=0,
+        cache="executed",
+        wall_s=0.01,
+        unix_time=1_700_000_000.0,
+    )
+    defaults.update(overrides)
+    return RunLogRecord(**defaults)
+
+
+class TestWriter:
+    def test_appends_jsonl(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with RunLogWriter(path) as log:
+            log.write(record())
+            log.write(record(seed=1, cache="hit", wall_s=0.0))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["v"] == RUN_LOG_VERSION
+        assert first["policy"] == "best"
+        assert json.loads(lines[1])["cache"] == "hit"
+
+    def test_lazy_open(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        log = RunLogWriter(path)
+        log.close()
+        assert not path.exists()
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "log.jsonl"
+        with RunLogWriter(path) as log:
+            log.write(record())
+        assert path.exists()
+
+    def test_written_counter(self, tmp_path):
+        log = RunLogWriter(tmp_path / "log.jsonl")
+        assert log.written == 0
+        log.write(record())
+        assert log.written == 1
+        log.close()
+
+
+class TestReader:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with RunLogWriter(path) as log:
+            log.write(record())
+        records = read_run_log(path)
+        assert len(records) == 1
+        assert records[0]["run_id"] == "abc123"
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert len(read_run_log(path)) == 2
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="bad run-log line"):
+            read_run_log(path)
+
+    def test_rejects_non_objects(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not an object"):
+            read_run_log(path)
+
+
+class TestEngineIntegration:
+    def cells(self):
+        return [
+            SweepCell(workload=MPEG, policy=PolicySpec("best"), seed=s,
+                      use_daq=False)
+            for s in (0, 1)
+        ]
+
+    def test_one_record_per_unique_cell(self, tmp_path):
+        log = RunLogWriter(tmp_path / "log.jsonl")
+        engine = SweepEngine(jobs=1, run_log=log)
+        results = engine.run(self.cells())
+        log.close()
+        records = read_run_log(tmp_path / "log.jsonl")
+        assert len(records) == 2
+        assert all(r["cache"] == "executed" for r in records)
+        assert {r["seed"] for r in records} == {0, 1}
+        assert records[0]["energy_j"] == results[0].exact_energy_j
+        assert all(r["wall_s"] > 0 for r in records)
+
+    def test_warm_cache_logs_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        SweepEngine(jobs=1, cache=cache).run(self.cells())
+        log = RunLogWriter(tmp_path / "log.jsonl")
+        SweepEngine(jobs=1, cache=cache, run_log=log).run(self.cells())
+        log.close()
+        records = read_run_log(tmp_path / "log.jsonl")
+        assert len(records) == 2
+        assert all(r["cache"] == "hit" for r in records)
+        assert all(r["wall_s"] == 0.0 for r in records)
+
+    def test_run_id_is_the_cache_key(self, tmp_path):
+        from repro.measure.parallel import cache_key
+
+        log = RunLogWriter(tmp_path / "log.jsonl")
+        SweepEngine(jobs=1, run_log=log).run(self.cells()[:1])
+        log.close()
+        [rec] = read_run_log(tmp_path / "log.jsonl")
+        assert rec["run_id"] == cache_key(self.cells()[0])
+
+    def test_logging_does_not_change_results(self, tmp_path):
+        log = RunLogWriter(tmp_path / "log.jsonl")
+        logged = SweepEngine(jobs=1, run_log=log).run(self.cells())
+        log.close()
+        plain = SweepEngine(jobs=1).run(self.cells())
+        assert logged == plain

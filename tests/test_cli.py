@@ -273,3 +273,82 @@ class TestSweepOptions:
     def test_battery_accepts_flags(self, capsys):
         assert main(["battery", "--jobs", "2"]) == 0
         assert "206.4" in capsys.readouterr().out
+
+
+class TestObservabilityOptions:
+    """The trace command, --run-log, and the stderr sweep summary."""
+
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "mpeg", "--policy", "best", "--duration", "2",
+             "-o", str(out)]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert out.exists()
+        payload = json.loads(out.read_text())
+        validate_chrome_trace(payload)
+        assert "trace           :" in captured
+        assert "deadline misses : 0" in captured
+
+    def test_trace_misses_exit_one(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "mpeg", "--policy", "const-59.0", "--duration", "2",
+             "-o", str(out)]
+        )
+        assert code == 1
+        assert out.exists()
+
+    def test_trace_on_sa2(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "mpeg", "--machine", "sa2", "--duration", "2",
+             "-o", str(out)]
+        )
+        assert code == 0
+        assert "machine         : sa2" in capsys.readouterr().out
+
+    def test_run_log_flag_writes_jsonl(self, capsys, tmp_path):
+        from repro.obs.runlog import read_run_log
+
+        log = tmp_path / "runs.jsonl"
+        code = main(
+            ["run", "mpeg", "--policy", "best", "--duration", "1",
+             "--run-log", str(log)]
+        )
+        assert code == 0
+        records = read_run_log(log)
+        assert len(records) == 1
+        assert records[0]["policy"] == "best"
+        assert records[0]["workload"] == "mpeg"
+        assert records[0]["cache"] == "executed"
+
+    def test_sweep_summary_on_stderr(self, capsys):
+        assert main(
+            ["run", "mpeg", "--policy", "best", "--duration", "1",
+             "--jobs", "2"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "sweep: 1 simulated, 0 cached" in err
+
+    def test_summary_counts_cache_hits(self, capsys, tmp_path):
+        argv = [
+            "ideal", "mpeg", "--duration", "10", "--cache", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "simulated, 0 cached" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert " 0 simulated," in warm.err
+
+    def test_serial_path_has_no_summary(self, capsys):
+        assert main(["run", "mpeg", "--policy", "best", "--duration", "1"]) == 0
+        assert "sweep:" not in capsys.readouterr().err
