@@ -8,18 +8,24 @@ workload under the best policy:
 - disabled observability is free: a run with ``extra_recorders`` unset
   must cost within 5 % of the plain pre-obs call form (the acceptance
   bar for the whole layer), and
-- enabled observability is an observer, not a participant: with a
+- enabled observability is cheap enough to leave on: with a
   ``TraceRecorder`` and a ``KernelMetricsRecorder`` attached the results
-  stay bitwise identical, and the (real) cost of buffering every event
-  is reported rather than hidden.
+  stay bitwise identical and the run costs within 10 % of the plain
+  call form (the recorders buffer events with bound C-level appends and
+  reduce once at the end).
 
 Timings are best-of-N over interleaved runs so one noisy sample cannot
 flip the comparison.  Besides the usual text report this benchmark
 writes ``BENCH_obs_overhead.json`` at the repo root — the
 machine-readable record the acceptance criterion reads.
+
+``REPRO_BENCH_QUICK=1`` shrinks the workload for CI trend checks: the
+overhead bars still apply, but the committed JSON record is left alone
+(only full-length runs may re-emit it).
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -32,9 +38,11 @@ from repro.workloads.mpeg import MpegConfig, mpeg_workload
 from _util import Report, bench_machine, once
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
-DURATION_S = 60.0
-ROUNDS = 5
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+DURATION_S = 15.0 if QUICK else 60.0
+ROUNDS = 3 if QUICK else 5
 MAX_DISABLED_OVERHEAD_PCT = 5.0
+MAX_ENABLED_OVERHEAD_PCT = 10.0
 
 
 def timed_run(machine, mode: str):
@@ -89,44 +97,61 @@ def test_obs_overhead(benchmark):
     )
     report.add(f"disabled overhead: {disabled_pct:+.1f}% "
                f"(bar: {MAX_DISABLED_OVERHEAD_PCT:g}%)")
-    report.add(f"enabled (trace+metrics) overhead: {enabled_pct:+.1f}%")
+    report.add(f"enabled (trace+metrics) overhead: {enabled_pct:+.1f}% "
+               f"(bar: {MAX_ENABLED_OVERHEAD_PCT:g}%)")
     report.emit()
 
     bitwise_equal = (
         results["disabled"].exact_energy_j == results["baseline"].exact_energy_j
         and results["enabled"].exact_energy_j == results["baseline"].exact_energy_j
     )
-    BENCH_JSON.write_text(
-        json.dumps(
-            {
-                "benchmark": "obs_overhead",
-                "machine": machine.name,
-                "workload": "mpeg",
-                "duration_s": DURATION_S,
-                "policy": "best",
-                "rounds": ROUNDS,
-                "baseline_wall_s": round(best["baseline"], 4),
-                "disabled_wall_s": round(best["disabled"], 4),
-                "enabled_wall_s": round(best["enabled"], 4),
-                "disabled_overhead_pct": round(disabled_pct, 2),
-                "enabled_overhead_pct": round(enabled_pct, 2),
-                "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
-                "energy_j": results["baseline"].exact_energy_j,
-                "bitwise_equal": bitwise_equal,
-            },
-            indent=2,
+    if not QUICK:
+        BENCH_JSON.write_text(
+            json.dumps(
+                {
+                    "benchmark": "obs_overhead",
+                    "machine": machine.name,
+                    "workload": "mpeg",
+                    "duration_s": DURATION_S,
+                    "policy": "best",
+                    "rounds": ROUNDS,
+                    "baseline_wall_s": round(best["baseline"], 4),
+                    "disabled_wall_s": round(best["disabled"], 4),
+                    "enabled_wall_s": round(best["enabled"], 4),
+                    "disabled_overhead_pct": round(disabled_pct, 2),
+                    "enabled_overhead_pct": round(enabled_pct, 2),
+                    "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
+                    "max_enabled_overhead_pct": MAX_ENABLED_OVERHEAD_PCT,
+                    "energy_j": results["baseline"].exact_energy_j,
+                    "bitwise_equal": bitwise_equal,
+                },
+                indent=2,
+            )
+            + "\n"
         )
-        + "\n"
-    )
 
-    # The observability layer's two promises.
+    # The committed record carries the bars; a regression past either one
+    # fails here whether the run is full-length or a CI quick check.
+    committed_bars = (MAX_DISABLED_OVERHEAD_PCT, MAX_ENABLED_OVERHEAD_PCT)
+    if BENCH_JSON.exists():
+        committed = json.loads(BENCH_JSON.read_text())
+        committed_bars = (
+            committed.get("max_disabled_overhead_pct", committed_bars[0]),
+            committed.get("max_enabled_overhead_pct", committed_bars[1]),
+        )
+
+    # The observability layer's promises.
     assert bitwise_equal
     for mode in ("disabled", "enabled"):
         assert (results[mode].run.mean_utilization()
                 == results["baseline"].run.mean_utilization())
         assert (results[mode].run.clock_changes
                 == results["baseline"].run.clock_changes)
-    assert disabled_pct <= MAX_DISABLED_OVERHEAD_PCT, (
+    assert disabled_pct <= committed_bars[0], (
         f"disabled observability must be free "
-        f"({disabled_pct:+.1f}% > {MAX_DISABLED_OVERHEAD_PCT:g}%)"
+        f"({disabled_pct:+.1f}% > {committed_bars[0]:g}%)"
+    )
+    assert enabled_pct <= committed_bars[1], (
+        f"enabled observability must stay cheap "
+        f"({enabled_pct:+.1f}% > {committed_bars[1]:g}%)"
     )

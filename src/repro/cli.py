@@ -11,6 +11,8 @@ Usage (after installation)::
     python -m repro fig9
     python -m repro battery
     python -m repro trace mpeg --policy past-peg-98-93 -o trace.json
+    python -m repro diagnose avg3-one mpeg
+    python -m repro report sweep.jsonl --diagnoses diag.jsonl -o report.html
 
 Policies are named:
 
@@ -29,15 +31,21 @@ Simulation commands accept ``--machine`` to pick the hardware (``itsy``,
 ``--jobs N`` to fan runs out over a process pool, ``--cache DIR`` to
 memoize results on disk (see :mod:`repro.measure.parallel`), and
 ``--run-log PATH`` to append one structured JSONL record per sweep cell
-(see :mod:`repro.obs.runlog`); parallel, cached and observed paths are
-bitwise-equal to the serial, uncached one.  ``trace`` exports a single
-run as Chrome trace-event JSON for Perfetto (see :mod:`repro.obs.trace`).
+(see :mod:`repro.obs.runlog`), and ``--diagnoses PATH`` to diagnose every
+executed cell worker-side (see :mod:`repro.obs.diagnose`); parallel,
+cached and observed paths are bitwise-equal to the serial, uncached one.
+``trace`` exports a single run as Chrome trace-event JSON for Perfetto
+(see :mod:`repro.obs.trace`), ``diagnose`` explains one run (settling,
+prediction error, miss attribution, energy decomposition), and
+``report`` aggregates a run-log (+ diagnoses) into markdown or HTML.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.catalog import resolve_policy
@@ -51,6 +59,7 @@ from repro.measure.parallel import (
     SweepEngine,
     WorkloadSpec,
 )
+from repro.obs.diagnose import DiagnosisWriter
 from repro.obs.runlog import RunLogWriter
 from repro.measure.runner import find_ideal_constant, repeat_workload, run_workload
 from repro.measure.stats import confidence_interval
@@ -103,8 +112,8 @@ def machine_spec(args) -> MachineSpec:
 
 
 def sweep_engine(args) -> Optional[SweepEngine]:
-    """Build the sweep engine the ``--jobs``/``--cache``/``--run-log``
-    flags ask for.
+    """Build the sweep engine the ``--jobs``/``--cache``/``--run-log``/
+    ``--diagnoses`` flags ask for.
 
     Returns None when none of the flags is given: the command then takes
     the legacy serial, uncached path.
@@ -112,13 +121,25 @@ def sweep_engine(args) -> Optional[SweepEngine]:
     jobs = getattr(args, "jobs", 1)
     cache_dir = getattr(args, "cache", None)
     run_log_path = getattr(args, "run_log", None)
+    diagnoses_path = getattr(args, "diagnoses", None)
     if getattr(args, "no_cache", False):
         cache_dir = None
-    if jobs <= 1 and cache_dir is None and run_log_path is None:
+    if (
+        jobs <= 1
+        and cache_dir is None
+        and run_log_path is None
+        and diagnoses_path is None
+    ):
         return None
     cache = ResultCache(cache_dir) if cache_dir else None
     run_log = RunLogWriter(run_log_path) if run_log_path else None
-    return SweepEngine(jobs=max(jobs, 1), cache=cache, run_log=run_log)
+    diagnosis_log = DiagnosisWriter(diagnoses_path) if diagnoses_path else None
+    return SweepEngine(
+        jobs=max(jobs, 1),
+        cache=cache,
+        run_log=run_log,
+        diagnosis_log=diagnosis_log,
+    )
 
 
 def report_sweep_stats(engine: Optional[SweepEngine]) -> None:
@@ -127,6 +148,8 @@ def report_sweep_stats(engine: Optional[SweepEngine]) -> None:
         print(engine.stats.summary(), file=sys.stderr)
         if engine.run_log is not None:
             engine.run_log.close()
+        if engine.diagnosis_log is not None:
+            engine.diagnosis_log.close()
 
 
 def cmd_list_policies(_args) -> int:
@@ -381,6 +404,119 @@ def cmd_trace(args) -> int:
     return 1 if result.misses else 0
 
 
+def cmd_diagnose(args) -> int:
+    """Run one workload under one policy and explain the outcome."""
+    from repro.obs.diagnose import SETTLE_CHURN_PER_QUANTUM
+    from repro.obs.diagnose import diagnose as diagnose_run
+
+    mspec = machine_spec(args)
+    spec = workload_spec(args.workload, args.duration)
+    workload = spec.build()
+    result = run_workload(
+        workload,
+        resolve_policy(args.policy, clock_table=mspec.clock_table()),
+        machine_factory=mspec,
+        seed=args.seed,
+        use_daq=False,
+    )
+    try:
+        baseline = find_ideal_constant(
+            workload, machine_factory=mspec, seed=args.seed
+        ).exact_energy_j
+    except ValueError:
+        baseline = None
+    diagnosis = diagnose_run(
+        result,
+        policy=args.policy,
+        workload=args.workload,
+        machine=mspec,
+        seed=args.seed,
+        baseline_j=baseline,
+    )
+    s = diagnosis.settling
+    e = diagnosis.energy
+    print(f"workload        : {workload.name} ({workload.duration_s:.0f} s)")
+    print(f"policy          : {args.policy}")
+    print(f"machine         : {diagnosis.machine}")
+    print(f"quanta          : {diagnosis.quanta}")
+    print(f"mean utilization: {diagnosis.mean_utilization:.3f}")
+    print(f"energy          : {e.measured_j:.2f} J measured")
+    if e.baseline_feasible:
+        print(f"  = {e.baseline_j:.2f} J ideal-constant oracle")
+    else:
+        print("  (no feasible constant step; oracle term is 0)")
+    print(f"  + {e.overshoot_j:+.2f} J overshoot (speed above the oracle)")
+    print(f"  + {e.stall_j:.3f} J clock-change stall windows")
+    print(f"  + {e.sag_j:.4f} J voltage-sag windows")
+    verdict = "settles" if s.settled else "never settles"
+    print(
+        f"settling        : {verdict} "
+        f"({s.churn_per_quantum:.3f} speed changes/quantum in the tail; "
+        f"threshold {SETTLE_CHURN_PER_QUANTUM})"
+    )
+    if s.dominant_period_quanta is not None:
+        print(
+            f"  dominant oscillation period: "
+            f"{s.dominant_period_quanta:.1f} quanta "
+            f"({s.dominant_power_fraction * 100:.0f}% of tail power)"
+        )
+    if s.attenuation_at_dominant is not None:
+        print(
+            f"  predictor attenuation at that period: "
+            f"{s.attenuation_at_dominant:.3f} (1.0 = passes straight through)"
+        )
+    ledger = diagnosis.ledger
+    if ledger is not None:
+        print(
+            f"prediction error: mean {ledger.mean_error:+.4f}, "
+            f"|mean| {ledger.mean_abs_error:.4f}, "
+            f"rms {ledger.rms_error:.4f} "
+            f"({ledger.count} decisions, N={ledger.decay_n})"
+        )
+    print(f"deadline misses : {diagnosis.misses}")
+    shown = diagnosis.miss_attributions[:10]
+    for miss in shown:
+        print(
+            f"  {miss.kind} at {miss.time_us / 1e6:.3f} s, "
+            f"late {miss.lateness_us / 1000:.1f} ms -> cause: {miss.cause} "
+            f"(window mean {miss.mean_mhz:.1f} MHz, "
+            f"{miss.up_changes} up / {miss.down_changes} down)"
+        )
+    if len(diagnosis.miss_attributions) > len(shown):
+        print(f"  ... and {len(diagnosis.miss_attributions) - len(shown)} more")
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(diagnosis.to_json(), sort_keys=True) + "\n")
+        print(f"diagnosis JSON  : {path}")
+    return 1 if diagnosis.misses else 0
+
+
+def cmd_report(args) -> int:
+    """Aggregate a run-log (plus optional diagnoses) into one document."""
+    from repro.obs.diagnose import read_diagnoses
+    from repro.obs.report import build_report, render_report
+    from repro.obs.runlog import read_run_log
+
+    try:
+        records = read_run_log(args.run_log)
+        diagnoses = read_diagnoses(args.diagnoses) if args.diagnoses else []
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = build_report(records, diagnoses)
+    text = render_report(report, args.format)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(
+            f"wrote {args.output} ({len(report.rows)} rows, "
+            f"{len(diagnoses)} diagnoses, format {args.format})",
+            file=sys.stderr,
+        )
+    else:
+        print(text)
+    return 0
+
+
 def cmd_battery(_args) -> int:
     from repro.battery.lifetime import idle_lifetime_hours
 
@@ -413,6 +549,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_opts.add_argument(
         "--run-log", default=None, metavar="PATH", dest="run_log",
         help="append one structured JSONL audit record per sweep cell",
+    )
+    sweep_opts.add_argument(
+        "--diagnoses", default=None, metavar="PATH",
+        help="diagnose every executed cell in the workers and append "
+             "JSONL diagnoses here (implies full recording)",
     )
 
     machine_opts = argparse.ArgumentParser(add_help=False)
@@ -486,6 +627,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("-o", "--output", default="trace.json",
                               metavar="PATH", help="output file (JSON)")
     trace_parser.set_defaults(func=cmd_trace)
+
+    diag_parser = sub.add_parser(
+        "diagnose",
+        help="explain one run: settling, prediction error, miss causes, "
+             "and the excess-energy decomposition",
+        parents=[machine_opts],
+    )
+    diag_parser.add_argument("policy")
+    diag_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
+    diag_parser.add_argument("--seed", type=int, default=0)
+    diag_parser.add_argument("--duration", type=float, default=None,
+                             help="override trace length (seconds)")
+    diag_parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                             help="also write the diagnosis as JSON")
+    diag_parser.set_defaults(func=cmd_diagnose)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="aggregate a sweep run-log (+ diagnoses) into md/html",
+    )
+    report_parser.add_argument("run_log", metavar="RUN_LOG",
+                               help="JSONL run-log written by --run-log")
+    report_parser.add_argument("--diagnoses", default=None, metavar="PATH",
+                               help="join a JSONL diagnosis log into the report")
+    report_parser.add_argument("--format", choices=["md", "html"], default="md")
+    report_parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                               help="write the report here instead of stdout")
+    report_parser.set_defaults(func=cmd_report)
 
     # battery is analytic (no simulation), but accepts the sweep flags so
     # scripts can pass a uniform option set to every subcommand.

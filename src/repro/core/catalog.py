@@ -198,6 +198,25 @@ def resolve_policy(
     raise ValueError(f"unknown policy {name!r}; see 'list-policies'")
 
 
+def predictor_decay_n(name: str) -> Optional[int]:
+    """The AVG_N decay length of a named policy's predictor, if any.
+
+    Diagnostics recompute a policy's weighted-utilization series offline
+    to compare predictions against realized utilization; that only works
+    for policies whose predictor is AVG_N (PAST being AVG_0).  Returns
+    ``0`` for ``past-*``/``best``/``best-voltage``, ``N`` for ``avg<N>-*``,
+    and None for policies without an AVG_N predictor (constants,
+    ``cycleavg``, ``synth``, unknown names).
+    """
+    if name in ("best", "best-voltage"):
+        return 0
+    match = _INTERVAL_PATTERN.match(name)
+    if match:
+        n_text = match.group(1)
+        return 0 if n_text is None else int(n_text)
+    return None
+
+
 def sweep_avg_policies(
     n_values: Tuple[int, ...] = tuple(range(11)),
     setter_names: Tuple[str, ...] = ("one", "double", "peg"),

@@ -46,7 +46,11 @@ class RunRecorder:
 
     Subclasses override only the hooks they need; the kernel detects
     overridden hooks by comparing against these base attributes and does
-    not call (or even build arguments for) the rest.
+    not call (or even build arguments for) the rest.  Detection is by
+    *class* attribute, but dispatch fetches the hook from the *instance*,
+    so a recorder may rebind a hook to a bound method (e.g.
+    ``self.on_quantum = self.quanta.append``) in ``__init__`` to shave the
+    Python-level call frame off the hot loop.
     """
 
     def on_power(self, start_us: float, end_us: float, watts: float) -> None:
@@ -55,8 +59,16 @@ class RunRecorder:
     def on_quantum(self, record: QuantumRecord) -> None:
         """A scheduling quantum closed."""
 
-    def on_sched_decision(self, decision: SchedDecision) -> None:
-        """The scheduler picked a process (or went idle)."""
+    def on_sched_decision(
+        self, time_us: float, pid: int, name: str, mhz: float
+    ) -> None:
+        """The scheduler picked a process (or went idle).
+
+        Passed as scalars — not a :class:`SchedDecision` — so the kernel
+        never constructs a record object per decision when no recorder
+        wants one materialized; log-keeping recorders buffer the tuples
+        and build :class:`SchedDecision` objects only at run end.
+        """
 
     def on_freq_change(self, change: FreqChange) -> None:
         """A clock-frequency change was applied."""
@@ -73,6 +85,8 @@ class PowerTimelineRecorder(RunRecorder):
 
     def __init__(self) -> None:
         self.timeline = PowerTimeline()
+        # Dispatch straight into the timeline's own record method.
+        self.on_power = self.timeline.record
 
     def on_power(self, start_us: float, end_us: float, watts: float) -> None:
         self.timeline.record(start_us, end_us, watts)
@@ -156,6 +170,7 @@ class QuantumLogRecorder(RunRecorder):
 
     def __init__(self) -> None:
         self.quanta: List[QuantumRecord] = []
+        self.on_quantum = self.quanta.append
 
     def on_quantum(self, record: QuantumRecord) -> None:
         self.quanta.append(record)
@@ -231,6 +246,8 @@ class TransitionLogRecorder(RunRecorder):
     def __init__(self) -> None:
         self.freq_changes: List[FreqChange] = []
         self.volt_changes: List[VoltChange] = []
+        self.on_freq_change = self.freq_changes.append
+        self.on_volt_change = self.volt_changes.append
 
     def on_freq_change(self, change: FreqChange) -> None:
         self.freq_changes.append(change)
@@ -244,13 +261,25 @@ class TransitionLogRecorder(RunRecorder):
 
 
 class SchedLogRecorder(RunRecorder):
-    """Keeps the microsecond scheduler activity log (paper §4.3)."""
+    """Keeps the microsecond scheduler activity log (paper §4.3).
+
+    Decisions arrive as scalar rows (twice per quantum in the hot loop);
+    they are buffered as tuples and materialized into
+    :class:`~repro.traces.schema.SchedDecision` objects once, at run end.
+    """
 
     def __init__(self) -> None:
-        self.decisions: List[SchedDecision] = []
+        self._rows: List[tuple] = []
 
-    def on_sched_decision(self, decision: SchedDecision) -> None:
-        self.decisions.append(decision)
+    def on_sched_decision(
+        self, time_us: float, pid: int, name: str, mhz: float
+    ) -> None:
+        self._rows.append((time_us, pid, name, mhz))
+
+    @property
+    def decisions(self) -> List[SchedDecision]:
+        """The buffered log as :class:`SchedDecision` objects."""
+        return [SchedDecision(*row) for row in self._rows]
 
     def contribute(self, run: "KernelRun") -> None:
         run.sched_log = self.decisions

@@ -345,18 +345,14 @@ class Kernel:
                 # idle: pid 0 naps until the next clock interrupt.
                 if self._sched_sinks:
                     self._emit_sched_decision(
-                        SchedDecision(
-                            self._now, self.IDLE_PID, "idle", self.machine.step.mhz
-                        )
+                        self._now, self.IDLE_PID, "idle", self.machine.step.mhz
                     )
                 self._record_power(CoreState.NAP, self._now, next_tick)
                 self._now = next_tick
             else:
                 if self._sched_sinks:
                     self._emit_sched_decision(
-                        SchedDecision(
-                            self._now, proc.pid, proc.name, self.machine.step.mhz
-                        )
+                        self._now, proc.pid, proc.name, self.machine.step.mhz
                     )
                 self._run_process(proc, next_tick)
             if self._now >= next_tick - _EPS:
@@ -388,9 +384,13 @@ class Kernel:
                 return proc
         return None
 
-    def _emit_sched_decision(self, decision: SchedDecision) -> None:
+    def _emit_sched_decision(
+        self, time_us: float, pid: int, name: str, mhz: float
+    ) -> None:
+        # Scalars, not a SchedDecision: the hot loop emits two of these per
+        # quantum, and no recorder needs the object form until run end.
         for sink in self._sched_sinks:
-            sink(decision)
+            sink(time_us, pid, name, mhz)
 
     def _run_process(self, proc: Process, limit_us: float) -> None:
         """Run ``proc`` until it blocks/exits/yields or the quantum ends."""

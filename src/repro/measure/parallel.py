@@ -57,6 +57,7 @@ from repro.kernel.recorders import (
     RunRecorder,
 )
 from repro.kernel.scheduler import KernelConfig
+from repro.obs.diagnose import DiagnosisWriter, PolicyDiagnosis, diagnose
 from repro.obs.metrics import (
     KernelMetricsRecorder,
     MetricsRegistry,
@@ -248,10 +249,14 @@ class SweepCell:
             f"machine={self.machine.label} seed={self.seed}"
         )
 
-    def run(
+    def execute(
         self, extra_recorders: Optional[Iterable[RunRecorder]] = None
-    ) -> "CellResult":
-        """Execute the cell serially in this process.
+    ):
+        """Execute the cell serially and return the full
+        :class:`~repro.measure.runner.ExperimentResult`.
+
+        Diagnosis needs the complete :class:`KernelRun`; callers that only
+        want the picklable summary use :meth:`run` instead.
 
         Args:
             extra_recorders: additional pure-observer recorders to attach
@@ -259,7 +264,7 @@ class SweepCell:
         """
         from repro.measure.runner import run_workload
 
-        result = run_workload(
+        return run_workload(
             self.workload.build(),
             self.policy.build_factory(self.machine.clock_table()),
             machine_factory=self.machine,
@@ -270,7 +275,17 @@ class SweepCell:
             recording=self.recording,
             extra_recorders=extra_recorders,
         )
-        return CellResult.from_experiment(result)
+
+    def run(
+        self, extra_recorders: Optional[Iterable[RunRecorder]] = None
+    ) -> "CellResult":
+        """Execute the cell serially and summarize it for transport.
+
+        Args:
+            extra_recorders: additional pure-observer recorders to attach
+                (results are bitwise-identical with or without them).
+        """
+        return CellResult.from_experiment(self.execute(extra_recorders))
 
 
 @dataclass(frozen=True)
@@ -515,6 +530,61 @@ def _execute_cell_observed(
     return result, wall_s, registry.snapshot() if registry is not None else None
 
 
+def _execute_cell_diagnosed(
+    cell: SweepCell, with_metrics: bool, baseline_j: Optional[float]
+) -> Tuple[CellResult, float, Optional[MetricsSnapshot], PolicyDiagnosis]:
+    """Diagnosing worker: runs the cell with full recording, computes its
+    :class:`~repro.obs.diagnose.PolicyDiagnosis` worker-side, and ships
+    the picklable diagnosis home alongside the summary — the diagnosis
+    analogue of merging a worker's :class:`MetricsSnapshot`.
+
+    Full recording is forced (diagnosis needs the quantum log and power
+    timeline); that cannot change the summary, because recording modes
+    are bitwise-equivalent in everything a :class:`CellResult` carries.
+    """
+    registry = MetricsRegistry() if with_metrics else None
+    extra = [KernelMetricsRecorder(registry)] if registry is not None else None
+    full_cell = dataclasses.replace(cell, recording=RECORDING_FULL)
+    start = perf_counter()
+    result = full_cell.execute(extra_recorders=extra)
+    wall_s = perf_counter() - start
+    diagnosis = diagnose(
+        result,
+        policy=cell.policy.label,
+        workload=cell.workload.name,
+        machine=cell.machine,
+        machine_label=cell.machine.label,
+        seed=cell.seed,
+        baseline_j=baseline_j,
+    )
+    return (
+        CellResult.from_experiment(result),
+        wall_s,
+        registry.snapshot() if registry is not None else None,
+        diagnosis,
+    )
+
+
+def _baseline_key(cell: SweepCell) -> str:
+    """The coordinates a cell's oracle baseline depends on, as a string.
+
+    Policy, DAQ settings and recording mode are deliberately absent: the
+    ideal-constant search is a property of workload x machine x seed x
+    kernel config alone, so diagnosed cells that differ only in policy
+    share one baseline computation.
+    """
+    payload = {
+        "workload": {
+            "name": cell.workload.name,
+            "config": _canonical(cell.workload.effective_config()),
+        },
+        "machine": _canonical(cell.machine),
+        "seed": cell.seed,
+        "kernel": _canonical(cell.effective_kernel_config()),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 class SweepCellError(RuntimeError):
     """A sweep worker failed; names the cell instead of an opaque pool error.
 
@@ -572,8 +642,15 @@ class SweepEngine:
     counts cells/cache traffic, times each cell, and merges the workers'
     kernel hot-loop counters back into the given registry; with
     ``run_log`` it appends one structured JSONL audit record per unique
-    cell.  Neither can change a result — instrumented workers run the very
-    same simulation, and the determinism tests pin the equality bitwise.
+    cell.  With ``diagnose=True`` (or a ``diagnosis_log``) every executed
+    cell additionally runs the
+    :mod:`~repro.obs.diagnose` engine worker-side — the oracle baselines
+    are batched through this same engine first, then each worker ships a
+    :class:`~repro.obs.diagnose.PolicyDiagnosis` home next to its result,
+    collected in :attr:`diagnoses` by run id (cache hits carry no kernel
+    run and are not re-diagnosed).  None of this can change a result —
+    instrumented workers run the very same simulation, and the
+    determinism tests pin the equality bitwise.
     """
 
     def __init__(
@@ -582,6 +659,8 @@ class SweepEngine:
         cache: Optional[ResultCache] = None,
         metrics: Optional[MetricsRegistry] = None,
         run_log: Optional[RunLogWriter] = None,
+        diagnose: bool = False,
+        diagnosis_log: Optional[DiagnosisWriter] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -589,7 +668,17 @@ class SweepEngine:
         self.cache = cache
         self.metrics = metrics
         self.run_log = run_log
+        self.diagnosis_log = diagnosis_log
+        self._diagnose = diagnose or diagnosis_log is not None
+        #: diagnoses of executed cells, keyed by run id (the cache key).
+        self.diagnoses: Dict[str, PolicyDiagnosis] = {}
         self.stats = SweepStats()
+        self._run_depth = 0  # baseline batches re-enter run()
+
+    @property
+    def diagnosing(self) -> bool:
+        """Whether executed cells are diagnosed worker-side."""
+        return self._diagnose
 
     def run(self, cells: Iterable[SweepCell]) -> List[CellResult]:
         """Execute ``cells`` and return their results, input-ordered.
@@ -599,6 +688,15 @@ class SweepEngine:
                 naming the affected cell.
         """
         start = perf_counter()
+        self._run_depth += 1
+        try:
+            return self._run_batch(cells)
+        finally:
+            self._run_depth -= 1
+            if self._run_depth == 0:
+                self.stats.wall_s += perf_counter() - start
+
+    def _run_batch(self, cells: Iterable[SweepCell]) -> List[CellResult]:
         ordered = list(cells)
         keys = [cache_key(cell) for cell in ordered]
         results: Dict[str, CellResult] = {}
@@ -615,6 +713,15 @@ class SweepEngine:
             else:
                 pending[key] = cell
 
+        # Diagnosis wants the oracle baseline per workload/machine/seed
+        # combination.  Those constant-step searches run through this very
+        # engine (parallelized and cached); _run_depth > 1 marks the
+        # nested batches so they are not themselves diagnosed.
+        diagnosing = self._diagnose and self._run_depth == 1
+        baselines: Dict[str, Optional[float]] = {}
+        if diagnosing and pending:
+            baselines = self._compute_baselines(pending.values())
+
         if pending:
             todo = list(pending.items())
             observed = self.metrics is not None or self.run_log is not None
@@ -624,18 +731,36 @@ class SweepEngine:
                 if self.metrics is not None:
                     self.metrics.gauge("sweep.workers").set(workers)
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        pool.submit(_execute_cell_observed, cell, with_metrics)
-                        if observed
-                        else pool.submit(_execute_cell, cell)
-                        for _, cell in todo
-                    ]
+                    if diagnosing:
+                        futures = [
+                            pool.submit(
+                                _execute_cell_diagnosed,
+                                cell,
+                                with_metrics,
+                                baselines[_baseline_key(cell)],
+                            )
+                            for _, cell in todo
+                        ]
+                    else:
+                        futures = [
+                            pool.submit(_execute_cell_observed, cell, with_metrics)
+                            if observed
+                            else pool.submit(_execute_cell, cell)
+                            for _, cell in todo
+                        ]
                     fresh = []
                     for (_, cell), future in zip(todo, futures):
                         try:
                             fresh.append(future.result())
                         except Exception as exc:
                             raise SweepCellError(cell, exc) from exc
+            elif diagnosing:
+                fresh = [
+                    _execute_cell_diagnosed(
+                        cell, with_metrics, baselines[_baseline_key(cell)]
+                    )
+                    for _, cell in todo
+                ]
             elif observed:
                 fresh = [
                     _execute_cell_observed(cell, with_metrics)
@@ -644,7 +769,12 @@ class SweepEngine:
             else:
                 fresh = [cell.run() for _, cell in todo]
             for (key, cell), outcome in zip(todo, fresh):
-                if observed:
+                diagnosis: Optional[PolicyDiagnosis] = None
+                if diagnosing:
+                    result, wall_s, snap, diagnosis = outcome
+                    if self.metrics is not None and snap is not None:
+                        self.metrics.merge(snap)
+                elif observed:
                     result, wall_s, snap = outcome
                     if self.metrics is not None and snap is not None:
                         self.metrics.merge(snap)
@@ -654,10 +784,38 @@ class SweepEngine:
                 if self.cache is not None:
                     self.cache.put(key, result)
                 self._observe(cell, key, result, wall_s=wall_s, cached=False)
+                if diagnosis is not None:
+                    self.diagnoses[key] = diagnosis
+                    if self.diagnosis_log is not None:
+                        self.diagnosis_log.write(diagnosis)
             self.stats.executed += len(todo)
 
-        self.stats.wall_s += perf_counter() - start
         return [results[key] for key in keys]
+
+    def _compute_baselines(
+        self, cells: Iterable[SweepCell]
+    ) -> Dict[str, Optional[float]]:
+        """Exact oracle energies per unique baseline coordinate.
+
+        Infeasible workloads (no constant step meets their deadlines) map
+        to None; the decomposition then reports against a zero baseline.
+        """
+        out: Dict[str, Optional[float]] = {}
+        for cell in cells:
+            key = _baseline_key(cell)
+            if key in out:
+                continue
+            try:
+                out[key] = find_ideal_constant(
+                    cell.workload,
+                    machine=cell.machine,
+                    seed=cell.seed,
+                    kernel_config=cell.kernel_config,
+                    engine=self,
+                ).exact_energy_j
+            except ValueError:
+                out[key] = None
+        return out
 
     def _observe(
         self,

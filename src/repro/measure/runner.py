@@ -75,6 +75,8 @@ class ExperimentResult:
         mean_power_w: DAQ-estimated average power.
         misses: deadline misses beyond the workload's tolerance.
         capture: the raw DAQ capture (None if the DAQ was disabled).
+        tolerance_us: the workload's perceptibility tolerance the misses
+            were judged against (diagnostics reuse it downstream).
     """
 
     run: KernelRun
@@ -83,6 +85,7 @@ class ExperimentResult:
     mean_power_w: float
     misses: List[AppEvent]
     capture: Optional[DaqCapture]
+    tolerance_us: float = 0.0
 
     @property
     def missed(self) -> bool:
@@ -162,6 +165,7 @@ def run_workload(
         mean_power_w=mean_power,
         misses=misses,
         capture=capture,
+        tolerance_us=workload.tolerance_us,
     )
 
 

@@ -1,6 +1,6 @@
-"""Observability: kernel event tracing, metrics, and structured run-logs.
+"""Observability: tracing, metrics, run-logs, diagnostics, and reports.
 
-The reproduction's answer to the paper's measurement rig.  Three tiers,
+The reproduction's answer to the paper's measurement rig.  Five tiers,
 all built on existing hook points and all guaranteed not to perturb
 results (recorders are pure observers; the determinism tests pin runs
 with and without observability to bitwise equality):
@@ -11,9 +11,25 @@ with and without observability to bitwise equality):
 - :mod:`repro.obs.metrics` — a counter/gauge/histogram registry with
   picklable snapshots that merge across sweep worker processes;
 - :mod:`repro.obs.runlog` — append-only JSONL audit records, one per
-  sweep cell.
+  sweep cell, provenance-stamped with schema and package versions;
+- :mod:`repro.obs.diagnose` — per-run :class:`PolicyDiagnosis`: settling
+  detection, prediction-error ledger, deadline-miss attribution, and the
+  excess-energy decomposition against the ideal-constant oracle;
+- :mod:`repro.obs.report` — run-log + diagnosis aggregation rendered as
+  markdown or self-contained HTML.
 """
 
+from repro.obs.diagnose import (
+    DIAGNOSIS_VERSION,
+    DiagnosisWriter,
+    EnergyDecomposition,
+    MissAttribution,
+    PolicyDiagnosis,
+    PredictionLedger,
+    SettlingReport,
+    diagnose,
+    read_diagnoses,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -24,10 +40,12 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     merge_snapshots,
 )
+from repro.obs.report import SweepReport, build_report, render_report
 from repro.obs.runlog import (
     RUN_LOG_VERSION,
     RunLogRecord,
     RunLogWriter,
+    provenance_warnings,
     read_run_log,
 )
 from repro.obs.trace import (
@@ -38,18 +56,31 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "DIAGNOSIS_VERSION",
+    "DiagnosisWriter",
+    "EnergyDecomposition",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
     "KernelMetricsRecorder",
     "MetricsRegistry",
     "MetricsSnapshot",
-    "merge_snapshots",
+    "MissAttribution",
+    "PolicyDiagnosis",
+    "PredictionLedger",
     "RUN_LOG_VERSION",
     "RunLogRecord",
     "RunLogWriter",
-    "read_run_log",
+    "SettlingReport",
+    "SweepReport",
     "TraceRecorder",
+    "build_report",
+    "diagnose",
+    "merge_snapshots",
+    "provenance_warnings",
+    "read_diagnoses",
+    "read_run_log",
+    "render_report",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]

@@ -1,0 +1,300 @@
+"""Sweep reports: aggregate run-logs (+ diagnoses) into one document.
+
+A finished sweep leaves two artifacts behind: the JSONL run-log (one
+audit record per cell) and, when diagnosis was enabled, a JSONL diagnosis
+log (one :class:`~repro.obs.diagnose.PolicyDiagnosis` per executed cell).
+This module folds them into a single self-contained report — Table-2
+style rows per policy x workload x machine, with settling verdicts and
+energy decompositions joined in where available — rendered as markdown
+or as standalone HTML (inline CSS, no external assets, opens from a CI
+artifact without a web server).
+
+Rendering is pure: the same records produce the same document, so report
+snapshots can be golden-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html import escape
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.diagnose import PolicyDiagnosis
+from repro.obs.runlog import provenance_warnings
+
+#: Renderer names accepted by :func:`render_report`.
+FORMAT_MARKDOWN = "md"
+FORMAT_HTML = "html"
+
+
+@dataclass
+class ReportRow:
+    """Aggregate of every run-log record sharing one sweep cell label."""
+
+    policy: str
+    workload: str
+    machine: str
+    runs: int = 0
+    cache_hits: int = 0
+    energy_sum_j: float = 0.0
+    energy_min_j: float = float("inf")
+    energy_max_j: float = float("-inf")
+    miss_count: int = 0
+    wall_s: float = 0.0
+    diagnoses: List[PolicyDiagnosis] = field(default_factory=list)
+
+    @property
+    def mean_energy_j(self) -> float:
+        """Average measured energy across the row's runs."""
+        return self.energy_sum_j / self.runs if self.runs else 0.0
+
+    @property
+    def settled_verdict(self) -> Optional[str]:
+        """``"settles"`` / ``"oscillates"`` from the joined diagnoses."""
+        if not self.diagnoses:
+            return None
+        return (
+            "settles"
+            if all(d.settling.settled for d in self.diagnoses)
+            else "oscillates"
+        )
+
+    @property
+    def mean_excess_j(self) -> Optional[float]:
+        """Average energy above the oracle baseline, when diagnosed."""
+        feasible = [
+            d.energy.excess_j
+            for d in self.diagnoses
+            if d.energy.baseline_feasible
+        ]
+        if not feasible:
+            return None
+        return sum(feasible) / len(feasible)
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """The aggregated content of one run-log, ready to render."""
+
+    rows: Tuple[ReportRow, ...]
+    warnings: Tuple[str, ...]
+    total_runs: int
+    total_cache_hits: int
+    total_wall_s: float
+
+
+def build_report(
+    records: Sequence[dict],
+    diagnoses: Sequence[PolicyDiagnosis] = (),
+) -> SweepReport:
+    """Aggregate run-log records (and optional diagnoses) into a report.
+
+    Records group by ``(policy, workload, machine)``; diagnoses join onto
+    their matching group by the same labels.  Diagnoses without a
+    matching record still appear (as diagnosis-only rows), so a report
+    built from a diagnosis log alone is not empty.
+    """
+    rows: Dict[Tuple[str, str, str], ReportRow] = {}
+
+    def row_for(key: Tuple[str, str, str]) -> ReportRow:
+        if key not in rows:
+            rows[key] = ReportRow(*key)
+        return rows[key]
+
+    for record in records:
+        row = row_for(
+            (
+                str(record.get("policy", "?")),
+                str(record.get("workload", "?")),
+                str(record.get("machine", "?")),
+            )
+        )
+        row.runs += 1
+        if record.get("cache") == "hit":
+            row.cache_hits += 1
+        energy = float(record.get("energy_j", 0.0))
+        row.energy_sum_j += energy
+        row.energy_min_j = min(row.energy_min_j, energy)
+        row.energy_max_j = max(row.energy_max_j, energy)
+        row.miss_count += int(record.get("miss_count", 0))
+        row.wall_s += float(record.get("wall_s", 0.0))
+
+    for diagnosis in diagnoses:
+        row_for(
+            (diagnosis.policy, diagnosis.workload, diagnosis.machine)
+        ).diagnoses.append(diagnosis)
+
+    ordered = tuple(
+        rows[key] for key in sorted(rows, key=lambda k: (k[1], k[2], k[0]))
+    )
+    return SweepReport(
+        rows=ordered,
+        warnings=tuple(provenance_warnings(list(records))),
+        total_runs=sum(r.runs for r in ordered),
+        total_cache_hits=sum(r.cache_hits for r in ordered),
+        total_wall_s=sum(r.wall_s for r in ordered),
+    )
+
+
+def render_report(report: SweepReport, fmt: str = FORMAT_MARKDOWN) -> str:
+    """Render a report as markdown or standalone HTML.
+
+    Raises:
+        ValueError: for unknown format names.
+    """
+    if fmt == FORMAT_MARKDOWN:
+        return _render_markdown(report)
+    if fmt == FORMAT_HTML:
+        return _render_html(report)
+    raise ValueError(
+        f"unknown report format {fmt!r}; "
+        f"expected {FORMAT_MARKDOWN!r} or {FORMAT_HTML!r}"
+    )
+
+
+def _fmt(value: Optional[float], digits: int = 2) -> str:
+    return "-" if value is None else f"{value:.{digits}f}"
+
+
+def _row_cells(row: ReportRow) -> List[str]:
+    spread = (
+        f"{row.energy_min_j:.2f}..{row.energy_max_j:.2f}" if row.runs else "-"
+    )
+    return [
+        row.policy,
+        row.workload,
+        row.machine,
+        str(row.runs),
+        str(row.cache_hits),
+        _fmt(row.mean_energy_j if row.runs else None),
+        spread,
+        str(row.miss_count),
+        row.settled_verdict or "-",
+        _fmt(row.mean_excess_j),
+    ]
+
+
+_HEADER = [
+    "policy",
+    "workload",
+    "machine",
+    "runs",
+    "cached",
+    "mean J",
+    "spread J",
+    "misses",
+    "settling",
+    "excess J",
+]
+
+
+def _render_markdown(report: SweepReport) -> str:
+    lines = ["# Sweep report", ""]
+    lines.append(
+        f"{report.total_runs} runs ({report.total_cache_hits} cached), "
+        f"{report.total_wall_s:.1f} s simulated wall time."
+    )
+    lines.append("")
+    for warning in report.warnings:
+        lines.append(f"> **warning:** {warning}")
+    if report.warnings:
+        lines.append("")
+    lines.append("| " + " | ".join(_HEADER) + " |")
+    lines.append("|" + "|".join(["---"] * len(_HEADER)) + "|")
+    for row in report.rows:
+        lines.append("| " + " | ".join(_row_cells(row)) + " |")
+    lines.append("")
+
+    diagnosed = [row for row in report.rows if row.diagnoses]
+    if diagnosed:
+        lines.append("## Diagnoses")
+        lines.append("")
+        for row in diagnosed:
+            for d in row.diagnoses:
+                s = d.settling
+                e = d.energy
+                verdict = "settles" if s.settled else "oscillates"
+                period = (
+                    f", dominant period {s.dominant_period_quanta:.1f} quanta"
+                    if s.dominant_period_quanta is not None
+                    else ""
+                )
+                base = (
+                    f"{e.baseline_j:.2f} J oracle + {e.overshoot_j:.2f} J "
+                    f"overshoot"
+                    if e.baseline_feasible
+                    else f"{e.overshoot_j:.2f} J (no feasible constant step)"
+                )
+                lines.append(
+                    f"- **{d.policy} / {d.workload}** (seed {d.seed}): "
+                    f"{verdict} ({s.churn_per_quantum:.3f} changes/quantum"
+                    f"{period}); {d.misses} misses; "
+                    f"{e.measured_j:.2f} J = {base} + "
+                    f"{e.stall_j:.2f} J stall + {e.sag_j:.4f} J sag"
+                )
+        lines.append("")
+    return "\n".join(lines)
+
+
+_HTML_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 70em; color: #1a1a2e; }
+table { border-collapse: collapse; width: 100%; margin: 1em 0; }
+th, td { border: 1px solid #c8c8d8; padding: 0.3em 0.6em;
+         text-align: left; }
+th { background: #eef; }
+tr:nth-child(even) td { background: #f7f7fc; }
+.warning { background: #fff3cd; border: 1px solid #e0c060;
+           padding: 0.5em 1em; margin: 0.5em 0; }
+.oscillates { color: #b02a37; font-weight: 600; }
+.settles { color: #2a7d4f; font-weight: 600; }
+""".strip()
+
+
+def _render_html(report: SweepReport) -> str:
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        "<title>Sweep report</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        "<h1>Sweep report</h1>",
+        f"<p>{report.total_runs} runs ({report.total_cache_hits} cached), "
+        f"{report.total_wall_s:.1f} s simulated wall time.</p>",
+    ]
+    for warning in report.warnings:
+        parts.append(f'<div class="warning">{escape(warning)}</div>')
+    parts.append("<table><tr>")
+    parts.extend(f"<th>{escape(h)}</th>" for h in _HEADER)
+    parts.append("</tr>")
+    for row in report.rows:
+        cells = _row_cells(row)
+        parts.append("<tr>")
+        for header, cell in zip(_HEADER, cells):
+            if header == "settling" and cell != "-":
+                parts.append(f'<td class="{cell}">{escape(cell)}</td>')
+            else:
+                parts.append(f"<td>{escape(cell)}</td>")
+        parts.append("</tr>")
+    parts.append("</table>")
+
+    diagnosed = [row for row in report.rows if row.diagnoses]
+    if diagnosed:
+        parts.append("<h2>Diagnoses</h2><ul>")
+        for row in diagnosed:
+            for d in row.diagnoses:
+                s = d.settling
+                e = d.energy
+                cls = "settles" if s.settled else "oscillates"
+                verdict = "settles" if s.settled else "oscillates"
+                parts.append(
+                    f"<li><b>{escape(d.policy)} / {escape(d.workload)}</b> "
+                    f"(seed {d.seed}): "
+                    f'<span class="{cls}">{verdict}</span> '
+                    f"({s.churn_per_quantum:.3f} changes/quantum); "
+                    f"{d.misses} misses; {e.measured_j:.2f} J measured, "
+                    f"{e.stall_j:.2f} J stall, {e.sag_j:.4f} J sag</li>"
+                )
+        parts.append("</ul>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

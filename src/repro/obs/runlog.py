@@ -22,8 +22,13 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import IO, Iterator, List, Optional, Union
 
+import repro
+
 #: Bump when the record layout changes incompatibly.
-RUN_LOG_VERSION = 1
+#: Version 2 added provenance: every record carries the ``repro`` package
+#: version alongside the ``v`` schema tag, so cross-run comparisons can
+#: detect mismatched inputs instead of silently merging them.
+RUN_LOG_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -45,6 +50,8 @@ class RunLogRecord:
         cache: ``"hit"`` or ``"executed"``.
         wall_s: wall-clock execution time (0.0 for cache hits).
         unix_time: wall-clock time the record was written.
+        repro_version: the simulator package version that produced the
+            record (defaults to the running package).
     """
 
     run_id: str
@@ -59,6 +66,7 @@ class RunLogRecord:
     cache: str
     wall_s: float
     unix_time: float
+    repro_version: str = repro.__version__
 
     def to_json(self) -> dict:
         """The record as a JSON-safe dict, version-stamped."""
@@ -126,6 +134,31 @@ def read_run_log(path: Union[str, Path]) -> List[dict]:
             raise ValueError(f"{path}:{lineno}: run-log line is not an object")
         records.append(record)
     return records
+
+
+def provenance_warnings(records: List[dict]) -> List[str]:
+    """Cross-record consistency problems worth flagging before merging.
+
+    A run-log is safe to aggregate when every record shares one schema
+    version and one simulator version; records predating the provenance
+    fields (schema v1) are flagged rather than rejected.  Returns
+    human-readable warning strings (empty when the log is homogeneous).
+    """
+    warnings: List[str] = []
+    schema_versions = sorted({str(r.get("v", "?")) for r in records})
+    if len(schema_versions) > 1:
+        warnings.append(
+            "mixed run-log schema versions: " + ", ".join(schema_versions)
+        )
+    package_versions = sorted(
+        {str(r.get("repro_version", "<pre-provenance>")) for r in records}
+    )
+    if len(package_versions) > 1:
+        warnings.append(
+            "records produced by different simulator versions: "
+            + ", ".join(package_versions)
+        )
+    return warnings
 
 
 def _lines(path: Union[str, Path]) -> Iterator[str]:

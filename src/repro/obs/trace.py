@@ -56,32 +56,56 @@ _PHASES = {"M", "X", "C", "i", "I"}
 class TraceRecorder(RunRecorder):
     """Captures every kernel observation into an ordered event buffer.
 
+    The hooks are append-only: quanta and DVFS changes go straight into
+    lists via bound ``list.append``, and scheduler decisions are buffered
+    as plain tuples (the kernel hands them over as scalars).  No per-event
+    dicts — Chrome trace events are built only at export time, so an
+    enabled tracer costs the hot loop little more than the appends.  Power
+    is not captured live at all: the tracer mirrors the run's merged
+    :class:`~repro.traces.schema.PowerTimeline` at :meth:`contribute`
+    (full recording keeps that timeline anyway, so buffering a second,
+    unmerged copy per segment would only slow the hot loop down).
+
     Attributes:
-        power: ``(start_us, end_us, watts)`` power segments.
+        power: ``(start_us, end_us, watts)`` power segments, mirrored from
+            the run's merged timeline at run end (empty under minimal
+            recording, which keeps no timeline).
         quanta: per-quantum utilization records.
         decisions: scheduler activity log entries (always captured here,
-            independent of ``KernelConfig.record_sched_log``).
+            independent of ``KernelConfig.record_sched_log``); a
+            materializing view over the internal tuple buffer.
         freq_changes / volt_changes: the DVFS transition history.
     """
 
     def __init__(self) -> None:
         self.power: List[Tuple[float, float, float]] = []
         self.quanta: List[QuantumRecord] = []
-        self.decisions: List[SchedDecision] = []
+        self._decision_rows: List[tuple] = []
         self.freq_changes: List[FreqChange] = []
         self.volt_changes: List[VoltChange] = []
         self._run: Optional["KernelRun"] = None
+        # Rebind the single-argument hooks to C-level list appends and the
+        # scheduler hook to a closure over the buffer's append; the kernel
+        # dispatches instance attributes, so these win over the methods.
+        self.on_quantum = self.quanta.append
+        self.on_freq_change = self.freq_changes.append
+        self.on_volt_change = self.volt_changes.append
+
+        def on_sched(time_us, pid, name, mhz,
+                     _append=self._decision_rows.append):
+            _append((time_us, pid, name, mhz))
+
+        self.on_sched_decision = on_sched
 
     # -- observer hooks ---------------------------------------------------------
-
-    def on_power(self, start_us: float, end_us: float, watts: float) -> None:
-        self.power.append((start_us, end_us, watts))
 
     def on_quantum(self, record: QuantumRecord) -> None:
         self.quanta.append(record)
 
-    def on_sched_decision(self, decision: SchedDecision) -> None:
-        self.decisions.append(decision)
+    def on_sched_decision(
+        self, time_us: float, pid: int, name: str, mhz: float
+    ) -> None:
+        self._decision_rows.append((time_us, pid, name, mhz))
 
     def on_freq_change(self, change: FreqChange) -> None:
         self.freq_changes.append(change)
@@ -91,7 +115,13 @@ class TraceRecorder(RunRecorder):
 
     def contribute(self, run: "KernelRun") -> None:
         self._run = run
+        self.power = list(run.timeline)
         run.trace = self
+
+    @property
+    def decisions(self) -> List[SchedDecision]:
+        """The scheduler activity log as :class:`SchedDecision` objects."""
+        return [SchedDecision(*row) for row in self._decision_rows]
 
     # -- derived windows --------------------------------------------------------
 
@@ -164,8 +194,9 @@ class TraceRecorder(RunRecorder):
         end_us = self._end_us(run)
         names = dict(run.process_names) if run is not None else {}
         seen_tids = {}
-        for i, d in enumerate(self.decisions):
-            nxt = self.decisions[i + 1].time_us if i + 1 < len(self.decisions) else end_us
+        decisions = self.decisions
+        for i, d in enumerate(decisions):
+            nxt = decisions[i + 1].time_us if i + 1 < len(decisions) else end_us
             dur = max(0.0, nxt - d.time_us)
             if d.pid not in seen_tids:
                 seen_tids[d.pid] = True
@@ -235,7 +266,7 @@ class TraceRecorder(RunRecorder):
                 "generator": "repro.obs.trace",
                 "quanta": len(self.quanta),
                 "power_segments": len(self.power),
-                "sched_decisions": len(self.decisions),
+                "sched_decisions": len(self._decision_rows),
                 "freq_changes": len(self.freq_changes),
                 "volt_changes": len(self.volt_changes),
             },

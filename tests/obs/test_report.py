@@ -1,0 +1,143 @@
+"""Tests for the sweep report aggregator and renderers."""
+
+import pytest
+
+from repro.cli import workload_spec
+from repro.core.catalog import resolve_policy
+from repro.measure.runner import run_workload
+from repro.obs.diagnose import diagnose
+from repro.obs.report import (
+    FORMAT_HTML,
+    FORMAT_MARKDOWN,
+    build_report,
+    render_report,
+)
+from repro.obs.runlog import RUN_LOG_VERSION
+
+
+def record(**overrides) -> dict:
+    base = dict(
+        v=RUN_LOG_VERSION,
+        run_id="abc",
+        policy="best",
+        workload="mpeg",
+        machine="itsy",
+        seed=0,
+        duration_us=1e6,
+        energy_j=10.0,
+        exact_energy_j=10.0,
+        miss_count=0,
+        cache="executed",
+        wall_s=0.5,
+        unix_time=1_700_000_000.0,
+        repro_version="1.0.0",
+    )
+    base.update(overrides)
+    return base
+
+
+def real_diagnosis(policy="avg3-one", workload="mpeg", duration_s=5.0):
+    result = run_workload(
+        workload_spec(workload, duration_s).build(),
+        resolve_policy(policy),
+        use_daq=False,
+    )
+    return diagnose(result, policy=policy, workload=workload)
+
+
+class TestBuildReport:
+    def test_groups_by_cell_labels(self):
+        report = build_report(
+            [
+                record(),
+                record(seed=1, energy_j=12.0, cache="hit"),
+                record(policy="avg3-one", energy_j=11.0, miss_count=2),
+            ]
+        )
+        assert len(report.rows) == 2
+        assert report.total_runs == 3
+        assert report.total_cache_hits == 1
+        by_policy = {row.policy: row for row in report.rows}
+        best = by_policy["best"]
+        assert best.runs == 2
+        assert best.mean_energy_j == pytest.approx(11.0)
+        assert best.energy_min_j == 10.0
+        assert best.energy_max_j == 12.0
+        assert by_policy["avg3-one"].miss_count == 2
+
+    def test_rows_sorted_by_workload_machine_policy(self):
+        report = build_report(
+            [
+                record(policy="z", workload="web"),
+                record(policy="a", workload="web"),
+                record(policy="m", workload="mpeg"),
+            ]
+        )
+        keys = [(r.workload, r.policy) for r in report.rows]
+        assert keys == [("mpeg", "m"), ("web", "a"), ("web", "z")]
+
+    def test_diagnoses_join_on_labels(self):
+        diagnosis = real_diagnosis()
+        report = build_report(
+            [record(policy="avg3-one")], diagnoses=[diagnosis]
+        )
+        [row] = report.rows
+        assert row.diagnoses == [diagnosis]
+        assert row.settled_verdict == "oscillates"
+
+    def test_diagnosis_only_rows_appear(self):
+        report = build_report([], diagnoses=[real_diagnosis()])
+        assert len(report.rows) == 1
+        assert report.rows[0].runs == 0
+        assert report.total_runs == 0
+
+    def test_mixed_versions_warn(self):
+        report = build_report([record(), record(v=1)])
+        assert any("schema versions" in w for w in report.warnings)
+
+    def test_homogeneous_log_has_no_warnings(self):
+        report = build_report([record(), record(seed=1)])
+        assert report.warnings == ()
+
+
+class TestRenderers:
+    def test_markdown_contains_table_and_diagnoses(self):
+        text = render_report(
+            build_report([record(policy="avg3-one")], [real_diagnosis()]),
+            FORMAT_MARKDOWN,
+        )
+        assert text.startswith("# Sweep report")
+        assert "| policy | workload |" in text
+        assert "| avg3-one | mpeg | itsy |" in text
+        assert "## Diagnoses" in text
+        assert "oscillates" in text
+        assert "oracle" not in text  # baseline was infeasible/absent here
+
+    def test_markdown_is_deterministic(self):
+        records = [record(), record(policy="avg3-one")]
+        assert render_report(build_report(records)) == render_report(
+            build_report(records)
+        )
+
+    def test_html_is_standalone_and_escaped(self):
+        text = render_report(
+            build_report(
+                [record(policy="<script>alert(1)</script>")],
+                [real_diagnosis()],
+            ),
+            FORMAT_HTML,
+        )
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<style>" in text
+        assert "<script>alert(1)</script>" not in text
+        assert "&lt;script&gt;" in text
+        assert 'class="oscillates"' in text
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown report format"):
+            render_report(build_report([record()]), "pdf")
+
+    def test_warnings_rendered_in_both_formats(self):
+        report = build_report([record(), record(v=1)])
+        assert "> **warning:**" in render_report(report, FORMAT_MARKDOWN)
+        assert 'class="warning"' in render_report(report, FORMAT_HTML)

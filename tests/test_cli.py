@@ -352,3 +352,145 @@ class TestObservabilityOptions:
     def test_serial_path_has_no_summary(self, capsys):
         assert main(["run", "mpeg", "--policy", "best", "--duration", "1"]) == 0
         assert "sweep:" not in capsys.readouterr().err
+
+
+#: Golden snapshot of ``python -m repro report`` over a hand-written
+#: run-log.  The report renderer is pure, so this pins the whole output
+#: format — update it deliberately when the report layout changes.
+REPORT_SNAPSHOT = """\
+# Sweep report
+
+3 runs (1 cached), 1.5 s simulated wall time.
+
+| policy | workload | machine | runs | cached | mean J | spread J | misses | settling | excess J |
+|---|---|---|---|---|---|---|---|---|---|
+| avg3-one | mpeg | itsy | 1 | 0 | 12.00 | 12.00..12.00 | 3 | - | - |
+| best | mpeg | itsy | 2 | 1 | 11.00 | 10.00..12.00 | 0 | - | - |
+"""
+
+
+def write_report_log(path):
+    import json
+
+    from repro.obs.runlog import RUN_LOG_VERSION
+
+    def record(**overrides):
+        base = dict(
+            v=RUN_LOG_VERSION, run_id="x", policy="best", workload="mpeg",
+            machine="itsy", seed=0, duration_us=1e6, energy_j=10.0,
+            exact_energy_j=10.0, miss_count=0, cache="executed", wall_s=0.5,
+            unix_time=1_700_000_000.0, repro_version="1.0.0",
+        )
+        base.update(overrides)
+        return base
+
+    records = [
+        record(),
+        record(seed=1, energy_j=12.0, cache="hit", wall_s=0.0),
+        record(policy="avg3-one", energy_j=12.0, miss_count=3, wall_s=1.0),
+    ]
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+
+class TestDiagnoseCommand:
+    def test_oscillation_verdict_on_avg3_mpeg(self, capsys):
+        code = main(["diagnose", "avg3-one", "mpeg", "--duration", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "settling        : never settles" in out
+        assert "dominant oscillation period" in out
+        assert "predictor attenuation" in out
+        assert "prediction error" in out
+        assert "ideal-constant oracle" in out
+        assert "deadline misses : 0" in out
+
+    def test_settled_verdict_on_best_policy_editor(self, capsys):
+        code = main(
+            ["diagnose", "past-peg-98-93", "editor", "--duration", "20"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "settling        : settles" in out
+
+    def test_misses_attributed_and_exit_one(self, capsys):
+        code = main(["diagnose", "const-59.0", "mpeg", "--duration", "5"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "cause: policy" in out
+
+    def test_json_output_round_trips(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.diagnose import PolicyDiagnosis
+
+        out_path = tmp_path / "diag.json"
+        code = main(
+            ["diagnose", "avg3-one", "mpeg", "--duration", "5",
+             "-o", str(out_path)]
+        )
+        assert code == 0
+        diagnosis = PolicyDiagnosis.from_json(json.loads(out_path.read_text()))
+        assert diagnosis.policy == "avg3-one"
+        assert diagnosis.workload == "mpeg"
+
+    def test_unknown_policy_exit_two(self, capsys):
+        assert main(["diagnose", "nope", "mpeg"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_markdown_snapshot(self, capsys, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        write_report_log(log)
+        assert main(["report", str(log)]) == 0
+        assert capsys.readouterr().out == REPORT_SNAPSHOT + "\n"
+
+    def test_html_to_file(self, capsys, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        write_report_log(log)
+        out = tmp_path / "report.html"
+        code = main(
+            ["report", str(log), "--format", "html", "-o", str(out)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == ""
+        assert "wrote" in captured.err
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "avg3-one" in text
+
+    def test_joins_diagnosis_log(self, capsys, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        diag = tmp_path / "diag.jsonl"
+        assert main(
+            ["run", "mpeg", "--policy", "avg3-one", "--duration", "2",
+             "--no-daq", "--run-log", str(log), "--diagnoses", str(diag)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(log), "--diagnoses", str(diag)]) == 0
+        out = capsys.readouterr().out
+        assert "## Diagnoses" in out
+        assert "oscillates" in out
+
+    def test_missing_log_exit_two(self, capsys, tmp_path):
+        code = main(["report", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDiagnosesSweepFlag:
+    def test_flag_writes_jsonl_and_keeps_results(self, capsys, tmp_path):
+        from repro.obs.diagnose import read_diagnoses
+
+        diag = tmp_path / "diag.jsonl"
+        argv = ["run", "mpeg", "--policy", "best", "--duration", "2",
+                "--no-daq"]
+        assert main(argv) == 0
+        plain_out = capsys.readouterr().out
+        assert main(argv + ["--diagnoses", str(diag)]) == 0
+        diagnosed = capsys.readouterr()
+        assert diagnosed.out == plain_out  # observing never changes results
+        [diagnosis] = read_diagnoses(diag)
+        assert diagnosis.policy == "best"
+        assert diagnosis.energy.baseline_feasible
