@@ -1,16 +1,21 @@
-"""Hot-loop cost of kernel instrumentation: full vs minimal recorders.
+"""Hot-loop cost of kernel instrumentation: full vs minimal vs fastpath.
 
 The kernel's event loop publishes every power segment, quantum, and
 transition to its recorders.  Full recording keeps the complete power
 timeline and quantum log (what the plots need); minimal recording keeps
-only the streaming meters (what an energy-only sweep cell needs).  This
+only the streaming meters (what an energy-only sweep cell needs); the
+fast-path core (:mod:`repro.kernel.fastpath`) flattens the whole loop —
+precomposed power sink, preallocated row buffers, cached step/rail
+state — and materializes either recording mode at run end.  This
 benchmark runs the paper's 60 s MPEG workload under the best policy in
-both modes and checks the two promises the recorder split makes:
+all modes and checks the promises the kernel split makes:
 
 - the numbers are bitwise identical (the sweep cache shares entries
-  across recording modes on that basis), and
-- minimal recording is measurably faster, because the hot loop skips
-  the timeline/log appends entirely.
+  across recording modes and cores on that basis),
+- minimal recording is measurably faster than full, because the hot
+  loop skips the timeline/log appends entirely, and
+- the fast-path core beats the full-recorder reference by at least the
+  committed speedup bar (2x).
 
 Timings are best-of-N over interleaved runs so one noisy sample cannot
 flip the comparison.  Besides the usual text report this benchmark
@@ -37,10 +42,18 @@ from _util import Report, bench_machine, once
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel_hotloop.json"
 QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
 DURATION_S = 15.0 if QUICK else 60.0
-ROUNDS = 3 if QUICK else 5
+ROUNDS = 5
+MIN_FASTPATH_SPEEDUP = 2.0
+
+MODES = (
+    ("full", "full", False),
+    ("minimal", "minimal", False),
+    ("fastpath-full", "full", True),
+    ("fastpath-minimal", "minimal", True),
+)
 
 
-def timed_run(machine, recording: str):
+def timed_run(machine, recording: str, fastpath: bool):
     policy = resolve_policy("best", clock_table=machine.clock_table())
     start = time.perf_counter()
     result = run_workload(
@@ -49,6 +62,7 @@ def timed_run(machine, recording: str):
         machine_factory=machine,
         use_daq=False,
         recording=recording,
+        fastpath=fastpath,
     )
     return result, time.perf_counter() - start
 
@@ -57,33 +71,40 @@ def test_kernel_hotloop(benchmark):
     machine = bench_machine()
 
     def run():
-        full_s, minimal_s = [], []
+        walls = {name: [] for name, _, _ in MODES}
+        results = {}
         for _ in range(ROUNDS):
-            full, dt = timed_run(machine, "full")
-            full_s.append(dt)
-            minimal, dt = timed_run(machine, "minimal")
-            minimal_s.append(dt)
-        return full, minimal, min(full_s), min(minimal_s)
+            for name, recording, fastpath in MODES:
+                results[name], dt = timed_run(machine, recording, fastpath)
+                walls[name].append(dt)
+        return results, {name: min(walls[name]) for name in walls}
 
-    full, minimal, full_best, minimal_best = once(benchmark, run)
+    results, best = once(benchmark, run)
+    full = results["full"]
+    speedup = best["full"] / best["minimal"]
+    fastpath_speedup = best["full"] / best["fastpath-full"]
 
     report = Report("kernel_hotloop")
     report.add(f"machine {machine.name}, {DURATION_S:g} s mpeg under best, "
                f"best of {ROUNDS} interleaved runs")
     report.table(
-        ["recording", "wall s", "energy J", "quanta"],
+        ["core / recording", "wall s", "vs full", "energy J"],
         [
-            ["full", f"{full_best:.3f}", f"{full.exact_energy_j:.6f}",
-             len(full.run.quanta)],
-            ["minimal", f"{minimal_best:.3f}", f"{minimal.exact_energy_j:.6f}",
-             full.run.quantum_stats.count if full.run.quantum_stats
-             else minimal.run.quantum_stats.count],
+            [name, f"{best[name]:.3f}",
+             f"{best['full'] / best[name]:.2f}x",
+             f"{results[name].exact_energy_j:.6f}"]
+            for name, _, _ in MODES
         ],
     )
-    speedup = full_best / minimal_best
     report.add(f"minimal recording speedup: {speedup:.2f}x")
+    report.add(f"fastpath speedup over full recorders: {fastpath_speedup:.2f}x "
+               f"(bar: {MIN_FASTPATH_SPEEDUP:g}x)")
     report.emit()
 
+    bitwise_equal = all(
+        results[name].exact_energy_j == full.exact_energy_j
+        for name, _, _ in MODES
+    )
     if not QUICK:
         BENCH_JSON.write_text(
             json.dumps(
@@ -94,21 +115,55 @@ def test_kernel_hotloop(benchmark):
                     "duration_s": DURATION_S,
                     "policy": "best",
                     "rounds": ROUNDS,
-                    "full_wall_s": round(full_best, 4),
-                    "minimal_wall_s": round(minimal_best, 4),
+                    "full_wall_s": round(best["full"], 4),
+                    "minimal_wall_s": round(best["minimal"], 4),
+                    "fastpath_full_wall_s": round(best["fastpath-full"], 4),
+                    "fastpath_minimal_wall_s": round(
+                        best["fastpath-minimal"], 4
+                    ),
                     "speedup": round(speedup, 3),
+                    "fastpath_speedup": round(fastpath_speedup, 3),
+                    "min_fastpath_speedup": MIN_FASTPATH_SPEEDUP,
                     "energy_j": full.exact_energy_j,
-                    "bitwise_equal": minimal.exact_energy_j == full.exact_energy_j,
+                    "bitwise_equal": bitwise_equal,
                 },
                 indent=2,
             )
             + "\n"
         )
 
-    # The recorder split's two promises.
-    assert minimal.exact_energy_j == full.exact_energy_j
-    assert minimal.run.mean_utilization() == full.run.mean_utilization()
-    assert minimal_best < full_best, (
-        f"minimal recording must beat full ({minimal_best:.3f}s vs "
-        f"{full_best:.3f}s)"
+    # The committed record carries the speedup bar; a regression past it
+    # fails here whether the run is full-length or a CI quick check.
+    min_fastpath_speedup = MIN_FASTPATH_SPEEDUP
+    if BENCH_JSON.exists():
+        committed = json.loads(BENCH_JSON.read_text())
+        min_fastpath_speedup = committed.get(
+            "min_fastpath_speedup", min_fastpath_speedup
+        )
+        if (committed.get("duration_s") == DURATION_S
+                and committed.get("machine") == machine.name):
+            # Same configuration as the committed record: the energy must
+            # match it to the last bit, or a kernel change altered results.
+            assert full.exact_energy_j == committed["energy_j"], (
+                f"energy drifted from the committed record "
+                f"({full.exact_energy_j!r} != {committed['energy_j']!r})"
+            )
+
+    # The kernel split's promises.
+    assert bitwise_equal
+    for name, _, _ in MODES:
+        assert (results[name].run.mean_utilization()
+                == full.run.mean_utilization())
+    if not QUICK:
+        # The ~8 % full-vs-minimal margin is real at full length but
+        # smaller than system jitter on the ~40 ms quick walls, so only
+        # the full-length run makes this comparison; quick runs stand on
+        # the fastpath bar, whose margin is several times larger.
+        assert best["minimal"] < best["full"], (
+            f"minimal recording must beat full ({best['minimal']:.3f}s vs "
+            f"{best['full']:.3f}s)"
+        )
+    assert fastpath_speedup >= min_fastpath_speedup, (
+        f"fast-path core must beat the full-recorder reference by "
+        f">={min_fastpath_speedup:g}x (got {fastpath_speedup:.2f}x)"
     )

@@ -28,12 +28,16 @@ Policies are named:
 
 Simulation commands accept ``--machine`` to pick the hardware (``itsy``,
 ``itsy@1.23``, ``itsy-stock``, ``sa2`` -- see ``list-machines``),
-``--jobs N`` to fan runs out over a process pool, ``--cache DIR`` to
-memoize results on disk (see :mod:`repro.measure.parallel`), and
+``--fastpath`` to simulate on the fast-path kernel core (see
+:mod:`repro.kernel.fastpath`), ``--jobs N`` to fan runs out over a
+process pool, ``--cache DIR`` to memoize results on disk (see
+:mod:`repro.measure.parallel`), and
 ``--run-log PATH`` to append one structured JSONL record per sweep cell
 (see :mod:`repro.obs.runlog`), and ``--diagnoses PATH`` to diagnose every
-executed cell worker-side (see :mod:`repro.obs.diagnose`); parallel,
-cached and observed paths are bitwise-equal to the serial, uncached one.
+executed cell worker-side (see :mod:`repro.obs.diagnose`); fast-path,
+parallel, cached and observed paths are all bitwise-equal to the serial,
+uncached reference.  Sweep commands print a throughput summary line
+(cells simulated/cached, wall time, cells/s) to stderr.
 ``trace`` exports a single run as Chrome trace-event JSON for Perfetto
 (see :mod:`repro.obs.trace`), ``diagnose`` explains one run (settling,
 prediction error, miss attribution, energy decomposition), and
@@ -142,10 +146,16 @@ def sweep_engine(args) -> Optional[SweepEngine]:
     )
 
 
+def cell_fastpath(args) -> bool:
+    """Whether ``--fastpath`` asked for the fast-path kernel core."""
+    return getattr(args, "fastpath", False)
+
+
 def report_sweep_stats(engine: Optional[SweepEngine]) -> None:
-    """Print the engine's executed/cached/wall summary to stderr."""
+    """Print the engine's throughput summary to stderr and shut it down."""
     if engine is not None:
         print(engine.stats.summary(), file=sys.stderr)
+        engine.close()
         if engine.run_log is not None:
             engine.run_log.close()
         if engine.diagnosis_log is not None:
@@ -192,6 +202,7 @@ def cmd_run(args) -> int:
             seed=args.seed,
             use_daq=not args.no_daq,
             machine=mspec,
+            fastpath=cell_fastpath(args),
         )
         summary = engine.run([cell])[0]
         print(f"energy          : {summary.energy_j:.2f} J "
@@ -211,6 +222,7 @@ def cmd_run(args) -> int:
     result = run_workload(
         workload, factory, machine_factory=mspec,
         seed=args.seed, use_daq=not args.no_daq,
+        fastpath=cell_fastpath(args),
     )
     run = result.run
     print(f"energy          : {result.energy_j:.2f} J "
@@ -248,6 +260,7 @@ def cmd_table2(args) -> int:
             SweepCell(
                 workload=spec, policy=PolicySpec(name=policy),
                 seed=1000 * i, machine=mspec,
+                fastpath=cell_fastpath(args),
             )
             for _, policy in TABLE2_ROWS
             for i in range(args.runs)
@@ -265,6 +278,7 @@ def cmd_table2(args) -> int:
         agg = repeat_workload(
             spec.build(), resolve_policy(policy, clock_table=table),
             machine_factory=mspec, runs=args.runs,
+            fastpath=cell_fastpath(args),
         )
         ci = agg.energy_ci
         print(f"{name:30s} {ci.low:9.2f} - {ci.high:5.2f} {agg.total_misses:7d}")
@@ -281,7 +295,10 @@ def cmd_fig9(args) -> int:
         from repro.measure.parallel import constant_step_cells
 
         results = engine.run(
-            constant_step_cells(spec, machine=mspec, seed=args.seed)
+            constant_step_cells(
+                spec, machine=mspec, seed=args.seed,
+                fastpath=cell_fastpath(args),
+            )
         )
         for step, res in zip(table, results):
             print(
@@ -300,6 +317,7 @@ def cmd_fig9(args) -> int:
             machine_factory=mspec,
             seed=args.seed,
             use_daq=False,
+            fastpath=cell_fastpath(args),
         )
         print(
             f"{step.mhz:6.1f} {res.run.mean_utilization() * 100:11.1f}% "
@@ -346,7 +364,8 @@ def cmd_ideal(args) -> int:
     try:
         if engine is not None:
             summary = find_ideal_constant(
-                spec, machine_factory=mspec, seed=args.seed, engine=engine
+                spec, machine_factory=mspec, seed=args.seed, engine=engine,
+                fastpath=cell_fastpath(args),
             )
             print(f"workload        : {workload.name} ({workload.duration_s:.0f} s)")
             print(f"ideal constant  : {summary.final_mhz:.1f} MHz")
@@ -354,7 +373,10 @@ def cmd_ideal(args) -> int:
             print(f"mean utilization: {summary.mean_utilization:.3f}")
             report_sweep_stats(engine)
             return 0
-        result = find_ideal_constant(workload, machine_factory=mspec, seed=args.seed)
+        result = find_ideal_constant(
+            workload, machine_factory=mspec, seed=args.seed,
+            fastpath=cell_fastpath(args),
+        )
     except ValueError as exc:
         print(f"no feasible constant step: {exc}", file=sys.stderr)
         return 1
@@ -534,6 +556,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sweep_opts = argparse.ArgumentParser(add_help=False)
+    sweep_opts.add_argument(
+        "--fastpath", action="store_true",
+        help="simulate on the fast-path kernel core "
+             "(bitwise-equal results, several times faster)",
+    )
     sweep_opts.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="fan simulations out over N worker processes",

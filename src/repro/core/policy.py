@@ -19,8 +19,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.hysteresis import Direction, ThresholdPair
-from repro.core.predictors import Predictor
-from repro.core.speed import SpeedSetter
+from repro.core.predictors import AvgN, Predictor
+from repro.core.speed import Peg, SpeedSetter
 from repro.hw.clocksteps import ClockTable, SA1100_CLOCK_TABLE
 from repro.hw.rails import VOLTAGE_HIGH, VOLTAGE_LOW
 from repro.kernel.governor import Governor, GovernorRequest, TickInfo
@@ -79,27 +79,86 @@ class IntervalPolicy(Governor):
         #: history of (time_us, weighted utilization, direction) decisions,
         #: for offline inspection (Table 1-style traces).
         self.decisions: list[tuple[float, float, Direction]] = []
+        # Hot-path specializations, all bitwise-identical to the
+        # polymorphic calls they stand in for: on_tick runs every 10 ms
+        # and the stock AvgN/Peg method calls dominate its profile.
+        # Subclassed predictors/setters fall back to the generic path.
+        self._avgn = (
+            predictor
+            if isinstance(predictor, AvgN)
+            and type(predictor).observe is AvgN.observe
+            else None
+        )
+        self._peg_up = type(self.up) is Peg
+        self._peg_down = type(self.down) is Peg
+        self._table_max = clock_table.max_index
+        # volts_for_mhz is a pure function of the (clamped) step index;
+        # precompute it per index so the voltage check is one tuple load.
+        self._rule_volts = (
+            tuple(
+                voltage_rule.volts_for_mhz(clock_table[i].mhz)
+                for i in range(clock_table.max_index + 1)
+            )
+            if voltage_rule is not None
+            else None
+        )
 
     def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
-        weighted = self.predictor.observe(info.utilization)
-        direction = self.thresholds.decide(weighted)
+        step_index = info.step_index
+        # AvgN.observe, inlined for stock predictors: arithmetic,
+        # tolerances and the error message are copied verbatim, so both
+        # results and failures match the polymorphic fallback.
+        avgn = self._avgn
+        if avgn is not None:
+            utilization = info.utilization
+            if not 0.0 <= utilization <= 1.0 + 1e-9:
+                raise ValueError(
+                    f"utilization must be in [0, 1], got {utilization}"
+                )
+            if utilization > 1.0:
+                utilization = 1.0
+            n = avgn.n
+            weighted = (n * avgn._weighted + utilization) / (n + 1)
+            avgn._weighted = weighted
+        else:
+            weighted = self.predictor.observe(info.utilization)
+        # ThresholdPair.decide, inlined: same comparisons, same strict
+        # inequalities.
+        thresholds = self.thresholds
+        if weighted > thresholds.high:
+            direction = Direction.UP
+        elif weighted < thresholds.low:
+            direction = Direction.DOWN
+        else:
+            direction = Direction.HOLD
         self.decisions.append((info.now_us, weighted, direction))
 
         if direction is Direction.HOLD:
-            new_index = info.step_index
+            new_index = step_index
+        elif direction is Direction.UP:
+            if self._peg_up:
+                # Peg.next_index + clamp_index: the table maximum,
+                # clamped against this policy's own table.
+                new_index = info.max_step_index
+                if new_index > self._table_max:
+                    new_index = self._table_max
+            else:
+                new_index = self.clock_table.clamp_index(
+                    self.up.next_index(step_index, direction, info.max_step_index)
+                )
+        elif self._peg_down:
+            new_index = 0
         else:
-            setter = self.up if direction is Direction.UP else self.down
             new_index = self.clock_table.clamp_index(
-                setter.next_index(info.step_index, direction, info.max_step_index)
+                self.down.next_index(step_index, direction, info.max_step_index)
             )
 
-        request_index = new_index if new_index != info.step_index else None
+        request_index = new_index if new_index != step_index else None
 
         request_volts: Optional[float] = None
-        if self.voltage_rule is not None:
-            target_volts = self.voltage_rule.volts_for_mhz(
-                self.clock_table[new_index].mhz
-            )
+        rule_volts = self._rule_volts
+        if rule_volts is not None:
+            target_volts = rule_volts[new_index]
             if target_volts != info.volts:
                 request_volts = target_volts
 

@@ -87,6 +87,7 @@ class ClockTable:
             ClockStep(index=i, mhz=f) for i, f in enumerate(freqs)
         ]
         self._freqs = freqs
+        self._max_index = len(self._steps) - 1
 
     # -- basic container protocol -------------------------------------------------
 
@@ -114,11 +115,14 @@ class ClockTable:
     @property
     def max_index(self) -> int:
         """Index of the fastest clock step."""
-        return len(self._steps) - 1
+        return self._max_index
 
     def clamp_index(self, index: int) -> int:
         """Clamp ``index`` into the valid step range."""
-        return max(0, min(self.max_index, index))
+        if index < 0:
+            return 0
+        max_index = self._max_index
+        return max_index if index > max_index else index
 
     def step_for_mhz(self, mhz: float) -> ClockStep:
         """Return the step whose frequency equals ``mhz`` (within 0.05 MHz).

@@ -46,6 +46,11 @@ class DvfsEngine:
         self.machine = machine
         self.sag_until_us = -1.0
         self.sag_volts = 0.0
+        # auto_volts_for is pure in (requested step, present rail
+        # voltage) on every machine (Itsy checks rail safety, SA-2 reads
+        # its per-step schedule); a busy interval policy asks the same
+        # handful of questions ~1000 times per run.
+        self._auto_volts: dict = {}
 
     @property
     def counters(self) -> "TransitionCounters":
@@ -64,9 +69,15 @@ class DvfsEngine:
         machine = self.machine
         target_volts = request.volts
         if request.step_index is not None and target_volts is None:
-            table = machine.clock_table
-            clamped = table[table.clamp_index(request.step_index)]
-            target_volts = machine.auto_volts_for(clamped)
+            key = (request.step_index, machine.volts)
+            cache = self._auto_volts
+            if key in cache:
+                target_volts = cache[key]
+            else:
+                table = machine.clock_table
+                clamped = table[table.clamp_index(request.step_index)]
+                target_volts = machine.auto_volts_for(clamped)
+                cache[key] = target_volts
         raise_volts_first = (
             target_volts is not None and target_volts > machine.volts
         )
@@ -82,9 +93,17 @@ class DvfsEngine:
                     # clock generator output is treated as the new step's
                     # nap power.
                     host.stall(stall)
-                host.emit_freq_change(
-                    FreqChange(host.now_us, old.mhz, machine.step.mhz, stall)
+                # FreqChange is frozen; building it through the instance
+                # dict skips four object.__setattr__ calls, and a busy
+                # interval policy applies ~1000 changes per minute run.
+                change = FreqChange.__new__(FreqChange)
+                change.__dict__.update(
+                    time_us=host.now_us,
+                    from_mhz=old.mhz,
+                    to_mhz=machine.step.mhz,
+                    stall_us=stall,
                 )
+                host.emit_freq_change(change)
 
         if target_volts is not None and not raise_volts_first:
             self._apply_voltage(target_volts, host)
@@ -99,4 +118,8 @@ class DvfsEngine:
             # the rail settles.  Execution continues meanwhile.
             self.sag_until_us = host.now_us + settle
             self.sag_volts = old
-        host.emit_volt_change(VoltChange(host.now_us, old, volts, settle))
+        change = VoltChange.__new__(VoltChange)
+        change.__dict__.update(
+            time_us=host.now_us, from_volts=old, to_volts=volts, settle_us=settle
+        )
+        host.emit_volt_change(change)

@@ -64,6 +64,14 @@ class GovernorRequest:
 class Governor(abc.ABC):
     """A clock-scaling policy module installed into the kernel."""
 
+    #: Declares that once :meth:`on_tick` has returned ``None``, every
+    #: subsequent call will return ``None`` as well (the governor is done
+    #: reconfiguring and is insensitive to further observations).  The
+    #: fast-path kernel then stops building tick observations for it;
+    #: the reference kernel keeps calling either way, so results are
+    #: identical.  Adaptive policies must leave this False.
+    inert_after_none = False
+
     @abc.abstractmethod
     def on_tick(self, info: TickInfo) -> Optional[GovernorRequest]:
         """Called from the clock interrupt handler once per quantum.
@@ -84,8 +92,11 @@ class ConstantGovernor(Governor):
     """Pins the machine at a fixed step (and optionally voltage).
 
     This is the paper's constant-speed control configuration (the first
-    three rows of Table 2).  The request is issued on the first tick only.
+    three rows of Table 2).  The request is issued on the first tick only;
+    after that the governor is inert (see :attr:`Governor.inert_after_none`).
     """
+
+    inert_after_none = True
 
     def __init__(self, step_index: int, volts: Optional[float] = None):
         self.step_index = step_index

@@ -189,10 +189,17 @@ class KernelRun:
         not adversely affect the user", so callers pass a per-workload
         perceptibility tolerance rather than zero.
         """
+        if tolerance_us < 0.0:
+            # lateness_us is clamped at zero, so a negative tolerance
+            # matches every deadlined event.
+            return [e for e in self.events if e.deadline_us is not None]
         return [
             e
             for e in self.events
-            if e.deadline_us is not None and e.lateness_us > tolerance_us
+            # e.lateness_us > tolerance_us, without the property call and
+            # max(): for non-negative tolerances the clamp cannot matter.
+            if e.deadline_us is not None
+            and e.time_us - e.deadline_us > tolerance_us
         ]
 
 

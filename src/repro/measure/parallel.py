@@ -15,6 +15,15 @@ each invocation.  This module makes large grids cheap:
   digest of the cell plus :data:`CACHE_SCHEMA_VERSION`, so unchanged cells
   are free on re-run.
 
+Throughput plumbing keeps grid wall-time dominated by simulation rather
+than dispatch: cells ship to workers in contiguous *chunks* (one pool task
+per chunk amortizes pickling and future bookkeeping), the pool is *warm*
+(spawned once per engine, workers preimport the simulator via an
+initializer, and the pool is reused across batches until :meth:`close`),
+and :class:`CellResult` pickles as a compact field tuple.  None of it is
+observable in the numbers: chunks preserve submission order, and every
+worker still runs the very same ``cell.run``.
+
 The engine is *provably* deterministic: a worker runs the very same
 :func:`repro.measure.runner.run_workload` the serial path runs, with the
 very same seeds, so parallel results are bitwise-equal to serial ones, and
@@ -227,6 +236,11 @@ class SweepCell:
             ``"minimal"``).  Not part of the cache key: recording modes
             are bitwise-equivalent in everything a :class:`CellResult`
             carries, so either mode may answer for the other.
+        fastpath: simulate on the fast-path core
+            (:class:`~repro.kernel.fastpath.FastKernel`).  Not part of
+            the cache key either — the cores are bitwise-equivalent, so
+            a cached reference result answers for a fastpath cell and
+            vice versa.
     """
 
     workload: WorkloadSpec
@@ -237,6 +251,7 @@ class SweepCell:
     daq_seed: Optional[int] = None
     machine: MachineSpec = MachineSpec()
     recording: str = RECORDING_FULL
+    fastpath: bool = False
 
     def effective_kernel_config(self) -> KernelConfig:
         """The kernel config that will be used (defaults if none given)."""
@@ -274,6 +289,7 @@ class SweepCell:
             daq_seed=self.daq_seed,
             recording=self.recording,
             extra_recorders=extra_recorders,
+            fastpath=self.fastpath,
         )
 
     def run(
@@ -351,29 +367,33 @@ class CellResult:
         """
         run = result.run
         counts: Dict[float, int] = {}
-        for q in run.quanta:
-            counts[q.mhz] = counts.get(q.mhz, 0) + 1
-        n = len(run.quanta)
         stats = run.quantum_stats
-        if not n and stats is not None and stats.count:
-            counts = {
-                stats.mhz_by_step[index]: quanta
-                for index, quanta in stats.quanta_by_step.items()
-            }
+        if stats is not None and stats.count:
+            # Streaming aggregates are preferred when present: on the
+            # fast-path core they spare materializing the quantum log
+            # (thousands of QuantumRecord objects) just to count step
+            # residency.  The per-step counts sum to the same integers
+            # as a walk over the log, so the fractions are bitwise equal.
+            for index, quanta in stats.quanta_by_step.items():
+                mhz = stats.mhz_by_step[index]
+                counts[mhz] = counts.get(mhz, 0) + quanta
             n = stats.count
+            final_step_index = stats.final_step_index
+            final_mhz = stats.final_mhz
+        else:
+            for q in run.quanta:
+                counts[q.mhz] = counts.get(q.mhz, 0) + 1
+            n = len(run.quanta)
+            if run.quanta:
+                final_step_index = run.quanta[-1].step_index
+                final_mhz = run.quanta[-1].mhz
+            else:
+                final_step_index = 0
+                final_mhz = 0.0
         residency = tuple(
             (mhz, counts[mhz] / n) for mhz in sorted(counts)
         ) if n else ()
         worst = max(result.misses, key=lambda e: e.lateness_us) if result.misses else None
-        if run.quanta:
-            final_step_index = run.quanta[-1].step_index
-            final_mhz = run.quanta[-1].mhz
-        elif stats is not None and stats.count:
-            final_step_index = stats.final_step_index
-            final_mhz = stats.final_mhz
-        else:
-            final_step_index = 0
-            final_mhz = 0.0
         return cls(
             energy_j=result.energy_j,
             exact_energy_j=result.exact_energy_j,
@@ -390,6 +410,22 @@ class CellResult:
             final_mhz=final_mhz,
             residency=residency,
         )
+
+    def __getstate__(self) -> tuple:
+        """Pickle as a bare field tuple (compact wire transport).
+
+        The default protocol ships the instance ``__dict__`` — fourteen
+        field-name strings per result.  Sweeps move thousands of results
+        between processes, so the tuple form measurably shrinks pool
+        traffic.  Field order is the dataclass declaration order.
+        """
+        return tuple(
+            getattr(self, f.name) for f in dataclasses.fields(self)
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        for f, value in zip(dataclasses.fields(self), state):
+            object.__setattr__(self, f.name, value)
 
     def to_json(self) -> dict:
         """A JSON-safe dict; floats survive exactly (``repr`` round-trip)."""
@@ -437,9 +473,10 @@ def cache_key(cell: SweepCell) -> str:
     workload name/effective config, machine spec, seed, DAQ settings,
     kernel config, schema version).  Stable across processes and hosts —
     it depends only on the cell's values, never on object identity or
-    hash seeds.  The recording mode is deliberately absent: full and
-    minimal recording produce bitwise-identical :class:`CellResult`\\ s,
-    so they share cache entries.
+    hash seeds.  The recording mode and the ``fastpath`` switch are
+    deliberately absent: recording modes and kernel cores all produce
+    bitwise-identical :class:`CellResult`\\ s, so they share cache
+    entries.
     """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
@@ -565,6 +602,52 @@ def _execute_cell_diagnosed(
     )
 
 
+def _warm_worker() -> None:
+    """Pool initializer: preimport the simulator once per worker process.
+
+    With the ``fork`` start method workers inherit the parent's modules
+    and this is nearly free; under ``spawn`` it moves the import cost of
+    the kernel, workloads and measurement stack out of the first chunk's
+    latency.  Importing :mod:`repro.measure.runner` pulls in everything a
+    cell run touches (both kernel cores, all workload builders, the DAQ).
+    """
+    import repro.measure.runner  # noqa: F401
+
+
+def _execute_chunk(
+    cells: List[SweepCell],
+    mode: str,
+    with_metrics: bool,
+    baseline_js: List[Optional[float]],
+) -> List[Tuple[str, object]]:
+    """Run a contiguous chunk of cells in one pool task.
+
+    One submission per chunk (instead of per cell) amortizes argument
+    pickling, future bookkeeping and result IPC across the chunk.  Each
+    cell's outcome is tagged ``("ok", outcome)`` or ``("err", exception)``
+    so a failure is attributed to the *cell* that raised it, not to an
+    opaque chunk — the parent re-raises it as a :class:`SweepCellError`
+    with the original exception as ``__cause__``.  ``mode`` selects the
+    same per-cell entry points the unchunked engine used: ``"plain"``,
+    ``"observed"`` or ``"diagnosed"``.
+    """
+    out: List[Tuple[str, object]] = []
+    for cell, baseline_j in zip(cells, baseline_js):
+        try:
+            if mode == "diagnosed":
+                outcome: object = _execute_cell_diagnosed(
+                    cell, with_metrics, baseline_j
+                )
+            elif mode == "observed":
+                outcome = _execute_cell_observed(cell, with_metrics)
+            else:
+                outcome = _execute_cell(cell)
+            out.append(("ok", outcome))
+        except Exception as exc:
+            out.append(("err", exc))
+    return out
+
+
 def _baseline_key(cell: SweepCell) -> str:
     """The coordinates a cell's oracle baseline depends on, as a string.
 
@@ -622,11 +705,16 @@ class SweepStats:
         """Unique cells served so far."""
         return self.executed + self.cache_hits
 
+    @property
+    def cells_per_s(self) -> float:
+        """Sweep throughput: unique cells served per wall-clock second."""
+        return self.total / self.wall_s if self.wall_s > 0 else 0.0
+
     def summary(self) -> str:
         """The one-line accounting every sweep CLI command prints."""
         return (
             f"sweep: {self.executed} simulated, {self.cache_hits} cached, "
-            f"{self.wall_s:.1f} s"
+            f"{self.wall_s:.1f} s, {self.cells_per_s:.1f} cells/s"
         )
 
 
@@ -637,6 +725,15 @@ class SweepEngine:
     which worker finished first, and duplicate cells within a batch are
     simulated once.  ``jobs=1`` executes in-process (and is what the
     determinism tests compare the pool against).
+
+    The pool path is engineered for throughput: cells are submitted in
+    contiguous chunks (``chunk_size`` per pool task; auto-sized to a few
+    chunks per worker by default) so per-task pickling and future
+    overhead amortize, and the pool itself is spawned once — warm
+    workers preimport the simulator and are reused across batches until
+    :meth:`close` (the engine is a context manager; ``reuse_pool=False``
+    restores the spawn-per-batch behaviour).  Chunks preserve input
+    order, so results are the same, bitwise, at any chunk size.
 
     Observability is opt-in and free when off: with ``metrics`` the engine
     counts cells/cache traffic, times each cell, and merges the workers'
@@ -661,24 +758,112 @@ class SweepEngine:
         run_log: Optional[RunLogWriter] = None,
         diagnose: bool = False,
         diagnosis_log: Optional[DiagnosisWriter] = None,
+        chunk_size: Optional[int] = None,
+        reuse_pool: bool = True,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
         self.jobs = jobs
         self.cache = cache
         self.metrics = metrics
         self.run_log = run_log
         self.diagnosis_log = diagnosis_log
+        self.chunk_size = chunk_size
+        self.reuse_pool = reuse_pool
         self._diagnose = diagnose or diagnosis_log is not None
         #: diagnoses of executed cells, keyed by run id (the cache key).
         self.diagnoses: Dict[str, PolicyDiagnosis] = {}
         self.stats = SweepStats()
         self._run_depth = 0  # baseline batches re-enter run()
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     @property
     def diagnosing(self) -> bool:
         """Whether executed cells are diagnosed worker-side."""
         return self._diagnose
+
+    def close(self) -> None:
+        """Shut down the warm worker pool (idempotent).
+
+        The engine stays usable — the next pooled batch spawns a fresh
+        pool.  Exiting the engine's ``with`` block calls this.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _chunked(
+        self, todo: List[Tuple[str, SweepCell]], workers: int
+    ) -> List[List[Tuple[str, SweepCell]]]:
+        """Split ``todo`` into contiguous chunks, preserving order.
+
+        Auto-sizing targets four chunks per worker: large enough to
+        amortize per-task pickling, small enough that a slow cell does
+        not leave the other workers idle at the tail of the batch.
+        """
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(todo) // (workers * 4)))
+        return [todo[i : i + size] for i in range(0, len(todo), size)]
+
+    def _run_chunks(
+        self,
+        pool: ProcessPoolExecutor,
+        chunks: List[List[Tuple[str, SweepCell]]],
+        mode: str,
+        with_metrics: bool,
+        baselines: Dict[str, Optional[float]],
+    ) -> List[object]:
+        """Submit chunks and flatten their outcomes back into todo order.
+
+        Raises:
+            SweepCellError: for an in-worker failure (naming the exact
+                cell, original exception as ``__cause__``) or a pool-level
+                failure (attributed to the chunk's first cell).
+        """
+        futures = [
+            pool.submit(
+                _execute_chunk,
+                [cell for _, cell in chunk],
+                mode,
+                with_metrics,
+                [
+                    baselines[_baseline_key(cell)] if mode == "diagnosed" else None
+                    for _, cell in chunk
+                ],
+            )
+            for chunk in chunks
+        ]
+        fresh: List[object] = []
+        for chunk, future in zip(chunks, futures):
+            try:
+                tagged = future.result()
+            except Exception as exc:
+                # The pool itself failed (worker crash, result transport);
+                # a dead warm pool must not poison the next batch.
+                if pool is self._pool:
+                    self.close()
+                raise SweepCellError(chunk[0][1], exc) from exc
+            for (_, cell), (tag, payload) in zip(chunk, tagged):
+                if tag == "err":
+                    assert isinstance(payload, BaseException)
+                    raise SweepCellError(cell, payload) from payload
+                fresh.append(payload)
+        return fresh
 
     def run(self, cells: Iterable[SweepCell]) -> List[CellResult]:
         """Execute ``cells`` and return their results, input-ordered.
@@ -730,30 +915,28 @@ class SweepEngine:
                 workers = min(self.jobs, len(todo))
                 if self.metrics is not None:
                     self.metrics.gauge("sweep.workers").set(workers)
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    if diagnosing:
-                        futures = [
-                            pool.submit(
-                                _execute_cell_diagnosed,
-                                cell,
-                                with_metrics,
-                                baselines[_baseline_key(cell)],
-                            )
-                            for _, cell in todo
-                        ]
-                    else:
-                        futures = [
-                            pool.submit(_execute_cell_observed, cell, with_metrics)
-                            if observed
-                            else pool.submit(_execute_cell, cell)
-                            for _, cell in todo
-                        ]
-                    fresh = []
-                    for (_, cell), future in zip(todo, futures):
-                        try:
-                            fresh.append(future.result())
-                        except Exception as exc:
-                            raise SweepCellError(cell, exc) from exc
+                if diagnosing:
+                    mode = "diagnosed"
+                elif observed:
+                    mode = "observed"
+                else:
+                    mode = "plain"
+                chunks = self._chunked(todo, workers)
+                if self.reuse_pool:
+                    if self._pool is None:
+                        self._pool = ProcessPoolExecutor(
+                            max_workers=self.jobs, initializer=_warm_worker
+                        )
+                    fresh = self._run_chunks(
+                        self._pool, chunks, mode, with_metrics, baselines
+                    )
+                else:
+                    with ProcessPoolExecutor(
+                        max_workers=workers, initializer=_warm_worker
+                    ) as pool:
+                        fresh = self._run_chunks(
+                            pool, chunks, mode, with_metrics, baselines
+                        )
             elif diagnosing:
                 fresh = [
                     _execute_cell_diagnosed(
@@ -812,6 +995,7 @@ class SweepEngine:
                     seed=cell.seed,
                     kernel_config=cell.kernel_config,
                     engine=self,
+                    fastpath=cell.fastpath,
                 ).exact_energy_j
             except ValueError:
                 out[key] = None
@@ -861,6 +1045,8 @@ class SweepSpec:
         machines: the machine axis (default: the modified Itsy only).
         kernel_config: shared kernel tunables (None = defaults).
         use_daq: measure through the DAQ model.
+        fastpath: simulate every cell on the fast-path core
+            (bitwise-equal results, several times faster).
     """
 
     policies: Tuple[PolicySpec, ...]
@@ -869,6 +1055,7 @@ class SweepSpec:
     machines: Tuple[MachineSpec, ...] = (MachineSpec(),)
     kernel_config: Optional[KernelConfig] = None
     use_daq: bool = True
+    fastpath: bool = False
 
     def cells(self) -> List[SweepCell]:
         """The grid flattened in deterministic machine-major order."""
@@ -880,6 +1067,7 @@ class SweepSpec:
                 kernel_config=self.kernel_config,
                 use_daq=self.use_daq,
                 machine=machine,
+                fastpath=self.fastpath,
             )
             for machine in self.machines
             for policy in self.policies
@@ -932,6 +1120,7 @@ def repeat_workload(
     kernel_config: Optional[KernelConfig] = None,
     use_daq: bool = True,
     engine: Optional[SweepEngine] = None,
+    fastpath: bool = False,
 ) -> RepeatedSummary:
     """Spec-based analogue of :func:`repro.measure.runner.repeat_workload`.
 
@@ -948,6 +1137,7 @@ def repeat_workload(
             kernel_config=kernel_config,
             use_daq=use_daq,
             machine=machine,
+            fastpath=fastpath,
         )
         for i in range(runs)
     ]
@@ -962,6 +1152,7 @@ def constant_step_cells(
     seed: int = 0,
     kernel_config: Optional[KernelConfig] = None,
     recording: str = RECORDING_MINIMAL,
+    fastpath: bool = False,
 ) -> List[SweepCell]:
     """One exact-energy cell per constant clock step of ``machine``.
 
@@ -979,6 +1170,7 @@ def constant_step_cells(
             use_daq=False,
             machine=machine,
             recording=recording,
+            fastpath=fastpath,
         )
         for step in machine.clock_table()
     ]
@@ -990,6 +1182,7 @@ def find_ideal_constant(
     seed: int = 0,
     kernel_config: Optional[KernelConfig] = None,
     engine: Optional[SweepEngine] = None,
+    fastpath: bool = False,
 ) -> CellResult:
     """Batched analogue of :func:`repro.measure.runner.find_ideal_constant`.
 
@@ -1001,7 +1194,11 @@ def find_ideal_constant(
         ValueError: if no constant step meets the workload's deadlines.
     """
     cells = constant_step_cells(
-        workload, machine=machine, seed=seed, kernel_config=kernel_config
+        workload,
+        machine=machine,
+        seed=seed,
+        kernel_config=kernel_config,
+        fastpath=fastpath,
     )
     results = (engine or SweepEngine()).run(cells)
     best: Optional[CellResult] = None

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Union
 from repro.hw.itsy import ItsyConfig, ItsyMachine
 from repro.hw.machine import Machine
 from repro.hw.machines import MachineSpec
+from repro.kernel.fastpath import FastKernel
 from repro.kernel.governor import Governor
 from repro.kernel.recorders import RECORDING_FULL, RunRecorder, recorders_for
 from repro.kernel.scheduler import Kernel, KernelConfig, KernelRun
@@ -103,6 +104,7 @@ def run_workload(
     daq_seed: Optional[int] = None,
     recording: str = RECORDING_FULL,
     extra_recorders: Optional[Iterable[RunRecorder]] = None,
+    fastpath: bool = False,
 ) -> ExperimentResult:
     """Run one workload under one governor and measure it.
 
@@ -125,6 +127,11 @@ def run_workload(
             :class:`~repro.obs.metrics.KernelMetricsRecorder`) appended
             to the mode's recorder set.  Pure observation: results are
             bitwise-identical with or without them.
+        fastpath: run on the fast-path core
+            (:class:`~repro.kernel.fastpath.FastKernel`) — bitwise-equal
+            results, several times faster.  Ignored (reference kernel is
+            used) when ``extra_recorders`` are attached, since the fast
+            core has no pluggable recorder hooks.
     """
     if use_daq and recording != RECORDING_FULL:
         raise ValueError(
@@ -134,15 +141,23 @@ def run_workload(
     if kernel_config is None:
         kernel_config = KernelConfig()
     machine = machine_factory()
-    recorders = recorders_for(recording, kernel_config)
-    if extra_recorders is not None:
-        recorders.extend(extra_recorders)
-    kernel = Kernel(
-        machine,
-        governor=governor_factory(),
-        config=kernel_config,
-        recorders=recorders,
-    )
+    if fastpath and extra_recorders is None:
+        kernel: Kernel = FastKernel(
+            machine,
+            governor=governor_factory(),
+            config=kernel_config,
+            recording=recording,
+        )
+    else:
+        recorders = recorders_for(recording, kernel_config)
+        if extra_recorders is not None:
+            recorders.extend(extra_recorders)
+        kernel = Kernel(
+            machine,
+            governor=governor_factory(),
+            config=kernel_config,
+            recorders=recorders,
+        )
     workload.setup(kernel, seed)
     run = kernel.run(workload.duration_us)
 
@@ -175,6 +190,7 @@ def find_ideal_constant(
     seed: int = 0,
     kernel_config: Optional[KernelConfig] = None,
     engine: Optional["SweepEngine"] = None,
+    fastpath: bool = False,
 ) -> Union[ExperimentResult, "CellResult"]:
     """The energy-minimal *feasible* constant clock step for a workload.
 
@@ -205,6 +221,7 @@ def find_ideal_constant(
             seed=seed,
             kernel_config=kernel_config,
             engine=engine,
+            fastpath=fastpath,
         )
     if engine is not None:
         raise ValueError("parallel execution needs a WorkloadSpec workload")
@@ -219,6 +236,7 @@ def find_ideal_constant(
             seed=seed,
             kernel_config=kernel_config,
             use_daq=False,
+            fastpath=fastpath,
         )
         if result.missed:
             continue
@@ -261,6 +279,7 @@ def repeat_workload(
     kernel_config: Optional[KernelConfig] = None,
     use_daq: bool = True,
     engine: Optional["SweepEngine"] = None,
+    fastpath: bool = False,
 ) -> Union[RepeatedResult, "RepeatedSummary"]:
     """Run the experiment ``runs`` times and report the 95 % energy CI.
 
@@ -290,6 +309,7 @@ def repeat_workload(
             kernel_config=kernel_config,
             use_daq=use_daq,
             engine=engine,
+            fastpath=fastpath,
         )
     if runs < 2:
         raise ValueError("need at least two runs for a confidence interval")
@@ -301,6 +321,7 @@ def repeat_workload(
             seed=base_seed + 1000 * i,
             kernel_config=kernel_config,
             use_daq=use_daq,
+            fastpath=fastpath,
         )
         for i in range(runs)
     ]

@@ -196,6 +196,32 @@ class PowerTimeline:
         starts = np.array([s for s, _, _ in self._segments])
         ends = np.array([e for _, e, _ in self._segments])
         watts = np.array([w for _, _, w in self._segments])
+        n = len(times_us)
+        m = len(starts)
+        if (
+            n > m
+            and np.all(starts[1:] >= starts[:-1])
+            and np.all(times_us[1:] >= times_us[:-1])
+        ):
+            # Slice-fill: with both arrays ascending, bisect each segment
+            # boundary into the time grid once (O(m log n)) instead of
+            # bisecting every sample into the segment list (O(n log m)).
+            # A sample still takes segment j exactly when j is the last
+            # segment with start <= t and t < end_j, so the filled values
+            # are identical to the per-sample lookup below.
+            first = np.searchsorted(times_us, starts, side="left")
+            cut = np.searchsorted(times_us, ends, side="left")
+            nxt = np.empty_like(first)
+            nxt[:-1] = first[1:]
+            nxt[-1] = n
+            hi = np.minimum(np.maximum(cut, first), nxt)
+            vals = np.zeros(2 * m + 1)
+            vals[1::2] = watts
+            counts = np.empty(2 * m + 1, dtype=np.intp)
+            counts[0] = first[0]
+            counts[1::2] = hi - first
+            counts[2::2] = nxt - hi
+            return np.repeat(vals, counts)
         idx = np.searchsorted(starts, times_us, side="right") - 1
         idx_clipped = np.clip(idx, 0, len(starts) - 1)
         inside = (idx >= 0) & (times_us < ends[idx_clipped])
@@ -210,7 +236,15 @@ class PowerTimeline:
         if end_us is None:
             end_us = self.end_us
         total = 0.0
-        for seg_start, seg_end, watts in self._segments:
+        segments = self._segments
+        if segments and start_us <= segments[0][0] and end_us >= segments[-1][1]:
+            # Whole-timeline integral (the common case): segments ascend,
+            # so no clamping is needed -- the max/min below would return
+            # the segment bounds unchanged.
+            for seg_start, seg_end, watts in segments:
+                total += watts * (seg_end - seg_start) * 1e-6
+            return total
+        for seg_start, seg_end, watts in segments:
             a = max(seg_start, start_us)
             b = min(seg_end, end_us)
             if b > a:

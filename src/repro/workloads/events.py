@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Iterator, List
 
 
@@ -70,12 +71,19 @@ class InputTrace:
         return [e for e in self._events if e.kind == kind]
 
 
+@lru_cache(maxsize=64)
 def web_trace(seed: int, duration_s: float = 190.0) -> InputTrace:
     """The Web workload's input trace (§4.2).
 
     Two page loads (the news article, then the table-heavy TN-56 report)
     with human-paced scrolling through each; reading pauses of a few
     seconds between scrolls.  Total activity ~190 s.
+
+    Memoized per process: a sweep grid replays the same (seed, duration)
+    trace once per policy × machine cell, and the trace is immutable —
+    workload bodies only iterate it — so repeated cells in a worker reuse
+    the synthesized events instead of rebuilding them.  (The same applies
+    to :func:`chess_trace` and :func:`editor_trace`.)
     """
     rng = random.Random(seed)
     events: List[InputEvent] = []
@@ -102,6 +110,7 @@ def web_trace(seed: int, duration_s: float = 190.0) -> InputTrace:
     return InputTrace(e for e in events if e.time_us < horizon)
 
 
+@lru_cache(maxsize=64)
 def chess_trace(
     seed: int, duration_s: float = 218.0
 ) -> InputTrace:
@@ -136,6 +145,7 @@ def chess_trace(
     return InputTrace(events)
 
 
+@lru_cache(maxsize=64)
 def editor_trace(seed: int, duration_s: float = 70.0) -> InputTrace:
     """The TalkingEditor input trace (§4.2).
 

@@ -1,18 +1,23 @@
-"""Scheduler edge cases: wake ordering, run-end boundaries, spawn order."""
+"""Scheduler edge cases: wake ordering, run-end boundaries, spawn order,
+and the zero-progress guards (on both kernel cores)."""
 
 import pytest
 
 from repro.hw.itsy import ItsyConfig, ItsyMachine
 from repro.hw.work import Work
-from repro.kernel.process import Compute, Exit, Sleep, SleepUntil
+from repro.kernel.fastpath import FastKernel
+from repro.kernel.process import Compute, Exit, Sleep, SleepUntil, SpinUntil, Yield
 from repro.kernel.scheduler import Kernel, KernelConfig
 
 Q = 10_000.0
 CFG = KernelConfig(sched_overhead_us=0.0)
 
 
-def make_kernel():
-    return Kernel(ItsyMachine(ItsyConfig()), config=CFG)
+def make_kernel(fastpath: bool = False):
+    machine = ItsyMachine(ItsyConfig())
+    if fastpath:
+        return FastKernel(machine, config=CFG)
+    return Kernel(machine, config=CFG)
 
 
 class TestWakeOrdering:
@@ -93,6 +98,106 @@ class TestRunEndBoundaries:
         # boundary -- whether it fires depends on float rounding, but the
         # accounting must be exact either way.
         assert run.mean_utilization() == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("fastpath", [False, True], ids=["reference", "fastpath"])
+class TestZeroProgressGuards:
+    """`_MAX_ZERO_PROGRESS_ACTIONS` turns runaway bodies into clear errors.
+
+    A buggy process body that never advances simulated time (empty compute
+    requests, already-expired spins, or endless zero-duration yields) must
+    not hang the simulator: the guard raises a RuntimeError naming the
+    culprit and the simulated time.  Both kernel cores behave identically.
+    """
+
+    def test_empty_compute_storm_names_the_process(self, fastpath):
+        kernel = make_kernel(fastpath)
+
+        def body(ctx):
+            while True:
+                yield Compute(Work())  # zero cycles: no time can pass
+
+        kernel.spawn("looper", body)
+        with pytest.raises(
+            RuntimeError,
+            match=r"process looper \(pid 1\) makes no progress at t=0\.0 us",
+        ):
+            kernel.run(2 * Q)
+
+    def test_expired_spin_storm_names_the_process(self, fastpath):
+        kernel = make_kernel(fastpath)
+
+        def body(ctx):
+            while True:
+                yield SpinUntil(0.0)  # already in the past: zero duration
+
+        kernel.spawn("spinner", body)
+        with pytest.raises(
+            RuntimeError,
+            match=r"process spinner \(pid 1\) makes no progress at t=0\.0 us",
+        ):
+            kernel.run(2 * Q)
+
+    def test_yield_storm_trips_the_simulation_guard(self, fastpath):
+        # A pure Yield loop bounces through the run queue without entering
+        # the per-process action loop, so the outer simulation-level guard
+        # catches it instead.
+        kernel = make_kernel(fastpath)
+
+        def body(ctx):
+            while True:
+                yield Yield()
+
+        kernel.spawn("yielder", body)
+        with pytest.raises(
+            RuntimeError, match=r"simulation makes no progress at t=0\.0 us"
+        ):
+            kernel.run(2 * Q)
+
+    def test_zero_duration_sleep_storm_trips_the_simulation_guard(self, fastpath):
+        kernel = make_kernel(fastpath)
+
+        def body(ctx):
+            while True:
+                yield Sleep(0.0)  # degenerates to a yield
+
+        kernel.spawn("napper", body)
+        with pytest.raises(
+            RuntimeError, match=r"simulation makes no progress at t=0\.0 us"
+        ):
+            kernel.run(2 * Q)
+
+    def test_guard_reports_the_simulated_time(self, fastpath):
+        kernel = make_kernel(fastpath)
+
+        def body(ctx):
+            yield SleepUntil(3 * Q)
+            while True:
+                yield Compute(Work())
+
+        kernel.spawn("late-looper", body)
+        with pytest.raises(
+            RuntimeError,
+            match=r"process late-looper \(pid 1\) makes no progress "
+                  r"at t=30000\.0 us",
+        ):
+            kernel.run(6 * Q)
+
+    def test_bounded_zero_progress_is_tolerated(self, fastpath):
+        # Fewer than the guard limit of empty actions is legal; the body
+        # then proceeds and the run completes normally.
+        kernel = make_kernel(fastpath)
+
+        def body(ctx):
+            for _ in range(100):
+                yield Compute(Work())
+            yield Compute(Work(cpu_cycles=206.4 * 100.0))
+            ctx.emit("done")
+            yield Exit()
+
+        kernel.spawn("bursty", body)
+        run = kernel.run(2 * Q)
+        assert len(run.events_of_kind("done")) == 1
 
 
 class TestSpawnSemantics:
