@@ -18,7 +18,8 @@ all modes and checks the promises the kernel split makes:
   committed speedup bar (2x).
 
 Timings are best-of-N over interleaved runs so one noisy sample cannot
-flip the comparison.  Besides the usual text report this benchmark
+flip the comparison (quick mode keeps adding rounds until the floors
+stop improving — see ``stable_best``).  Besides the usual text report this benchmark
 writes ``BENCH_kernel_hotloop.json`` at the repo root — a small
 machine-readable record of the hot-loop cost so successive revisions
 leave a perf trajectory.
@@ -37,7 +38,7 @@ from repro.core.catalog import resolve_policy
 from repro.measure.runner import run_workload
 from repro.workloads.mpeg import MpegConfig, mpeg_workload
 
-from _util import Report, bench_machine, once
+from _util import Report, bench_machine, once, stable_best
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel_hotloop.json"
 QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
@@ -71,13 +72,17 @@ def test_kernel_hotloop(benchmark):
     machine = bench_machine()
 
     def run():
-        walls = {name: [] for name, _, _ in MODES}
         results = {}
-        for _ in range(ROUNDS):
+
+        def measure_round():
+            walls = {}
             for name, recording, fastpath in MODES:
-                results[name], dt = timed_run(machine, recording, fastpath)
-                walls[name].append(dt)
-        return results, {name: min(walls[name]) for name in walls}
+                results[name], walls[name] = timed_run(
+                    machine, recording, fastpath
+                )
+            return walls
+
+        return results, stable_best(measure_round, rounds=ROUNDS, quick=QUICK)
 
     results, best = once(benchmark, run)
     full = results["full"]

@@ -15,7 +15,8 @@ workload under the best policy:
   reduce once at the end).
 
 Timings are best-of-N over interleaved runs so one noisy sample cannot
-flip the comparison, and each mode's overhead is computed against the
+flip the comparison (quick mode keeps adding rounds until the floors
+stop improving — see ``stable_best``), and each mode's overhead is computed against the
 paired floor ``min(baseline, mode)``: a wrapped call form cannot truly
 be cheaper than the plain one it wraps, so a negative difference is
 measurement noise and the reported overhead is non-negative by
@@ -39,7 +40,7 @@ from repro.obs.metrics import KernelMetricsRecorder, MetricsRegistry
 from repro.obs.trace import TraceRecorder
 from repro.workloads.mpeg import MpegConfig, mpeg_workload
 
-from _util import Report, bench_machine, once
+from _util import Report, bench_machine, once, stable_best
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
 QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
@@ -75,13 +76,15 @@ def test_obs_overhead(benchmark):
     modes = ("baseline", "disabled", "enabled")
 
     def run():
-        walls = {mode: [] for mode in modes}
         results = {}
-        for _ in range(ROUNDS):
+
+        def measure_round():
+            walls = {}
             for mode in modes:
-                results[mode], dt = timed_run(machine, mode)
-                walls[mode].append(dt)
-        return results, {mode: min(walls[mode]) for mode in modes}
+                results[mode], walls[mode] = timed_run(machine, mode)
+            return walls
+
+        return results, stable_best(measure_round, rounds=ROUNDS, quick=QUICK)
 
     results, best = once(benchmark, run)
 

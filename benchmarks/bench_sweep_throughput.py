@@ -35,7 +35,7 @@ from pathlib import Path
 from repro.cli import TABLE2_ROWS, workload_spec
 from repro.measure.parallel import PolicySpec, SweepCell, SweepEngine
 
-from _util import Report, bench_machine, once
+from _util import Report, bench_machine, once, stable_best
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sweep_throughput.json"
 QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
@@ -67,31 +67,35 @@ def test_sweep_throughput(benchmark):
     n_cells = len(TABLE2_ROWS) * RUNS_PER_POLICY
 
     def run():
-        legacy_walls, new_walls = [], []
-        legacy_results = new_results = None
+        results = {}
         # The new engine keeps its pool warm across batches -- that IS
         # the feature -- so it lives for all rounds; the legacy shape
         # spawns a fresh pool per batch by definition.
         new_engine = SweepEngine(jobs=JOBS)
-        try:
-            for _ in range(ROUNDS):
-                legacy_engine = SweepEngine(
-                    jobs=JOBS, chunk_size=1, reuse_pool=False
-                )
-                try:
-                    start = time.perf_counter()
-                    legacy_results = legacy_engine.run(
-                        grid_cells(machine, fastpath=False)
-                    )
-                    legacy_walls.append(time.perf_counter() - start)
-                finally:
-                    legacy_engine.close()
+
+        def measure_round():
+            walls = {}
+            legacy_engine = SweepEngine(
+                jobs=JOBS, chunk_size=1, reuse_pool=False
+            )
+            try:
                 start = time.perf_counter()
-                new_results = new_engine.run(grid_cells(machine, fastpath=True))
-                new_walls.append(time.perf_counter() - start)
+                results["legacy"] = legacy_engine.run(
+                    grid_cells(machine, fastpath=False)
+                )
+                walls["legacy"] = time.perf_counter() - start
+            finally:
+                legacy_engine.close()
+            start = time.perf_counter()
+            results["new"] = new_engine.run(grid_cells(machine, fastpath=True))
+            walls["new"] = time.perf_counter() - start
+            return walls
+
+        try:
+            best = stable_best(measure_round, rounds=ROUNDS, quick=QUICK)
         finally:
             new_engine.close()
-        return legacy_results, new_results, min(legacy_walls), min(new_walls)
+        return results["legacy"], results["new"], best["legacy"], best["new"]
 
     legacy_results, new_results, legacy_best, new_best = once(benchmark, run)
     speedup = legacy_best / new_best

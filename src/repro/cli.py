@@ -13,6 +13,7 @@ Usage (after installation)::
     python -m repro trace mpeg --policy past-peg-98-93 -o trace.json
     python -m repro diagnose avg3-one mpeg
     python -m repro report sweep.jsonl --diagnoses diag.jsonl -o report.html
+    python -m repro fuzz --count 50 --seed 2026 --save-failures fuzz-failures
 
 Policies are named:
 
@@ -27,7 +28,8 @@ Policies are named:
 - ``synth`` -- the synthesized-deadline governor (§6 future work).
 
 Simulation commands accept ``--machine`` to pick the hardware (``itsy``,
-``itsy@1.23``, ``itsy-stock``, ``sa2`` -- see ``list-machines``),
+``itsy@1.23``, ``itsy-stock``, ``sa2``, or the reconfiguration-cost
+variants ``itsy-reconf``/``sa2-reconf`` -- see ``list-machines``),
 ``--fastpath`` to simulate on the fast-path kernel core (see
 :mod:`repro.kernel.fastpath`), ``--jobs N`` to fan runs out over a
 process pool, ``--cache DIR`` to memoize results on disk (see
@@ -42,6 +44,11 @@ uncached reference.  Sweep commands print a throughput summary line
 (see :mod:`repro.obs.trace`), ``diagnose`` explains one run (settling,
 prediction error, miss attribution, energy decomposition), and
 ``report`` aggregates a run-log (+ diagnoses) into markdown or HTML.
+``fuzz`` drives seeded generated workloads (the ``fuzz`` workload, see
+:mod:`repro.workloads.fuzz`) through the reference and fast-path kernel
+cores differentially, checking bitwise identity and a closed energy
+decomposition, shrinking failures and saving them as replayable corpus
+entries (see :mod:`repro.traces.corpus`).
 """
 
 from __future__ import annotations
@@ -70,6 +77,7 @@ from repro.measure.stats import confidence_interval
 from repro.workloads.base import Workload
 from repro.workloads.chess import ChessConfig
 from repro.workloads.editor import EditorConfig
+from repro.workloads.fuzz import FuzzSpec
 from repro.workloads.mpeg import MpegConfig
 from repro.workloads.web import WebConfig
 
@@ -78,11 +86,17 @@ _WORKLOAD_CONFIGS = {
     "web": WebConfig,
     "chess": ChessConfig,
     "editor": EditorConfig,
+    "fuzz": FuzzSpec,
 }
+
+#: What the workload positional accepts.  The ``replay`` sweep axis is
+#: deliberately absent: it is named by a trace, not by a duration, so it
+#: is built from corpus entries (``repro fuzz --corpus``), not by name.
+CLI_WORKLOADS = ["mpeg", "web", "chess", "editor", "fuzz"]
 
 
 def workload_spec(name: str, duration_s: Optional[float] = None) -> WorkloadSpec:
-    """Map a workload name (mpeg/web/chess/editor) to a sweep spec.
+    """Map a workload name (mpeg/web/chess/editor/fuzz) to a sweep spec.
 
     Raises:
         ValueError: for unknown names.
@@ -90,7 +104,9 @@ def workload_spec(name: str, duration_s: Optional[float] = None) -> WorkloadSpec
     try:
         config_type = _WORKLOAD_CONFIGS[name]
     except KeyError:
-        raise ValueError(f"unknown workload {name!r} (mpeg/web/chess/editor)") from None
+        raise ValueError(
+            f"unknown workload {name!r} ({'/'.join(CLI_WORKLOADS)})"
+        ) from None
     return WorkloadSpec(
         name=name,
         config=config_type(duration_s=duration_s) if duration_s else None,
@@ -98,7 +114,7 @@ def workload_spec(name: str, duration_s: Optional[float] = None) -> WorkloadSpec
 
 
 def resolve_workload(name: str, duration_s: Optional[float] = None) -> Workload:
-    """Map a workload name (mpeg/web/chess/editor) to a descriptor.
+    """Map a workload name (mpeg/web/chess/editor/fuzz) to a descriptor.
 
     Raises:
         ValueError: for unknown names.
@@ -539,6 +555,82 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Differentially test the kernel cores on fuzzed workloads.
+
+    Every generated scenario (and, with ``--corpus``, every stored trace)
+    runs on the reference kernel and the fast-path core; any recorded
+    number differing, any exception-behaviour difference, or an energy
+    decomposition that does not close fails the batch.  Failures are
+    shrunk to minimal specs and (with ``--save-failures``) persisted as
+    replayable corpus entries.
+    """
+    from repro.measure.differential import (
+        check_fuzz_spec,
+        compare_results,
+        counterexample_entry,
+        shrink_fuzz_spec,
+    )
+    from repro.traces.corpus import load_corpus, save_entry
+    from repro.workloads.fuzz import fuzz_family
+
+    machines = [MachineSpec.parse(m) for m in (args.machine or ["itsy", "itsy-reconf"])]
+    policies = args.policy or ["best"]
+    specs = fuzz_family(args.count, master_seed=args.seed, duration_s=args.duration)
+    checked = 0
+    failures = []
+    for spec in specs:
+        for mspec in machines:
+            for policy in policies:
+                outcome = check_fuzz_spec(spec, policy, mspec, seed=args.seed)
+                checked += 1
+                if outcome.ok:
+                    continue
+                shrunk, outcome = shrink_fuzz_spec(spec, policy, mspec, seed=args.seed)
+                failures.append(outcome)
+                print(f"FAIL {outcome.describe()}", file=sys.stderr)
+                if shrunk != spec:
+                    print(f"  shrunk to {shrunk}", file=sys.stderr)
+                if args.save_failures:
+                    entry = counterexample_entry(outcome)
+                    if entry is not None:
+                        path = save_entry(args.save_failures, entry)
+                        print(f"  counterexample saved: {path}", file=sys.stderr)
+
+    replayed = 0
+    if args.corpus:
+        for path, entry in load_corpus(args.corpus):
+            for mspec in machines:
+                for policy in policies:
+                    factory = resolve_policy(policy, clock_table=mspec.clock_table())
+                    results = []
+                    for fastpath in (False, True):
+                        results.append(run_workload(
+                            entry.workload(), factory, machine_factory=mspec,
+                            seed=args.seed, use_daq=False, fastpath=fastpath,
+                        ))
+                    replayed += 1
+                    mismatches = compare_results(*results)
+                    if mismatches:
+                        failures.append(entry)
+                        print(
+                            f"FAIL corpus {path.name} policy={policy} "
+                            f"machine={mspec.label}: cores diverge on "
+                            f"{', '.join(mismatches)}",
+                            file=sys.stderr,
+                        )
+    label = ", ".join(m.label for m in machines)
+    print(f"fuzz: {checked} generated runs ({len(specs)} specs x "
+          f"{len(policies)} policies x {len(machines)} machines: {label})"
+          + (f", {replayed} corpus replays" if args.corpus else ""))
+    if failures:
+        print(f"fuzz: {len(failures)} FAILURES", file=sys.stderr)
+        return 1
+    print("fuzz: all runs bitwise-identical across cores, "
+          "energy decomposition closed")
+    return 0
+
+
 def cmd_battery(_args) -> int:
     from repro.battery.lifetime import idle_lifetime_hours
 
@@ -587,7 +679,8 @@ def build_parser() -> argparse.ArgumentParser:
     machine_opts.add_argument(
         "--machine", default="itsy", metavar="NAME[@V]",
         help="machine preset, optionally with a boot voltage "
-             "(itsy, itsy@1.23, itsy-stock, sa2; see list-machines)",
+             "(itsy, itsy@1.23, itsy-stock, sa2, itsy-reconf, sa2-reconf; "
+             "see list-machines)",
     )
 
     sub.add_parser("list-policies", help="list policy names").set_defaults(
@@ -601,7 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one workload under one policy",
         parents=[sweep_opts, machine_opts],
     )
-    run_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
+    run_parser.add_argument("workload", choices=CLI_WORKLOADS)
     run_parser.add_argument("--policy", default="best")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--duration", type=float, default=None,
@@ -625,7 +718,7 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="compare two policies on one workload (Welch t-test)",
         parents=[machine_opts],
     )
-    cmp_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
+    cmp_parser.add_argument("workload", choices=CLI_WORKLOADS)
     cmp_parser.add_argument("policy_a")
     cmp_parser.add_argument("policy_b")
     cmp_parser.add_argument("--runs", type=int, default=3)
@@ -636,7 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
         "ideal", help="find the cheapest feasible constant clock step",
         parents=[sweep_opts, machine_opts],
     )
-    ideal_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
+    ideal_parser.add_argument("workload", choices=CLI_WORKLOADS)
     ideal_parser.add_argument("--seed", type=int, default=0)
     ideal_parser.add_argument("--duration", type=float, default=None)
     ideal_parser.set_defaults(func=cmd_ideal)
@@ -646,7 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="export one traced run as Chrome trace-event JSON (Perfetto)",
         parents=[machine_opts],
     )
-    trace_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
+    trace_parser.add_argument("workload", choices=CLI_WORKLOADS)
     trace_parser.add_argument("--policy", default="best")
     trace_parser.add_argument("--seed", type=int, default=0)
     trace_parser.add_argument("--duration", type=float, default=None,
@@ -662,7 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[machine_opts],
     )
     diag_parser.add_argument("policy")
-    diag_parser.add_argument("workload", choices=["mpeg", "web", "chess", "editor"])
+    diag_parser.add_argument("workload", choices=CLI_WORKLOADS)
     diag_parser.add_argument("--seed", type=int, default=0)
     diag_parser.add_argument("--duration", type=float, default=None,
                              help="override trace length (seconds)")
@@ -682,6 +775,41 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("-o", "--output", default=None, metavar="PATH",
                                help="write the report here instead of stdout")
     report_parser.set_defaults(func=cmd_report)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differentially test both kernel cores on fuzzed workloads",
+    )
+    fuzz_parser.add_argument(
+        "--count", type=int, default=25, metavar="N",
+        help="generated scenarios per policy x machine combination",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed: the whole batch is a pure function of it",
+    )
+    fuzz_parser.add_argument(
+        "--duration", type=float, default=1.0,
+        help="seconds of simulated time per scenario",
+    )
+    fuzz_parser.add_argument(
+        "--machine", action="append", default=None, metavar="NAME[@V]",
+        help="machine preset to fuzz on; repeatable "
+             "(default: itsy and itsy-reconf)",
+    )
+    fuzz_parser.add_argument(
+        "--policy", action="append", default=None, metavar="NAME",
+        help="catalog policy to fuzz under; repeatable (default: best)",
+    )
+    fuzz_parser.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="also replay every stored corpus entry through both cores",
+    )
+    fuzz_parser.add_argument(
+        "--save-failures", default=None, metavar="DIR", dest="save_failures",
+        help="persist shrunk counterexamples here as corpus entries",
+    )
+    fuzz_parser.set_defaults(func=cmd_fuzz)
 
     # battery is analytic (no simulation), but accepts the sweep flags so
     # scripts can pass a uniform option set to every subcommand.

@@ -30,6 +30,13 @@ class Machine:
     def __init__(self, cpu: CpuModel, power: PowerModel):
         self.cpu = cpu
         self.power = power
+        #: Extra whole-system power (W) drawn during clock-change stall
+        #: windows, on top of the nap-state model power.  Zero on the
+        #: measured machines; the ``*-reconf`` presets set it to model the
+        #: PLL/regulator activity of a frequency change (Rottleuthner et
+        #: al. measure ms-scale, non-free reconfigurations on IoT-class
+        #: parts).  The kernel charges it in :meth:`Kernel.stall`.
+        self.reconf_extra_w: float = 0.0
 
     # -- convenience pass-throughs -------------------------------------------------
 

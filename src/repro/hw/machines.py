@@ -13,12 +13,18 @@ The named presets (also printed by ``python -m repro list-machines``):
   switchable to 1.23 V);
 - ``itsy-stock`` — an unmodified Itsy (1.5 V only);
 - ``sa2`` — the hypothetical StrongARM SA-2 of the introduction, with a
-  full per-step voltage schedule.
+  full per-step voltage schedule;
+- ``itsy-reconf`` / ``sa2-reconf`` — the same machines with *costly*
+  reconfiguration: clock changes stall longer and draw extra power, and
+  voltage drops sag for longer, after Rottleuthner et al.'s measurements
+  of non-free clock reconfiguration on constrained IoT parts.
 
 ``<name>@<volts>`` selects a boot voltage, e.g. ``itsy@1.23`` boots a
 modified Itsy already on the reduced rail (at the fastest clock step that
 is safe there).  Programmatic construction can further override the clock
-table, the low-voltage frequency bound, and power-model constants.
+table, the low-voltage frequency bound, power-model constants, and the
+per-transition reconfiguration costs (``clock_stall_us`` /
+``volt_settle_us`` / ``reconf_power_w``).
 """
 
 from __future__ import annotations
@@ -55,6 +61,11 @@ class MachineSpec:
         low_voltage_max_mhz: override of the Itsy 1.23 V frequency bound.
         power: power-model constant overrides as ``((field, value), ...)``
             pairs naming :class:`~repro.hw.power.PowerParameters` fields.
+        clock_stall_us: override of the per-clock-change stall duration.
+        volt_settle_us: override of the rail's downward settle (sag)
+            duration after a voltage drop.
+        reconf_power_w: extra power drawn during clock-change stall
+            windows (see :attr:`repro.hw.machine.Machine.reconf_extra_w`).
     """
 
     name: str = "itsy"
@@ -63,6 +74,9 @@ class MachineSpec:
     frequencies_mhz: Optional[Tuple[float, ...]] = None
     low_voltage_max_mhz: Optional[float] = None
     power: Optional[Tuple[Tuple[str, float], ...]] = None
+    clock_stall_us: Optional[float] = None
+    volt_settle_us: Optional[float] = None
+    reconf_power_w: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.frequencies_mhz is not None:
@@ -76,6 +90,10 @@ class MachineSpec:
                 else self.power
             )
             object.__setattr__(self, "power", tuple(tuple(p) for p in items))
+        for name in ("clock_stall_us", "volt_settle_us", "reconf_power_w"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
 
     @classmethod
     def parse(cls, text: str) -> "MachineSpec":
@@ -108,6 +126,9 @@ class MachineSpec:
             or self.frequencies_mhz is not None
             or self.low_voltage_max_mhz is not None
             or self.power
+            or self.clock_stall_us is not None
+            or self.volt_settle_us is not None
+            or self.reconf_power_w is not None
         ):
             text += "*"
         return text
@@ -142,6 +163,15 @@ class MachineSpec:
             machine.power = PowerModel(
                 self.power_parameters(machine.power.params)
             )
+        # Reconfiguration-cost overrides are applied after the preset
+        # builder, so an explicit spec value wins over a preset's family
+        # default (the *-reconf builders set all three).
+        if self.clock_stall_us is not None:
+            machine.cpu.clock_change_stall_us = self.clock_stall_us
+        if self.volt_settle_us is not None:
+            machine.cpu.rail.down_settle_us = self.volt_settle_us
+        if self.reconf_power_w is not None:
+            machine.reconf_extra_w = self.reconf_power_w
         return machine
 
     # A spec is directly usable wherever a zero-argument machine factory
@@ -221,6 +251,32 @@ def _build_sa2(spec: MachineSpec) -> Machine:
         raise ValueError(str(exc)) from None
 
 
+#: Family defaults of the ``*-reconf`` presets: a frequency change costs a
+#: millisecond-scale PLL/relock stall that additionally draws regulator
+#: power, and a voltage drop sags for longer before settling — the
+#: constrained-IoT reconfiguration regime of Rottleuthner et al., scaled
+#: to the 10 ms quantum of this simulator.  ``MachineSpec`` fields
+#: override any of them (``MachineSpec("itsy-reconf", reconf_power_w=0)``).
+RECONF_CLOCK_STALL_US = 1_000.0
+RECONF_VOLT_SETTLE_US = 500.0
+RECONF_POWER_W = 0.12
+
+
+def _with_reconf_costs(machine: Machine) -> Machine:
+    machine.cpu.clock_change_stall_us = RECONF_CLOCK_STALL_US
+    machine.cpu.rail.down_settle_us = RECONF_VOLT_SETTLE_US
+    machine.reconf_extra_w = RECONF_POWER_W
+    return machine
+
+
+def _build_itsy_reconf(spec: MachineSpec) -> Machine:
+    return _with_reconf_costs(_build_itsy(spec))
+
+
+def _build_sa2_reconf(spec: MachineSpec) -> Machine:
+    return _with_reconf_costs(_build_sa2(spec))
+
+
 #: Machine presets by stable name.  Names are part of the sweep cache-key
 #: schema: renaming one invalidates cached results built through it.
 MACHINE_PRESETS: Dict[str, MachinePreset] = {}
@@ -258,6 +314,28 @@ register_machine(
         description=(
             "hypothetical StrongARM SA-2: 150-600 MHz, "
             "per-step voltage schedule 1.018-1.8 V"
+        ),
+    )
+)
+register_machine(
+    MachinePreset(
+        name="itsy-reconf",
+        builder=_build_itsy_reconf,
+        clock_table=SA1100_CLOCK_TABLE,
+        description=(
+            "modified Itsy with costly reconfiguration: 1 ms clock-change "
+            "stall at +0.12 W, 500 us voltage sag"
+        ),
+    )
+)
+register_machine(
+    MachinePreset(
+        name="sa2-reconf",
+        builder=_build_sa2_reconf,
+        clock_table=SA2_CLOCK_TABLE,
+        description=(
+            "SA-2 with costly reconfiguration: 1 ms clock-change "
+            "stall at +0.12 W, 500 us voltage sag"
         ),
     )
 )

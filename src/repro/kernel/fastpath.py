@@ -192,12 +192,21 @@ class FastKernel(Kernel):
 
     # -- cold-path power recording (rail sag, DVFS stalls) ----------------------------
 
-    def _record_power(self, state: CoreState, start_us: float, end_us: float) -> None:
+    def _record_power(
+        self,
+        state: CoreState,
+        start_us: float,
+        end_us: float,
+        extra_w: float = 0.0,
+    ) -> None:
         # Same gate, sag split and watt lookups as the reference kernel's
         # _record_power; segments land in the flat emit closure.  Watts
         # are a pure function of (step, volts, core state), so the model
         # evaluations are cached -- DVFS stalls and sag windows hit this
-        # path ~1000 times per run under a busy interval policy.
+        # path ~1000 times per run under a busy interval policy.  The
+        # extra_w term (reconfiguration power during stalls) is added
+        # after the cache lookup with the same base + extra arithmetic as
+        # the reference kernel, keeping the cores bitwise equal.
         if end_us <= start_us + _EPS:
             return
         emit = self._fp_emit
@@ -214,6 +223,8 @@ class FastKernel(Kernel):
             if watts is None:
                 watts = machine.power.total_w(machine.step, dvfs.sag_volts, state)
                 pw[key] = watts
+            if extra_w:
+                watts = watts + extra_w
             emit(start_us, split, watts)
             if end_us <= split + _EPS:
                 return
@@ -223,6 +234,8 @@ class FastKernel(Kernel):
         if watts is None:
             watts = machine.power_w(state)
             pw[key] = watts
+        if extra_w:
+            watts = watts + extra_w
         emit(start_us, end_us, watts)
 
     def emit_freq_change(self, change: FreqChange) -> None:

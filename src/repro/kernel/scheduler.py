@@ -293,8 +293,14 @@ class Kernel:
 
     def stall(self, duration_us: float) -> None:
         """The processor cannot execute for ``duration_us`` (clock switch);
-        the time is charged as busy and drawn at nap power."""
-        self._record_power(CoreState.NAP, self._now, self._now + duration_us)
+        the time is charged as busy and drawn at nap power, plus the
+        machine's reconfiguration power if it models one."""
+        self._record_power(
+            CoreState.NAP,
+            self._now,
+            self._now + duration_us,
+            extra_w=self.machine.reconf_extra_w,
+        )
         self._busy_us += duration_us
         self._now += duration_us
 
@@ -571,9 +577,16 @@ class Kernel:
 
     # -- power recording -----------------------------------------------------------------
 
-    def _record_power(self, state: CoreState, start_us: float, end_us: float) -> None:
+    def _record_power(
+        self,
+        state: CoreState,
+        start_us: float,
+        end_us: float,
+        extra_w: float = 0.0,
+    ) -> None:
         """Fan machine power over [start, end] to the recorders, honouring
-        the DVFS engine's rail-sag window."""
+        the DVFS engine's rail-sag window.  ``extra_w`` adds a flat power
+        term on top of the model (reconfiguration cost during stalls)."""
         if end_us <= start_us + _EPS:
             return
         if not self._power_sinks:
@@ -584,11 +597,15 @@ class Kernel:
             watts = machine.power.total_w(
                 machine.step, self.dvfs.sag_volts, state
             )
+            if extra_w:
+                watts = watts + extra_w
             for sink in self._power_sinks:
                 sink(start_us, split, watts)
             if end_us <= split + _EPS:
                 return
             start_us = split
         watts = machine.power_w(state)
+        if extra_w:
+            watts = watts + extra_w
         for sink in self._power_sinks:
             sink(start_us, end_us, watts)

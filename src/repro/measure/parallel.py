@@ -77,14 +77,18 @@ from repro.measure.stats import ConfidenceInterval, confidence_interval
 from repro.workloads.base import Workload
 from repro.workloads.chess import ChessConfig, chess_workload
 from repro.workloads.editor import EditorConfig, editor_workload
+from repro.workloads.fuzz import FuzzSpec, fuzz_workload
 from repro.workloads.mpeg import MpegConfig, mpeg_workload
+from repro.workloads.replay import ReplayConfig, replay_config_workload
 from repro.workloads.web import WebConfig, web_workload
 
 #: Bump when the simulator's observable numbers change (kernel model,
 #: power model, workload calibration, or the :class:`CellResult` schema):
 #: every cached result keyed under the old version is then ignored.
 #: Version 2 added the machine axis to the key.
-CACHE_SCHEMA_VERSION = 2
+#: Version 3 added the fuzz/replay workload axes and the machine
+#: reconfiguration-cost fields (which change every machine digest).
+CACHE_SCHEMA_VERSION = 3
 
 #: Workload builders by CLI name.  Each entry is ``(builder, config_type)``
 #: where ``builder(config)`` returns a :class:`Workload`.
@@ -93,6 +97,8 @@ WORKLOAD_BUILDERS: Dict[str, Tuple[Callable[..., Workload], type]] = {
     "web": (web_workload, WebConfig),
     "chess": (chess_workload, ChessConfig),
     "editor": (editor_workload, EditorConfig),
+    "fuzz": (fuzz_workload, FuzzSpec),
+    "replay": (replay_config_workload, ReplayConfig),
 }
 
 
@@ -119,7 +125,8 @@ class WorkloadSpec:
     """A workload named by value: picklable and stably digestible.
 
     Attributes:
-        name: key into :data:`WORKLOAD_BUILDERS` (mpeg/web/chess/editor).
+        name: key into :data:`WORKLOAD_BUILDERS`
+            (mpeg/web/chess/editor/fuzz/replay).
         config: workload config dataclass, or None for the default.  A
             ``None`` config digests identically to an explicitly passed
             default-constructed config.
@@ -694,11 +701,17 @@ class SweepStats:
         executed: simulations actually run (unique cells, deduplicated).
         cache_hits: unique cells answered from the cache.
         wall_s: wall-clock time spent inside :meth:`SweepEngine.run`.
+        fastpath_fallbacks: cells that asked for the fast-path core but
+            ran on the reference kernel because observability recorders
+            (``metrics``) were attached — the fast core has no pluggable
+            recorder hooks.  Results are still bitwise-identical; only
+            the speed advantage is lost.
     """
 
     executed: int = 0
     cache_hits: int = 0
     wall_s: float = 0.0
+    fastpath_fallbacks: int = 0
 
     @property
     def total(self) -> int:
@@ -712,10 +725,16 @@ class SweepStats:
 
     def summary(self) -> str:
         """The one-line accounting every sweep CLI command prints."""
-        return (
+        text = (
             f"sweep: {self.executed} simulated, {self.cache_hits} cached, "
             f"{self.wall_s:.1f} s, {self.cells_per_s:.1f} cells/s"
         )
+        if self.fastpath_fallbacks:
+            text += (
+                f" ({self.fastpath_fallbacks} fastpath cells ran on the "
+                f"reference kernel: recorders attached)"
+            )
+        return text
 
 
 class SweepEngine:
@@ -972,6 +991,13 @@ class SweepEngine:
                     if self.diagnosis_log is not None:
                         self.diagnosis_log.write(diagnosis)
             self.stats.executed += len(todo)
+            if with_metrics:
+                # Metrics attach a recorder to every executed cell, which
+                # forces fast-path cells onto the reference kernel (see
+                # run_workload); make that visible instead of silent.
+                self.stats.fastpath_fallbacks += sum(
+                    1 for _, cell in todo if cell.fastpath
+                )
 
         return [results[key] for key in keys]
 

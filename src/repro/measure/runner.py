@@ -14,6 +14,7 @@ jitter).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Union
 
@@ -42,6 +43,30 @@ GovernorFactory = Callable[[], Governor]
 #: Anything that yields a fresh machine per run: a zero-argument callable
 #: or a (callable) :class:`~repro.hw.machines.MachineSpec`.
 MachineFactory = Callable[[], Machine]
+
+#: Set once the fast-path → reference fallback has been mentioned on
+#: stderr, so a sweep attaching recorders to thousands of cells produces
+#: one note, not thousands.  Tests reset it via
+#: :func:`reset_fastpath_fallback_note`.
+_fastpath_fallback_noted = False
+
+
+def reset_fastpath_fallback_note() -> None:
+    """Re-arm the one-shot fast-path fallback note (for tests)."""
+    global _fastpath_fallback_noted
+    _fastpath_fallback_noted = False
+
+
+def _note_fastpath_fallback() -> None:
+    global _fastpath_fallback_noted
+    if not _fastpath_fallback_noted:
+        _fastpath_fallback_noted = True
+        print(
+            "note: falling back to the reference kernel: the fast-path "
+            "core has no pluggable recorder hooks, and extra recorders "
+            "(e.g. --metrics observability) are attached",
+            file=sys.stderr,
+        )
 
 
 def default_machine() -> ItsyMachine:
@@ -129,9 +154,11 @@ def run_workload(
             bitwise-identical with or without them.
         fastpath: run on the fast-path core
             (:class:`~repro.kernel.fastpath.FastKernel`) — bitwise-equal
-            results, several times faster.  Ignored (reference kernel is
-            used) when ``extra_recorders`` are attached, since the fast
-            core has no pluggable recorder hooks.
+            results, several times faster.  When ``extra_recorders`` are
+            attached the reference kernel is used instead (the fast core
+            has no pluggable recorder hooks); the fallback is announced
+            once per process on stderr, and sweeps count affected cells
+            in ``SweepStats.fastpath_fallbacks``.
     """
     if use_daq and recording != RECORDING_FULL:
         raise ValueError(
@@ -149,6 +176,8 @@ def run_workload(
             recording=recording,
         )
     else:
+        if fastpath:
+            _note_fastpath_fallback()
         recorders = recorders_for(recording, kernel_config)
         if extra_recorders is not None:
             recorders.extend(extra_recorders)

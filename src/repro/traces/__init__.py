@@ -3,7 +3,8 @@
 Everything the instrumented Itsy of the paper logs -- scheduling decisions,
 per-quantum utilization, clock/voltage changes, application events, and the
 power signal -- is represented here as plain record types, with CSV/JSON
-round-trip in :mod:`repro.traces.io`.
+round-trip in :mod:`repro.traces.io` and a content-addressed, replayable
+trace corpus in :mod:`repro.traces.corpus`.
 """
 
 from repro.traces.schema import (
@@ -15,11 +16,38 @@ from repro.traces.schema import (
     VoltChange,
 )
 
+#: Corpus names re-exported lazily: :mod:`repro.traces.corpus` imports the
+#: kernel (for :class:`~repro.kernel.scheduler.KernelRun`), and the kernel
+#: imports :mod:`repro.traces.schema` — an eager import here would close
+#: that cycle while the kernel package is still initializing.
+_CORPUS_EXPORTS = (
+    "CorpusEntry",
+    "entry_digest",
+    "entry_from_run",
+    "load_corpus",
+    "load_entry",
+    "save_entry",
+)
+
+
+def __getattr__(name: str):
+    if name in _CORPUS_EXPORTS:
+        from repro.traces import corpus
+
+        return getattr(corpus, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AppEvent",
+    "CorpusEntry",
     "FreqChange",
     "PowerTimeline",
     "QuantumRecord",
     "SchedDecision",
     "VoltChange",
+    "entry_digest",
+    "entry_from_run",
+    "load_corpus",
+    "load_entry",
+    "save_entry",
 ]

@@ -32,20 +32,31 @@ def save_quanta_csv(path: PathLike, quanta: Sequence[QuantumRecord]) -> None:
 
 
 def load_quanta_csv(path: PathLike) -> List[QuantumRecord]:
-    """Read per-quantum records written by :func:`save_quanta_csv`."""
+    """Read per-quantum records written by :func:`save_quanta_csv`.
+
+    Raises:
+        ValueError: if quantum end timestamps are not strictly
+            increasing — a scrambled or hand-edited file would otherwise
+            replay as a nonsense schedule.
+    """
     out: List[QuantumRecord] = []
     with open(path, newline="") as f:
-        for row in csv.DictReader(f):
-            out.append(
-                QuantumRecord(
-                    end_us=float(row["end_us"]),
-                    busy_us=float(row["busy_us"]),
-                    quantum_us=float(row["quantum_us"]),
-                    step_index=int(row["step_index"]),
-                    mhz=float(row["mhz"]),
-                    volts=float(row["volts"]),
-                )
+        for i, row in enumerate(csv.DictReader(f)):
+            record = QuantumRecord(
+                end_us=float(row["end_us"]),
+                busy_us=float(row["busy_us"]),
+                quantum_us=float(row["quantum_us"]),
+                step_index=int(row["step_index"]),
+                mhz=float(row["mhz"]),
+                volts=float(row["volts"]),
             )
+            if out and record.end_us <= out[-1].end_us:
+                raise ValueError(
+                    f"{path}: quantum timestamps must increase "
+                    f"monotonically (row {i}: end_us {record.end_us!r} "
+                    f"after {out[-1].end_us!r})"
+                )
+            out.append(record)
     return out
 
 

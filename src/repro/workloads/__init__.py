@@ -7,19 +7,23 @@ replay timestamped input-event traces with millisecond accuracy
 (:mod:`repro.workloads.events`); MPEG is untraced, as in the paper.
 
 :mod:`repro.workloads.synthetic` adds the idealized signals of the
-stability analysis (§5.3).
+stability analysis (§5.3), and :mod:`repro.workloads.fuzz` generates
+seeded scenario families beyond the hand-written four.
 """
 
 from repro.workloads.base import Workload, WorkProfile, combine_workloads
 from repro.workloads.chess import ChessConfig, chess_workload, setup_chess
 from repro.workloads.editor import EditorConfig, editor_workload, setup_editor
 from repro.workloads.events import InputEvent, InputTrace
+from repro.workloads.fuzz import FuzzSpec, fuzz_family, fuzz_workload
 from repro.workloads.java import JavaConfig, spawn_jvm_poller
 from repro.workloads.mpeg import MpegConfig, mpeg_workload, setup_mpeg
 from repro.workloads.replay import (
     RecordedQuantum,
+    ReplayConfig,
     ReplayMode,
     record_from_run,
+    replay_config_workload,
     replay_workload,
 )
 from repro.workloads.web import WebConfig, setup_web, web_workload
@@ -33,11 +37,13 @@ def all_workloads() -> "list[Workload]":
 __all__ = [
     "ChessConfig",
     "EditorConfig",
+    "FuzzSpec",
     "InputEvent",
     "InputTrace",
     "JavaConfig",
     "MpegConfig",
     "RecordedQuantum",
+    "ReplayConfig",
     "ReplayMode",
     "WebConfig",
     "Workload",
@@ -46,8 +52,11 @@ __all__ = [
     "chess_workload",
     "combine_workloads",
     "editor_workload",
+    "fuzz_family",
+    "fuzz_workload",
     "mpeg_workload",
     "record_from_run",
+    "replay_config_workload",
     "replay_workload",
     "setup_chess",
     "setup_editor",

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Generator, List, Sequence
+from typing import Generator, List, Optional, Sequence, Tuple
 
 from repro.hw.work import Work
 from repro.kernel.process import Action, Compute, ProcessContext, SleepUntil, SpinUntil
@@ -78,7 +78,9 @@ def record_from_quanta(quanta: Sequence[QuantumRecord]) -> List[RecordedQuantum]
     ]
 
 
-def replay_body(trace: Sequence[RecordedQuantum], mode: ReplayMode):
+def replay_body(
+    trace: Sequence[RecordedQuantum], mode: ReplayMode, name: str = "replay"
+):
     """A process body replaying a recorded trace in the given mode.
 
     TIME mode busy-waits each quantum's recorded busy time inside its
@@ -86,10 +88,23 @@ def replay_body(trace: Sequence[RecordedQuantum], mode: ReplayMode):
     recorded cycles as :class:`~repro.hw.work.Work` with the end of the
     recorded quantum as the deadline; unfinished work delays subsequent
     quanta, as on a real machine.  Both emit a ``replay_quantum`` event
-    per recorded quantum with that deadline.
+    per recorded quantum with that deadline.  ``name`` labels the trace in
+    error messages.
+
+    Raises:
+        ValueError: for an empty trace or a non-positive quantum length,
+            naming the trace and the offending quantum.
     """
     if not trace:
-        raise ValueError("empty replay trace")
+        raise ValueError(
+            f"empty replay trace {name!r}: nothing to replay (0 quanta)"
+        )
+    for i, rec in enumerate(trace):
+        if rec.quantum_us <= 0:
+            raise ValueError(
+                f"replay trace {name!r}: quantum {i} of {len(trace)} has "
+                f"non-positive length {rec.quantum_us!r} us"
+            )
 
     # precomputed window ends relative to the start time
     offsets = []
@@ -135,11 +150,86 @@ def replay_workload(
 
     def setup(kernel: Kernel, seed: int) -> None:
         del seed  # replay is deterministic by construction
-        kernel.spawn(name, replay_body(trace, mode))
+        kernel.spawn(name, replay_body(trace, mode, name=name))
 
     return Workload(
         name=f"{name}-{mode.value}",
         duration_s=duration_s,
         tolerance_us=tolerance_us,
         setup=setup,
+    )
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """A replay workload named entirely by value: the sweep-axis form.
+
+    Where :func:`replay_workload` takes live :class:`RecordedQuantum`
+    objects, this config carries the trace as plain number tuples, so it
+    pickles to worker processes and digests stably into sweep cache keys
+    — corpus entries (:mod:`repro.traces.corpus`) convert to it to run as
+    :class:`~repro.measure.parallel.SweepCell` workloads under the
+    registered name ``"replay"``.
+
+    Attributes:
+        quanta: the trace as ``(busy_us, mhz, quantum_us)`` triples.
+        mode: replay mode value, ``"time"`` or ``"work"``.
+        name: trace label (part of the workload name, not of replay
+            semantics).
+        tolerance_us: per-deadline perceptibility tolerance.
+        duration_s: accepted for uniformity with other workload configs
+            (CLI ``--duration``); replay length comes from the trace, so
+            any value given here must be None.
+    """
+
+    quanta: Tuple[Tuple[float, float, float], ...] = ()
+    mode: str = "work"
+    name: str = "replay"
+    tolerance_us: float = 10_000.0
+    duration_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "quanta", tuple(tuple(q) for q in self.quanta)
+        )
+        ReplayMode(self.mode)  # unknown modes raise here
+        if self.duration_s is not None:
+            raise ValueError(
+                "replay duration comes from the trace; --duration does not apply"
+            )
+
+    def trace(self) -> List[RecordedQuantum]:
+        """The live trace this config names."""
+        return [
+            RecordedQuantum(busy_us=b, mhz=m, quantum_us=q)
+            for b, m, q in self.quanta
+        ]
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Sequence[RecordedQuantum],
+        mode: ReplayMode = ReplayMode.WORK,
+        name: str = "replay",
+        tolerance_us: float = 10_000.0,
+    ) -> "ReplayConfig":
+        """Value-form of a live trace."""
+        return cls(
+            quanta=tuple(
+                (rec.busy_us, rec.mhz, rec.quantum_us) for rec in trace
+            ),
+            mode=mode.value,
+            name=name,
+            tolerance_us=tolerance_us,
+        )
+
+
+def replay_config_workload(config: Optional[ReplayConfig] = None) -> Workload:
+    """Builder for the registered ``"replay"`` sweep workload."""
+    cfg = config if config is not None else ReplayConfig()
+    return replay_workload(
+        cfg.trace(),
+        ReplayMode(cfg.mode),
+        name=cfg.name,
+        tolerance_us=cfg.tolerance_us,
     )

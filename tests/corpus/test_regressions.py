@@ -1,0 +1,56 @@
+"""Replay every committed corpus entry as a permanent regression test.
+
+Each ``*.json`` file in this directory is a content-addressed trace
+captured from a fuzzed run (see ``repro.traces.corpus``).  Counterexample
+traces shrunk by ``repro fuzz --save-failures`` land here too: dropping a
+file into this directory is all it takes to pin a bug forever.  Every
+entry must load (digest intact), replay bitwise-identically on the
+reference and fast-path kernels, and keep a closed energy decomposition.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.catalog import resolve_policy
+from repro.measure.differential import (
+    RESIDUAL_TOLERANCE_J,
+    compare_results,
+)
+from repro.measure.runner import default_machine, run_workload
+from repro.obs.diagnose import energy_decomposition
+from repro.traces.corpus import load_corpus, load_entry
+
+CORPUS_DIR = Path(__file__).parent
+ENTRY_PATHS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def entry_ids():
+    return [load_entry(p).name for p in ENTRY_PATHS]
+
+
+def test_corpus_is_not_empty():
+    assert ENTRY_PATHS, "the committed regression corpus lost its entries"
+
+
+def test_load_corpus_collects_every_file():
+    loaded = load_corpus(CORPUS_DIR)
+    assert [p for p, _ in loaded] == ENTRY_PATHS
+
+
+@pytest.mark.parametrize("path", ENTRY_PATHS, ids=entry_ids())
+def test_entry_replays_bitwise_identically(path):
+    entry = load_entry(path)
+    gov = resolve_policy("best")
+    ref = run_workload(entry.workload(), gov, use_daq=False)
+    fast = run_workload(entry.workload(), gov, use_daq=False, fastpath=True)
+    assert compare_results(ref, fast) == [], entry.name
+
+
+@pytest.mark.parametrize("path", ENTRY_PATHS, ids=entry_ids())
+def test_entry_energy_decomposition_closes(path):
+    entry = load_entry(path)
+    res = run_workload(entry.workload(), resolve_policy("best"), use_daq=False)
+    decomp = energy_decomposition(res.run, default_machine(), baseline_j=None)
+    residual = abs(decomp.measured_j - decomp.components_sum_j())
+    assert residual <= RESIDUAL_TOLERANCE_J, entry.name

@@ -126,3 +126,84 @@ class TestSpecProperties:
             assert MachineSpec(name="test-only").build().step.mhz == 206.4
         finally:
             del MACHINE_PRESETS["test-only"]
+
+
+class TestReconfPresets:
+    """The *-reconf family: frequency/voltage changes that cost something."""
+
+    def test_registered(self):
+        assert {"itsy-reconf", "sa2-reconf"} <= set(MACHINE_PRESETS)
+
+    @pytest.mark.parametrize("name,base_type", [
+        ("itsy-reconf", ItsyMachine), ("sa2-reconf", Sa2Machine),
+    ])
+    def test_build_sets_costs(self, name, base_type):
+        from repro.hw.machines import (
+            RECONF_CLOCK_STALL_US,
+            RECONF_POWER_W,
+            RECONF_VOLT_SETTLE_US,
+        )
+
+        machine = MachineSpec(name=name).build()
+        assert isinstance(machine, base_type)
+        assert machine.cpu.clock_change_stall_us == RECONF_CLOCK_STALL_US
+        assert machine.cpu.rail.down_settle_us == RECONF_VOLT_SETTLE_US
+        assert machine.reconf_extra_w == RECONF_POWER_W
+
+    def test_measured_machines_have_zero_extra_power(self):
+        for name in ("itsy", "itsy-stock", "sa2"):
+            assert MachineSpec(name=name).build().reconf_extra_w == 0.0
+
+    def test_explicit_fields_override_preset_defaults(self):
+        spec = MachineSpec(
+            name="itsy-reconf", clock_stall_us=2500.0, reconf_power_w=0.5
+        )
+        machine = spec.build()
+        assert machine.cpu.clock_change_stall_us == 2500.0
+        assert machine.reconf_extra_w == 0.5
+        # untouched field keeps the family default
+        assert machine.cpu.rail.down_settle_us == 500.0
+
+    def test_costs_apply_to_any_preset(self):
+        machine = MachineSpec(name="itsy", reconf_power_w=0.2).build()
+        assert machine.reconf_extra_w == 0.2
+
+    @pytest.mark.parametrize(
+        "field", ["clock_stall_us", "volt_settle_us", "reconf_power_w"]
+    )
+    def test_negative_costs_rejected(self, field):
+        with pytest.raises(ValueError, match="non-negative"):
+            MachineSpec(**{field: -1.0})
+
+    def test_override_marks_label(self):
+        assert MachineSpec(name="itsy-reconf").label == "itsy-reconf"
+        assert MachineSpec(name="itsy", reconf_power_w=0.2).label == "itsy*"
+
+    def test_reconf_cells_get_distinct_cache_keys(self):
+        from repro.measure.parallel import PolicySpec, SweepCell, cache_key
+        from repro.measure.parallel import WorkloadSpec as SweepWorkloadSpec
+
+        def key(machine):
+            return cache_key(SweepCell(
+                workload=SweepWorkloadSpec("mpeg"),
+                policy=PolicySpec("best"),
+                machine=MachineSpec(name=machine),
+            ))
+
+        assert key("itsy") != key("itsy-reconf")
+        assert key("sa2") != key("sa2-reconf")
+
+    def test_reconf_run_costs_more_energy(self):
+        from repro.core.catalog import resolve_policy
+        from repro.measure.runner import run_workload
+        from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+        def energy(machine):
+            return run_workload(
+                mpeg_workload(MpegConfig(duration_s=2.0)),
+                resolve_policy("best"),
+                machine_factory=MachineSpec(name=machine),
+                use_daq=False,
+            ).exact_energy_j
+
+        assert energy("itsy-reconf") > energy("itsy")

@@ -31,7 +31,7 @@ from repro.workloads.web import WebConfig, web_workload
 
 DURATION_S = 2.0
 
-MACHINES = ["itsy", "itsy-stock", "sa2", "itsy@1.23"]
+MACHINES = ["itsy", "itsy-stock", "sa2", "itsy@1.23", "itsy-reconf"]
 
 #: Every policy family in the catalog grammar.  ``const-min``/``const-max``
 #: are placeholders resolved against each machine's own clock table.

@@ -94,9 +94,13 @@ other           : cycleavg (Figure 5), synth (synthesized deadlines)
 LIST_MACHINES_SNAPSHOT = """\
 itsy        : WRL-modified Itsy (SA-1100): 59.0-206.4 MHz, 1.5 V core switchable to 1.23 V
               steps: 59.0, 73.7, 88.5, 103.2, 118.0, 132.7, 147.5, 162.2, 176.9, 191.7, 206.4
+itsy-reconf : modified Itsy with costly reconfiguration: 1 ms clock-change stall at +0.12 W, 500 us voltage sag
+              steps: 59.0, 73.7, 88.5, 103.2, 118.0, 132.7, 147.5, 162.2, 176.9, 191.7, 206.4
 itsy-stock  : unmodified Itsy (SA-1100): 59.0-206.4 MHz, 1.5 V core only
               steps: 59.0, 73.7, 88.5, 103.2, 118.0, 132.7, 147.5, 162.2, 176.9, 191.7, 206.4
 sa2         : hypothetical StrongARM SA-2: 150-600 MHz, per-step voltage schedule 1.018-1.8 V
+              steps: 150.0, 195.0, 240.0, 285.0, 330.0, 375.0, 420.0, 465.0, 510.0, 555.0, 600.0
+sa2-reconf  : SA-2 with costly reconfiguration: 1 ms clock-change stall at +0.12 W, 500 us voltage sag
               steps: 150.0, 195.0, 240.0, 285.0, 330.0, 375.0, 420.0, 465.0, 510.0, 555.0, 600.0
   (append @<volts> for a boot voltage, e.g. itsy@1.23)
 """
@@ -494,3 +498,59 @@ class TestDiagnosesSweepFlag:
         [diagnosis] = read_diagnoses(diag)
         assert diagnosis.policy == "best"
         assert diagnosis.energy.baseline_feasible
+
+
+class TestFuzzCommand:
+    """The differential fuzz driver: ``repro fuzz``."""
+
+    def test_batch_passes_and_reports_shape(self, capsys):
+        code = main(["fuzz", "--count", "2", "--duration", "0.4",
+                     "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 generated runs" in out  # 2 specs x 1 policy x 2 machines
+        assert "itsy, itsy-reconf" in out
+        assert "bitwise-identical" in out
+
+    def test_machine_and_policy_repeatable(self, capsys):
+        code = main(["fuzz", "--count", "1", "--duration", "0.4",
+                     "--machine", "sa2", "--machine", "sa2-reconf",
+                     "--policy", "best", "--policy", "past-peg"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 generated runs" in out  # 1 spec x 2 policies x 2 machines
+        assert "sa2, sa2-reconf" in out
+
+    def test_corpus_replay(self, capsys, tmp_path):
+        from repro.hw.machines import MachineSpec
+        from repro.measure.differential import (
+            check_fuzz_spec, counterexample_entry,
+        )
+        from repro.traces.corpus import save_entry
+        from repro.workloads.fuzz import FuzzSpec
+
+        outcome = check_fuzz_spec(
+            FuzzSpec(seed=9, duration_s=0.4), "best", MachineSpec("itsy")
+        )
+        save_entry(tmp_path, counterexample_entry(outcome))
+        code = main(["fuzz", "--count", "1", "--duration", "0.4",
+                     "--machine", "itsy", "--corpus", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 corpus replays" in out
+
+    def test_deterministic_output(self, capsys):
+        argv = ["fuzz", "--count", "2", "--duration", "0.4", "--seed", "5",
+                "--machine", "itsy"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_fuzz_workload_in_run_command(self, capsys):
+        code = main(["run", "fuzz", "--policy", "best", "--duration", "0.5",
+                     "--no-daq", "--machine", "itsy-reconf"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # fuzzed deadlines may genuinely miss
+        assert "machine         : itsy-reconf" in out
+        assert "energy          :" in out

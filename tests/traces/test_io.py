@@ -40,6 +40,18 @@ class TestQuantaCsv:
         save_quanta_csv(path, [])
         assert load_quanta_csv(path) == []
 
+    def test_scrambled_timestamps_rejected(self, short_run, tmp_path):
+        path = tmp_path / "scrambled.csv"
+        save_quanta_csv(path, list(reversed(short_run.quanta)))
+        with pytest.raises(ValueError, match="monotonically"):
+            load_quanta_csv(path)
+
+    def test_duplicate_timestamps_rejected(self, short_run, tmp_path):
+        path = tmp_path / "dup.csv"
+        save_quanta_csv(path, [short_run.quanta[0], short_run.quanta[0]])
+        with pytest.raises(ValueError, match="row 1"):
+            load_quanta_csv(path)
+
 
 class TestEventsCsv:
     def test_round_trip(self, short_run, tmp_path):

@@ -1,0 +1,174 @@
+"""Tests for the generative workload fuzzer (FuzzSpec and friends)."""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.core.catalog import resolve_policy
+from repro.hw.machines import MachineSpec
+from repro.measure.parallel import (
+    PolicySpec,
+    ResultCache,
+    SweepCell,
+    SweepEngine,
+    WorkloadSpec,
+    cache_key,
+)
+from repro.measure.runner import run_workload
+from repro.workloads.fuzz import FuzzSpec, fuzz_family, fuzz_plan, fuzz_workload
+
+
+def run_spec(spec, policy="best", machine="itsy", seed=0, fastpath=False):
+    mspec = MachineSpec.parse(machine)
+    return run_workload(
+        fuzz_workload(spec),
+        resolve_policy(policy, clock_table=mspec.clock_table()),
+        machine_factory=mspec,
+        seed=seed,
+        use_daq=False,
+        fastpath=fastpath,
+    )
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        FuzzSpec()
+
+    @pytest.mark.parametrize("field,value", [
+        ("duration_s", 0.0),
+        ("duration_s", -1.0),
+        ("phases", 0),
+        ("processes", 0),
+        ("periodicity_ms", 0.0),
+        ("tolerance_us", -1.0),
+        ("burstiness", 1.5),
+        ("ramp", -0.1),
+        ("idle_storm", 2.0),
+        ("deadline_tightness", -0.5),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            FuzzSpec(**{field: value})
+
+    def test_hashable_and_picklable(self):
+        spec = FuzzSpec(seed=9, burstiness=0.7)
+        assert hash(spec) == hash(FuzzSpec(seed=9, burstiness=0.7))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestDeterminism:
+    def test_plans_are_pure_functions_of_seeds(self):
+        spec = FuzzSpec(seed=5, processes=2)
+        assert fuzz_plan(spec, seed=3) == fuzz_plan(spec, seed=3)
+
+    def test_run_seed_changes_plan(self):
+        spec = FuzzSpec(seed=5)
+        assert fuzz_plan(spec, seed=0) != fuzz_plan(spec, seed=1)
+
+    def test_spec_seed_changes_plan(self):
+        assert fuzz_plan(FuzzSpec(seed=1)) != fuzz_plan(FuzzSpec(seed=2))
+
+    def test_processes_get_distinct_streams(self):
+        plans = fuzz_plan(FuzzSpec(seed=5, processes=2))
+        assert plans[0] != plans[1]
+
+    def test_repeated_runs_bitwise_identical(self):
+        spec = FuzzSpec(seed=13, duration_s=0.5)
+        a = run_spec(spec)
+        b = run_spec(spec)
+        assert a.exact_energy_j == b.exact_energy_j
+        assert a.run.quanta == b.run.quanta
+        assert a.run.events == b.run.events
+
+    def test_different_seeds_diverge(self):
+        a = run_spec(FuzzSpec(seed=1, duration_s=0.5))
+        b = run_spec(FuzzSpec(seed=2, duration_s=0.5))
+        assert a.exact_energy_j != b.exact_energy_j
+
+
+class TestWorkloadShape:
+    def test_duration_honoured(self):
+        spec = FuzzSpec(seed=3, duration_s=0.8)
+        res = run_spec(spec)
+        assert res.run.duration_us == pytest.approx(0.8e6)
+
+    def test_emits_deadline_events(self):
+        res = run_spec(FuzzSpec(seed=3, duration_s=1.0))
+        kinds = {e.kind for e in res.run.events}
+        assert "fuzz_job" in kinds
+
+    def test_idle_storm_only_spec_runs_no_jobs(self):
+        # idle_storm=1.0 turns every phase into pure sleep: no jobs, no
+        # deadline events, and only the kernel's own per-quantum tick
+        # overhead (a few us) shows up as busy time.
+        spec = FuzzSpec(seed=0, duration_s=0.5, idle_storm=1.0)
+        res = run_spec(spec, policy="const-206.4")
+        assert not any(e.kind == "fuzz_job" for e in res.run.events)
+        assert res.run.mean_utilization() < 0.001
+
+    def test_multi_process_spawns_all(self):
+        spec = FuzzSpec(seed=4, duration_s=0.5, processes=3)
+        res = run_spec(spec)
+        fuzz_pids = [
+            name for name in res.run.process_names.values()
+            if name.startswith("fuzz-4-p")
+        ]
+        assert len(fuzz_pids) == 3
+
+    def test_family_is_deterministic_and_diverse(self):
+        fam = fuzz_family(6, master_seed=2)
+        assert fam == fuzz_family(6, master_seed=2)
+        assert len({spec.seed for spec in fam}) == 6
+        assert len({spec.phases for spec in fam}) > 1
+        assert fam != fuzz_family(6, master_seed=3)
+
+    def test_family_count_validated(self):
+        with pytest.raises(ValueError):
+            fuzz_family(0)
+
+
+class TestSweepAxis:
+    """FuzzSpec is a first-class, cache-keyed sweep axis."""
+
+    def cell(self, spec, machine="itsy"):
+        return SweepCell(
+            workload=WorkloadSpec("fuzz", spec),
+            policy=PolicySpec("best"),
+            machine=MachineSpec.parse(machine),
+            seed=0,
+            use_daq=False,
+        )
+
+    def test_equal_specs_share_cache_keys(self):
+        a = self.cell(FuzzSpec(seed=8, duration_s=0.5))
+        b = self.cell(FuzzSpec(seed=8, duration_s=0.5))
+        assert cache_key(a) == cache_key(b)
+
+    def test_any_knob_changes_the_key(self):
+        base = FuzzSpec(seed=8, duration_s=0.5)
+        key = cache_key(self.cell(base))
+        for variant in (
+            replace(base, seed=9),
+            replace(base, burstiness=0.9),
+            replace(base, deadline_tightness=0.1),
+            replace(base, processes=2),
+        ):
+            assert cache_key(self.cell(variant)) != key
+
+    def test_machine_axis_composes(self):
+        spec = FuzzSpec(seed=8, duration_s=0.5)
+        assert cache_key(self.cell(spec, "itsy")) != cache_key(
+            self.cell(spec, "itsy-reconf")
+        )
+
+    def test_sweep_cache_round_trip(self, tmp_path):
+        cell = self.cell(FuzzSpec(seed=8, duration_s=0.5))
+        cold = SweepEngine(jobs=1, cache=ResultCache(tmp_path))
+        first = cold.run([cell])[0]
+        assert cold.stats.executed == 1
+        warm = SweepEngine(jobs=1, cache=ResultCache(tmp_path))
+        second = warm.run([cell])[0]
+        assert warm.stats.cache_hits == 1 and warm.stats.executed == 0
+        assert second.energy_j == first.energy_j
+        assert second.mean_utilization == first.mean_utilization

@@ -93,6 +93,39 @@ class TestWorkReplay:
         assert slow.run.mean_utilization() > fast.run.mean_utilization() + 0.05
 
 
+class TestTimeVsWorkSemantics:
+    """The same recording means different things under the two modes:
+    WORK preserves recorded cycles (faster clock finishes early), TIME
+    preserves recorded busy time (faster clock changes nothing)."""
+
+    #: 50 quanta recorded at the bottom step, 80% busy.
+    LOW_SPEED_TRACE = [
+        RecordedQuantum(busy_us=8_000.0, mhz=59.0, quantum_us=10_000.0)
+        for _ in range(50)
+    ]
+
+    def busy_us(self, mode, mhz):
+        wl = replay_workload(self.LOW_SPEED_TRACE, mode)
+        res = run_workload(wl, lambda: constant_speed(mhz), seed=0, use_daq=False)
+        return sum(res.run.busy_us_by_pid.values())
+
+    def test_modes_agree_at_recording_speed(self):
+        work = self.busy_us(ReplayMode.WORK, 59.0)
+        time = self.busy_us(ReplayMode.TIME, 59.0)
+        assert work == pytest.approx(time, rel=0.02)
+
+    def test_work_mode_finishes_early_at_higher_step(self):
+        at_59 = self.busy_us(ReplayMode.WORK, 59.0)
+        at_206 = self.busy_us(ReplayMode.WORK, 206.4)
+        # recorded cycles are fixed, so busy time scales as 59/206.4
+        assert at_206 == pytest.approx(at_59 * 59.0 / 206.4, rel=0.05)
+
+    def test_time_mode_busy_is_step_invariant(self):
+        at_59 = self.busy_us(ReplayMode.TIME, 59.0)
+        at_206 = self.busy_us(ReplayMode.TIME, 206.4)
+        assert at_206 == pytest.approx(at_59, rel=0.02)
+
+
 class TestMethodologyGap:
     def test_policy_looks_better_on_time_replay(self, mpeg_trace):
         """The paper's §3 criticism, quantified: the same policy saves more
