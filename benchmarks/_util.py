@@ -87,22 +87,23 @@ def once(benchmark, fn):
 def stable_best(
     measure_round: Callable[[], Dict[str, float]],
     rounds: int,
-    quick: bool,
     rel_tol: float = 0.02,
     patience: int = 2,
     max_rounds: Optional[int] = None,
 ) -> Dict[str, float]:
-    """Best-of-rounds wall times, repeated until stable in quick mode.
+    """Best-of-rounds wall times, repeated until the floors stabilize.
 
     ``measure_round`` runs every timed variant once (interleaved, so one
     load spike hits all of them alike) and returns ``{name: wall_s}``.
 
-    Full-length benchmarks keep the exact historical behavior: ``rounds``
-    rounds, best per name.  Quick mode (``REPRO_BENCH_QUICK=1``) times
-    ~40 ms walls where a single scheduler hiccup can flip a comparison,
-    so after the initial rounds it keeps measuring until no variant's
-    best improved by more than ``rel_tol`` for ``patience`` consecutive
-    rounds (bounded by ``max_rounds``, default ``4 * rounds``).
+    A best-of-N floor only estimates the true cost once N is large
+    enough that further rounds stop lowering it — and how large that is
+    depends on machine load, not on the benchmark.  So after the initial
+    ``rounds`` rounds, measurement continues until no variant's best
+    improved by more than ``rel_tol`` for ``patience`` consecutive
+    rounds, bounded by ``max_rounds`` (default ``4 * rounds``; quick
+    mode — ``REPRO_BENCH_QUICK=1`` — times ~40 ms walls where floors
+    converge slowest relative to timer noise, and uses the same loop).
     """
     best: Dict[str, float] = {}
     stable_streak = 0
@@ -120,9 +121,6 @@ def stable_best(
                     improved = True
                 best[name] = wall
         stable_streak = 0 if improved else stable_streak + 1
-        if done >= rounds:
-            if not quick:
-                break
-            if stable_streak >= patience or done >= max_rounds:
-                break
+        if done >= rounds and (stable_streak >= patience or done >= max_rounds):
+            break
     return best

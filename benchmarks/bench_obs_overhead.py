@@ -15,8 +15,8 @@ workload under the best policy:
   reduce once at the end).
 
 Timings are best-of-N over interleaved runs so one noisy sample cannot
-flip the comparison (quick mode keeps adding rounds until the floors
-stop improving — see ``stable_best``), and each mode's overhead is computed against the
+flip the comparison (rounds keep adding until the floors stop improving
+— see ``stable_best``), and each mode's overhead is computed against the
 paired floor ``min(baseline, mode)``: a wrapped call form cannot truly
 be cheaper than the plain one it wraps, so a negative difference is
 measurement noise and the reported overhead is non-negative by
@@ -84,7 +84,7 @@ def test_obs_overhead(benchmark):
                 results[mode], walls[mode] = timed_run(machine, mode)
             return walls
 
-        return results, stable_best(measure_round, rounds=ROUNDS, quick=QUICK)
+        return results, stable_best(measure_round, rounds=ROUNDS)
 
     results, best = once(benchmark, run)
 

@@ -10,7 +10,7 @@ seeds of the 60 s MPEG workload, measured through the DAQ):
 - **legacy**: the pre-optimization execution shape — a spawn-per-batch
   pool, one cell per task, reference kernel with full recorders;
 - **new**: the engine defaults — warm reused pool, auto-sized chunks —
-  with every cell on the fast-path core.
+  with every cell on the fast-path backend (the default).
 
 Both sides run the identical grid and must return bitwise-identical
 results (the same :class:`~repro.measure.parallel.CellResult` list); the
@@ -46,7 +46,9 @@ JOBS = max(int(os.environ.get("REPRO_BENCH_JOBS", 2)), 1)
 MIN_SPEEDUP = 3.0
 
 
-def grid_cells(machine, fastpath: bool):
+def grid_cells(machine, backend: str):
+    # Backends are named explicitly so REPRO_FORCE_BACKEND cannot
+    # collapse the legacy-vs-new comparison onto one backend.
     workload = workload_spec("mpeg", duration_s=DURATION_S)
     return [
         SweepCell(
@@ -55,7 +57,7 @@ def grid_cells(machine, fastpath: bool):
             seed=1000 * i,
             machine=machine,
             use_daq=True,
-            fastpath=fastpath,
+            backend=backend,
         )
         for _, policy in TABLE2_ROWS
         for i in range(RUNS_PER_POLICY)
@@ -81,18 +83,20 @@ def test_sweep_throughput(benchmark):
             try:
                 start = time.perf_counter()
                 results["legacy"] = legacy_engine.run(
-                    grid_cells(machine, fastpath=False)
+                    grid_cells(machine, backend="reference")
                 )
                 walls["legacy"] = time.perf_counter() - start
             finally:
                 legacy_engine.close()
             start = time.perf_counter()
-            results["new"] = new_engine.run(grid_cells(machine, fastpath=True))
+            results["new"] = new_engine.run(
+                grid_cells(machine, backend="fastpath")
+            )
             walls["new"] = time.perf_counter() - start
             return walls
 
         try:
-            best = stable_best(measure_round, rounds=ROUNDS, quick=QUICK)
+            best = stable_best(measure_round, rounds=ROUNDS)
         finally:
             new_engine.close()
         return results["legacy"], results["new"], best["legacy"], best["new"]

@@ -30,25 +30,29 @@ Policies are named:
 Simulation commands accept ``--machine`` to pick the hardware (``itsy``,
 ``itsy@1.23``, ``itsy-stock``, ``sa2``, or the reconfiguration-cost
 variants ``itsy-reconf``/``sa2-reconf`` -- see ``list-machines``),
-``--fastpath`` to simulate on the fast-path kernel core (see
-:mod:`repro.kernel.fastpath`), ``--jobs N`` to fan runs out over a
+``--backend`` to pick the execution backend (default ``fastpath``;
+``--no-fastpath`` is shorthand for ``--backend reference`` -- see
+:mod:`repro.kernel.backend`), ``--jobs N`` to fan runs out over a
 process pool, ``--cache DIR`` to memoize results on disk (see
 :mod:`repro.measure.parallel`), and
 ``--run-log PATH`` to append one structured JSONL record per sweep cell
 (see :mod:`repro.obs.runlog`), and ``--diagnoses PATH`` to diagnose every
-executed cell worker-side (see :mod:`repro.obs.diagnose`); fast-path,
-parallel, cached and observed paths are all bitwise-equal to the serial,
-uncached reference.  Sweep commands print a throughput summary line
-(cells simulated/cached, wall time, cells/s) to stderr.
+executed cell worker-side (see :mod:`repro.obs.diagnose`); every
+backend, parallel, cached and observed path is bitwise-equal to the
+serial, uncached reference.  Sweep commands print a throughput summary
+line (cells simulated/cached, wall time, cells/s) to stderr.
 ``trace`` exports a single run as Chrome trace-event JSON for Perfetto
 (see :mod:`repro.obs.trace`), ``diagnose`` explains one run (settling,
 prediction error, miss attribution, energy decomposition), and
 ``report`` aggregates a run-log (+ diagnoses) into markdown or HTML.
 ``fuzz`` drives seeded generated workloads (the ``fuzz`` workload, see
-:mod:`repro.workloads.fuzz`) through the reference and fast-path kernel
-cores differentially, checking bitwise identity and a closed energy
-decomposition, shrinking failures and saving them as replayable corpus
-entries (see :mod:`repro.traces.corpus`).
+:mod:`repro.workloads.fuzz`) through the reference backend and the
+backend under test (``--backend``) differentially, checking bitwise
+identity and a closed energy decomposition, shrinking failures and
+saving them as replayable corpus entries (see
+:mod:`repro.traces.corpus`).
+``report`` additionally renders a "Perf history" section from any
+committed ``BENCH_*.json`` benchmark records passed via ``--bench``.
 """
 
 from __future__ import annotations
@@ -62,6 +66,7 @@ from typing import List, Optional
 from repro.core.catalog import resolve_policy
 from repro.hw.clocksteps import SA1100_CLOCK_TABLE
 from repro.hw.machines import MACHINE_PRESETS, MachineSpec
+from repro.kernel.backend import backend_names
 from repro.measure.parallel import (
     PolicySpec,
     ResultCache,
@@ -162,9 +167,12 @@ def sweep_engine(args) -> Optional[SweepEngine]:
     )
 
 
-def cell_fastpath(args) -> bool:
-    """Whether ``--fastpath`` asked for the fast-path kernel core."""
-    return getattr(args, "fastpath", False)
+def cell_backend(args) -> Optional[str]:
+    """The execution backend ``--backend``/``--no-fastpath`` named.
+
+    None means the default (``fastpath``, or ``REPRO_FORCE_BACKEND``).
+    """
+    return getattr(args, "backend", None)
 
 
 def report_sweep_stats(engine: Optional[SweepEngine]) -> None:
@@ -218,7 +226,7 @@ def cmd_run(args) -> int:
             seed=args.seed,
             use_daq=not args.no_daq,
             machine=mspec,
-            fastpath=cell_fastpath(args),
+            backend=cell_backend(args),
         )
         summary = engine.run([cell])[0]
         print(f"energy          : {summary.energy_j:.2f} J "
@@ -238,7 +246,7 @@ def cmd_run(args) -> int:
     result = run_workload(
         workload, factory, machine_factory=mspec,
         seed=args.seed, use_daq=not args.no_daq,
-        fastpath=cell_fastpath(args),
+        backend=cell_backend(args),
     )
     run = result.run
     print(f"energy          : {result.energy_j:.2f} J "
@@ -276,7 +284,7 @@ def cmd_table2(args) -> int:
             SweepCell(
                 workload=spec, policy=PolicySpec(name=policy),
                 seed=1000 * i, machine=mspec,
-                fastpath=cell_fastpath(args),
+                backend=cell_backend(args),
             )
             for _, policy in TABLE2_ROWS
             for i in range(args.runs)
@@ -294,7 +302,7 @@ def cmd_table2(args) -> int:
         agg = repeat_workload(
             spec.build(), resolve_policy(policy, clock_table=table),
             machine_factory=mspec, runs=args.runs,
-            fastpath=cell_fastpath(args),
+            backend=cell_backend(args),
         )
         ci = agg.energy_ci
         print(f"{name:30s} {ci.low:9.2f} - {ci.high:5.2f} {agg.total_misses:7d}")
@@ -313,7 +321,7 @@ def cmd_fig9(args) -> int:
         results = engine.run(
             constant_step_cells(
                 spec, machine=mspec, seed=args.seed,
-                fastpath=cell_fastpath(args),
+                backend=cell_backend(args),
             )
         )
         for step, res in zip(table, results):
@@ -333,7 +341,7 @@ def cmd_fig9(args) -> int:
             machine_factory=mspec,
             seed=args.seed,
             use_daq=False,
-            fastpath=cell_fastpath(args),
+            backend=cell_backend(args),
         )
         print(
             f"{step.mhz:6.1f} {res.run.mean_utilization() * 100:11.1f}% "
@@ -381,7 +389,7 @@ def cmd_ideal(args) -> int:
         if engine is not None:
             summary = find_ideal_constant(
                 spec, machine_factory=mspec, seed=args.seed, engine=engine,
-                fastpath=cell_fastpath(args),
+                backend=cell_backend(args),
             )
             print(f"workload        : {workload.name} ({workload.duration_s:.0f} s)")
             print(f"ideal constant  : {summary.final_mhz:.1f} MHz")
@@ -391,7 +399,7 @@ def cmd_ideal(args) -> int:
             return 0
         result = find_ideal_constant(
             workload, machine_factory=mspec, seed=args.seed,
-            fastpath=cell_fastpath(args),
+            backend=cell_backend(args),
         )
     except ValueError as exc:
         print(f"no feasible constant step: {exc}", file=sys.stderr)
@@ -421,6 +429,7 @@ def cmd_trace(args) -> int:
         seed=args.seed,
         use_daq=False,
         extra_recorders=[tracer, KernelMetricsRecorder(registry)],
+        backend=cell_backend(args),
     )
     payload = tracer.chrome_trace(
         run=result.run, tolerance_us=workload.tolerance_us
@@ -456,10 +465,12 @@ def cmd_diagnose(args) -> int:
         machine_factory=mspec,
         seed=args.seed,
         use_daq=False,
+        backend=cell_backend(args),
     )
     try:
         baseline = find_ideal_constant(
-            workload, machine_factory=mspec, seed=args.seed
+            workload, machine_factory=mspec, seed=args.seed,
+            backend=cell_backend(args),
         ).exact_energy_j
     except ValueError:
         baseline = None
@@ -538,10 +549,13 @@ def cmd_report(args) -> int:
     try:
         records = read_run_log(args.run_log)
         diagnoses = read_diagnoses(args.diagnoses) if args.diagnoses else []
-    except OSError as exc:
+        bench_records = [
+            json.loads(Path(path).read_text()) for path in args.bench or []
+        ]
+    except (OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = build_report(records, diagnoses)
+    report = build_report(records, diagnoses, bench_records=bench_records)
     text = render_report(report, args.format)
     if args.output:
         Path(args.output).write_text(text + "\n")
@@ -556,14 +570,15 @@ def cmd_report(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
-    """Differentially test the kernel cores on fuzzed workloads.
+    """Differentially test execution backends on fuzzed workloads.
 
     Every generated scenario (and, with ``--corpus``, every stored trace)
-    runs on the reference kernel and the fast-path core; any recorded
-    number differing, any exception-behaviour difference, or an energy
-    decomposition that does not close fails the batch.  Failures are
-    shrunk to minimal specs and (with ``--save-failures``) persisted as
-    replayable corpus entries.
+    runs on the reference backend and the backend under test
+    (``--backend``, default ``fastpath``); any recorded number differing,
+    any exception-behaviour difference, or an energy decomposition that
+    does not close fails the batch.  Failures are shrunk to minimal specs
+    and (with ``--save-failures``) persisted as replayable corpus
+    entries.
     """
     from repro.measure.differential import (
         check_fuzz_spec,
@@ -582,11 +597,15 @@ def cmd_fuzz(args) -> int:
     for spec in specs:
         for mspec in machines:
             for policy in policies:
-                outcome = check_fuzz_spec(spec, policy, mspec, seed=args.seed)
+                outcome = check_fuzz_spec(
+                    spec, policy, mspec, seed=args.seed, backend=args.backend
+                )
                 checked += 1
                 if outcome.ok:
                     continue
-                shrunk, outcome = shrink_fuzz_spec(spec, policy, mspec, seed=args.seed)
+                shrunk, outcome = shrink_fuzz_spec(
+                    spec, policy, mspec, seed=args.seed, backend=args.backend
+                )
                 failures.append(outcome)
                 print(f"FAIL {outcome.describe()}", file=sys.stderr)
                 if shrunk != spec:
@@ -604,10 +623,10 @@ def cmd_fuzz(args) -> int:
                 for policy in policies:
                     factory = resolve_policy(policy, clock_table=mspec.clock_table())
                     results = []
-                    for fastpath in (False, True):
+                    for backend in ("reference", args.backend):
                         results.append(run_workload(
                             entry.workload(), factory, machine_factory=mspec,
-                            seed=args.seed, use_daq=False, fastpath=fastpath,
+                            seed=args.seed, use_daq=False, backend=backend,
                         ))
                     replayed += 1
                     mismatches = compare_results(*results)
@@ -615,7 +634,7 @@ def cmd_fuzz(args) -> int:
                         failures.append(entry)
                         print(
                             f"FAIL corpus {path.name} policy={policy} "
-                            f"machine={mspec.label}: cores diverge on "
+                            f"machine={mspec.label}: backends diverge on "
                             f"{', '.join(mismatches)}",
                             file=sys.stderr,
                         )
@@ -626,8 +645,8 @@ def cmd_fuzz(args) -> int:
     if failures:
         print(f"fuzz: {len(failures)} FAILURES", file=sys.stderr)
         return 1
-    print("fuzz: all runs bitwise-identical across cores, "
-          "energy decomposition closed")
+    print(f"fuzz: all runs bitwise-identical across backends "
+          f"(reference vs {args.backend}), energy decomposition closed")
     return 0
 
 
@@ -647,12 +666,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sweep_opts = argparse.ArgumentParser(add_help=False)
-    sweep_opts.add_argument(
-        "--fastpath", action="store_true",
-        help="simulate on the fast-path kernel core "
-             "(bitwise-equal results, several times faster)",
+    backend_opts = argparse.ArgumentParser(add_help=False)
+    backend_opts.add_argument(
+        "--backend", choices=backend_names(), default=None,
+        help="execution backend (default: fastpath; every backend "
+             "produces bitwise-equal results)",
     )
+    backend_opts.add_argument(
+        "--no-fastpath", dest="backend", action="store_const",
+        const="reference",
+        help="simulate on the reference kernel "
+             "(shorthand for --backend reference)",
+    )
+
+    sweep_opts = argparse.ArgumentParser(add_help=False)
     sweep_opts.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="fan simulations out over N worker processes",
@@ -692,7 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser(
         "run", help="run one workload under one policy",
-        parents=[sweep_opts, machine_opts],
+        parents=[sweep_opts, backend_opts, machine_opts],
     )
     run_parser.add_argument("workload", choices=CLI_WORKLOADS)
     run_parser.add_argument("--policy", default="best")
@@ -704,12 +731,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.set_defaults(func=cmd_run)
 
     t2 = sub.add_parser("table2", help="regenerate Table 2",
-                        parents=[sweep_opts, machine_opts])
+                        parents=[sweep_opts, backend_opts, machine_opts])
     t2.add_argument("--runs", type=int, default=3)
     t2.set_defaults(func=cmd_table2)
 
     f9 = sub.add_parser("fig9", help="regenerate Figure 9's sweep",
-                        parents=[sweep_opts, machine_opts])
+                        parents=[sweep_opts, backend_opts, machine_opts])
     f9.add_argument("--seed", type=int, default=1)
     f9.add_argument("--duration", type=float, default=None)
     f9.set_defaults(func=cmd_fig9)
@@ -727,7 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ideal_parser = sub.add_parser(
         "ideal", help="find the cheapest feasible constant clock step",
-        parents=[sweep_opts, machine_opts],
+        parents=[sweep_opts, backend_opts, machine_opts],
     )
     ideal_parser.add_argument("workload", choices=CLI_WORKLOADS)
     ideal_parser.add_argument("--seed", type=int, default=0)
@@ -737,7 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser = sub.add_parser(
         "trace",
         help="export one traced run as Chrome trace-event JSON (Perfetto)",
-        parents=[machine_opts],
+        parents=[backend_opts, machine_opts],
     )
     trace_parser.add_argument("workload", choices=CLI_WORKLOADS)
     trace_parser.add_argument("--policy", default="best")
@@ -752,7 +779,7 @@ def build_parser() -> argparse.ArgumentParser:
         "diagnose",
         help="explain one run: settling, prediction error, miss causes, "
              "and the excess-energy decomposition",
-        parents=[machine_opts],
+        parents=[backend_opts, machine_opts],
     )
     diag_parser.add_argument("policy")
     diag_parser.add_argument("workload", choices=CLI_WORKLOADS)
@@ -771,6 +798,10 @@ def build_parser() -> argparse.ArgumentParser:
                                help="JSONL run-log written by --run-log")
     report_parser.add_argument("--diagnoses", default=None, metavar="PATH",
                                help="join a JSONL diagnosis log into the report")
+    report_parser.add_argument("--bench", nargs="+", default=None,
+                               metavar="JSON",
+                               help="render committed BENCH_*.json perf "
+                                    "records as a Perf history section")
     report_parser.add_argument("--format", choices=["md", "html"], default="md")
     report_parser.add_argument("-o", "--output", default=None, metavar="PATH",
                                help="write the report here instead of stdout")
@@ -778,7 +809,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     fuzz_parser = sub.add_parser(
         "fuzz",
-        help="differentially test both kernel cores on fuzzed workloads",
+        help="differentially test execution backends on fuzzed workloads",
+    )
+    fuzz_parser.add_argument(
+        "--backend", choices=backend_names(), default="fastpath",
+        help="backend checked against the reference (default: fastpath)",
     )
     fuzz_parser.add_argument(
         "--count", type=int, default=25, metavar="N",
@@ -803,7 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_parser.add_argument(
         "--corpus", default=None, metavar="DIR",
-        help="also replay every stored corpus entry through both cores",
+        help="also replay every stored corpus entry through both backends",
     )
     fuzz_parser.add_argument(
         "--save-failures", default=None, metavar="DIR", dest="save_failures",

@@ -21,7 +21,18 @@ recorder machinery:
 - idle quanta take a slice-coalescing fast path: one nap segment per
   quantum with no process dispatch, and the pending-segment merge
   coalesces runs of idle (or single-process) quanta into a single
-  timeline segment, exactly as the reference recorders would.
+  timeline segment, exactly as the reference recorders would;
+- extra observers (``extra_recorders``) attach through a replay-at-end
+  tap layer: the hot loop keeps buffering plain tuples, and each tap's
+  overridden hooks are fed the complete per-stream event sequences once
+  the loop finishes, before ``contribute``.  Because the stock observers
+  (:class:`~repro.obs.trace.TraceRecorder`,
+  :class:`~repro.obs.metrics.KernelMetricsRecorder`, every
+  :mod:`~repro.kernel.recorders` recorder) buffer per-stream and reduce
+  at ``contribute``, replay is indistinguishable from live dispatch and
+  observed results stay bitwise identical (see
+  :class:`~repro.kernel.recorders.RunRecorder` for the stream-ordering
+  contract).
 
 Equivalence is maintained operation for operation: every float add,
 multiply, comparison and tolerance below is transcribed from the
@@ -39,7 +50,7 @@ duplicated.
 from __future__ import annotations
 
 import gc
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.hw.machine import Machine
 from repro.hw.power import CoreState
@@ -58,6 +69,7 @@ from repro.kernel.recorders import (
     RECORDING_MINIMAL,
     EnergyTotals,
     QuantumStats,
+    RunRecorder,
 )
 from repro.kernel.scheduler import (
     _EPS,
@@ -167,8 +179,13 @@ class FastKernel(Kernel):
     Instead of a recorder list it takes a ``recording`` mode name
     (``"full"`` / ``"minimal"``) and materializes the corresponding
     :class:`~repro.kernel.scheduler.KernelRun` fields itself at run end.
-    Custom ``extra_recorders`` are not supported here — callers that need
-    them use the reference kernel (see ``run_workload``).
+    Extra observers (``extra_recorders``) attach as *taps*: the hot loop
+    stays flat, and each tap's overridden hooks are replayed from the
+    buffered event streams once the run finishes (power segments,
+    quantum records, scheduler decisions, frequency/voltage changes),
+    followed by ``contribute`` — the same per-stream sequences the
+    reference kernel dispatches live, so observed results are bitwise
+    identical on either backend.
     """
 
     def __init__(
@@ -177,6 +194,7 @@ class FastKernel(Kernel):
         governor: Optional[Governor] = None,
         config: Optional[KernelConfig] = None,
         recording: str = RECORDING_FULL,
+        extra_recorders: Optional[Iterable[RunRecorder]] = None,
     ):
         if recording not in (RECORDING_FULL, RECORDING_MINIMAL):
             raise ValueError(
@@ -189,6 +207,46 @@ class FastKernel(Kernel):
         self._fp_volt: List[VoltChange] = []
         self._fp_emit = None
         self._fp_pw: dict = {}  # (step index, volts, state) -> watts
+        # Observer taps: partition overridden hooks exactly like the
+        # reference kernel's sink lists (class-attribute detection,
+        # instance-fetched dispatch), fed by replay at run end.
+        self._taps: List[RunRecorder] = (
+            list(extra_recorders) if extra_recorders is not None else []
+        )
+        base = RunRecorder
+        self._tap_power = [
+            r.on_power for r in self._taps
+            if type(r).on_power is not base.on_power
+        ]
+        # Taps offering the bulk replay hooks take the whole row buffer
+        # at once; the rest get the per-record stream.  A tap never sees
+        # both forms of the same stream.
+        self._tap_quantum_bulk = [
+            r.replay_quantum_rows for r in self._taps
+            if type(r).replay_quantum_rows is not base.replay_quantum_rows
+        ]
+        self._tap_quantum = [
+            r.on_quantum for r in self._taps
+            if type(r).on_quantum is not base.on_quantum
+            and type(r).replay_quantum_rows is base.replay_quantum_rows
+        ]
+        self._tap_sched_bulk = [
+            r.replay_sched_rows for r in self._taps
+            if type(r).replay_sched_rows is not base.replay_sched_rows
+        ]
+        self._tap_sched = [
+            r.on_sched_decision for r in self._taps
+            if type(r).on_sched_decision is not base.on_sched_decision
+            and type(r).replay_sched_rows is base.replay_sched_rows
+        ]
+        self._tap_freq = [
+            r.on_freq_change for r in self._taps
+            if type(r).on_freq_change is not base.on_freq_change
+        ]
+        self._tap_volt = [
+            r.on_volt_change for r in self._taps
+            if type(r).on_volt_change is not base.on_volt_change
+        ]
 
     # -- cold-path power recording (rail sag, DVFS stalls) ----------------------------
 
@@ -262,22 +320,10 @@ class FastKernel(Kernel):
                 gc.enable()
 
     def _run_impl(self, duration_us: float) -> KernelRun:  # noqa: C901
-        if self._ran:
-            raise RuntimeError("kernel instances are single-use")
-        self._ran = True
-        if duration_us <= 0:
-            raise ValueError("duration must be positive")
-
+        n_quanta, end_us = self._begin_run(duration_us)
         governor = self.governor
-        if governor is not None:
-            governor.reset()
-
         config = self.config
         q = config.quantum_us
-        n_quanta = int(duration_us // q)
-        if n_quanta * q < duration_us - _EPS:
-            n_quanta += 1
-        end_us = n_quanta * q
 
         machine = self.machine
         cpu = machine.cpu
@@ -325,7 +371,19 @@ class FastKernel(Kernel):
         rows: List[tuple] = [None] * n_quanta  # type: ignore[list-item]
         n_rows = n_quanta
         ri = 0
-        sched_rows: Optional[List[tuple]] = [] if config.record_sched_log else None
+        # Scheduler decisions are buffered whenever anything will read
+        # them: the configured sched log, or an attached tap overriding
+        # on_sched_decision (the reference kernel likewise dispatches to
+        # sched sinks regardless of the log setting).
+        sched_rows: Optional[List[tuple]] = (
+            []
+            if (
+                config.record_sched_log
+                or self._tap_sched
+                or self._tap_sched_bulk
+            )
+            else None
+        )
         sched_append = sched_rows.append if sched_rows is not None else None
 
         runq = self._runq
@@ -745,17 +803,7 @@ class FastKernel(Kernel):
             final_volts=last[5] if last else 0.0,
         )
 
-        counters = cpu.counters
-        run = FastRun(
-            duration_us=end_us,
-            events=[e for p in self._procs.values() for e in p.context.events],
-            busy_us_by_pid=dict(busy_by_pid),
-            process_names={p.pid: p.name for p in self._procs.values()},
-            clock_changes=counters.clock_changes,
-            clock_stall_us=counters.clock_stall_us,
-            voltage_changes=counters.voltage_changes,
-            voltage_settle_us=counters.voltage_settle_us,
-        )
+        run = self._materialize_run(FastRun, end_us)
         run.quantum_stats = stats
         if self.recording == RECORDING_FULL:
             timeline = PowerTimeline()
@@ -775,9 +823,77 @@ class FastKernel(Kernel):
                 start_us=segs[0][0] if segs else 0.0,
                 end_us=segs[-1][1] if segs else 0.0,
             )
-        if sched_rows is not None:
+        if config.record_sched_log and sched_rows is not None:
             run.sched_log = [SchedDecision(*row) for row in sched_rows]
+        if self._taps:
+            self._replay_taps(run, rows, segs, sched_rows)
         return run
+
+    def _replay_taps(
+        self,
+        run: FastRun,
+        rows: List[tuple],
+        segs: List[tuple],
+        sched_rows: Optional[List[tuple]],
+    ) -> None:
+        """Feed attached observer taps the buffered event streams.
+
+        Each stream is replayed in event order to the taps that override
+        its hook — the identical per-stream sequences the reference
+        kernel dispatches live (power segments arrive pre-merged, which
+        the merge arithmetic makes indistinguishable from live dispatch
+        for any merging consumer) — then every tap contributes to the
+        finished run, exactly as the reference kernel's recorder loop
+        does after its stock set.  Taps implementing the bulk hooks
+        (:meth:`RunRecorder.replay_quantum_rows` /
+        :meth:`~RunRecorder.replay_sched_rows`) get the raw row buffers
+        instead, skipping record materialization entirely — the bulk
+        contract obliges them to reduce the rows bitwise-identically.
+        """
+        if self._tap_quantum_bulk:
+            q = self.config.quantum_us
+            for bulk in self._tap_quantum_bulk:
+                bulk(rows, q)
+        if self._tap_quantum:
+            q = self.config.quantum_us
+            records = [
+                QuantumRecord(
+                    end_us=t,
+                    busy_us=b,
+                    quantum_us=q,
+                    step_index=si,
+                    mhz=m,
+                    volts=v,
+                )
+                for (t, b, _u, si, m, v) in rows
+            ]
+            for sink in self._tap_quantum:
+                for rec in records:
+                    sink(rec)
+            if self.recording == RECORDING_FULL:
+                # Share the materialized log with the run so a later
+                # run.quanta read does not rebuild it from the rows.
+                run.quanta = records
+        if self._tap_power:
+            for sink in self._tap_power:
+                for (a, b, w) in segs:
+                    sink(a, b, w)
+        if sched_rows is not None:
+            for bulk in self._tap_sched_bulk:
+                bulk(sched_rows)
+            for sink in self._tap_sched:
+                for (t, pid, name, mhz) in sched_rows:
+                    sink(t, pid, name, mhz)
+        if self._tap_freq:
+            for sink in self._tap_freq:
+                for change in self._fp_freq:
+                    sink(change)
+        if self._tap_volt:
+            for sink in self._tap_volt:
+                for change in self._fp_volt:
+                    sink(change)
+        for tap in self._taps:
+            tap.contribute(run)
 
 
 def _wake_key(p) -> tuple:

@@ -51,6 +51,19 @@ class RunRecorder:
     so a recorder may rebind a hook to a bound method (e.g.
     ``self.on_quantum = self.quanta.append``) in ``__init__`` to shave the
     Python-level call frame off the hot loop.
+
+    **Backend-agnostic stream contract.**  Recorders attach to any
+    execution backend (:mod:`repro.kernel.backend`).  The reference
+    kernel dispatches hooks live; the fast-path core replays each event
+    stream to the taps at run end.  Both deliver every stream (power
+    segments, quanta, scheduler decisions, frequency/voltage changes)
+    in event order *within* the stream, but recorders must not depend
+    on interleaving *across* streams, nor on receiving power segments
+    pre- or post-merge (the merge arithmetic is idempotent, so any
+    consumer applying the timeline's merge tolerances sees identical
+    results either way).  Buffer per stream and reduce in
+    :meth:`contribute` — as every recorder in this module and the obs
+    layer does — and results are bitwise identical on every backend.
     """
 
     def on_power(self, start_us: float, end_us: float, watts: float) -> None:
@@ -75,6 +88,28 @@ class RunRecorder:
 
     def on_volt_change(self, change: VoltChange) -> None:
         """A core-voltage change was applied."""
+
+    def replay_quantum_rows(self, rows: List[tuple], quantum_us: float) -> None:
+        """Optional bulk form of :meth:`on_quantum` for replaying backends.
+
+        A backend that buffers quanta as plain rows (the fast-path core's
+        ``(end_us, busy_us, utilization, step_index, mhz, volts)`` tuples)
+        calls this *instead of* per-record :meth:`on_quantum` dispatch
+        when a recorder overrides it, handing over the whole stream at
+        once without materializing a
+        :class:`~repro.traces.schema.QuantumRecord` per quantum.  The
+        rows are shared, not copied: treat them as read-only.  An
+        override must reduce them with arithmetic bitwise-equal to its
+        :meth:`on_quantum` path — the equivalence suite holds recorders
+        to identical output on every backend either way.
+        """
+
+    def replay_sched_rows(self, rows: List[tuple]) -> None:
+        """Optional bulk form of :meth:`on_sched_decision`.
+
+        Same contract as :meth:`replay_quantum_rows`, for the scheduler
+        stream's ``(time_us, pid, name, mhz)`` tuples.
+        """
 
     def contribute(self, run: "KernelRun") -> None:
         """Deposit this recorder's product into the finished run."""

@@ -314,6 +314,48 @@ class Kernel:
         for sink in self._volt_sinks:
             sink(change)
 
+    # -- shared run lifecycle (both execution backends) -------------------------------
+
+    def _begin_run(self, duration_us: float) -> tuple:
+        """Open the run: single-use guard, validation, governor reset, and
+        quantum rounding.  Returns ``(n_quanta, end_us)``.
+
+        Both execution backends enter their loops through here, so the
+        run-lifecycle semantics (one run per kernel, positive durations,
+        a whole number of quanta, a freshly-reset governor) are defined
+        exactly once.
+        """
+        if self._ran:
+            raise RuntimeError("kernel instances are single-use")
+        self._ran = True
+        if duration_us <= 0:
+            raise ValueError("duration must be positive")
+        if self.governor is not None:
+            self.governor.reset()
+        q = self.config.quantum_us
+        n_quanta = int(duration_us // q)
+        if n_quanta * q < duration_us - _EPS:
+            n_quanta += 1
+        return n_quanta, n_quanta * q
+
+    def _materialize_run(self, run_cls: type, end_us: float) -> KernelRun:
+        """Build the run record's backend-independent skeleton: the event
+        stream, per-pid busy accounting, process names, and the DVFS
+        engine's transition counters.  Backends fill in their recording
+        products (timeline, quanta, logs or streaming aggregates) after.
+        """
+        counters = self.machine.cpu.counters
+        return run_cls(
+            duration_us=end_us,
+            events=[e for p in self._procs.values() for e in p.context.events],
+            busy_us_by_pid=dict(self._busy_by_pid),
+            process_names={p.pid: p.name for p in self._procs.values()},
+            clock_changes=counters.clock_changes,
+            clock_stall_us=counters.clock_stall_us,
+            voltage_changes=counters.voltage_changes,
+            voltage_settle_us=counters.voltage_settle_us,
+        )
+
     # -- main loop --------------------------------------------------------------------
 
     def run(self, duration_us: float) -> KernelRun:
@@ -325,20 +367,8 @@ class Kernel:
         Raises:
             RuntimeError: if the kernel has already run.
         """
-        if self._ran:
-            raise RuntimeError("kernel instances are single-use")
-        self._ran = True
-        if duration_us <= 0:
-            raise ValueError("duration must be positive")
-
-        if self.governor is not None:
-            self.governor.reset()
-
+        _n_quanta, end_us = self._begin_run(duration_us)
         q = self.config.quantum_us
-        n_quanta = int(duration_us // q)
-        if n_quanta * q < duration_us - _EPS:
-            n_quanta += 1
-        end_us = n_quanta * q
 
         next_tick = q
         stuck = 0
@@ -372,17 +402,7 @@ class Kernel:
                 self._service_tick(next_tick, final=next_tick >= end_us - _EPS)
                 next_tick += q
 
-        counters = self.machine.cpu.counters
-        run = KernelRun(
-            duration_us=end_us,
-            events=[e for p in self._procs.values() for e in p.context.events],
-            busy_us_by_pid=dict(self._busy_by_pid),
-            process_names={p.pid: p.name for p in self._procs.values()},
-            clock_changes=counters.clock_changes,
-            clock_stall_us=counters.clock_stall_us,
-            voltage_changes=counters.voltage_changes,
-            voltage_settle_us=counters.voltage_settle_us,
-        )
+        run = self._materialize_run(KernelRun, end_us)
         for recorder in self._recorders:
             recorder.contribute(run)
         return run

@@ -1,14 +1,15 @@
-"""Differential testing: fuzzed workloads drive both kernel cores.
+"""Differential testing: fuzzed workloads drive two execution backends.
 
 This is the fuzzer's consumer side.  :func:`check_fuzz_spec` runs one
 fuzzed scenario (:class:`~repro.workloads.fuzz.FuzzSpec`) through the
-reference :class:`~repro.kernel.scheduler.Kernel` and the fast-path
-:class:`~repro.kernel.fastpath.FastKernel` and demands:
+``"reference"`` execution backend and a backend under test (the
+``"fastpath"`` core by default — any name in
+:data:`repro.kernel.backend.BACKENDS` works) and demands:
 
 - **bitwise identity** of everything a run records — the same contract as
   ``tests/kernel/test_fastpath.py``, field for field;
-- **exception parity** — when one core raises, the other must raise the
-  same type with the same message;
+- **exception parity** — when one backend raises, the other must raise
+  the same type with the same message;
 - a **closed energy decomposition** — the diagnostics engine's
   overshoot/stall/sag components must reconstruct the measured energy to
   within :data:`RESIDUAL_TOLERANCE_J` on the reference run.
@@ -40,7 +41,7 @@ RESIDUAL_TOLERANCE_J = 1e-9
 
 
 def compare_results(ref: ExperimentResult, fast: ExperimentResult) -> List[str]:
-    """Names of every recorded field where the two cores disagree.
+    """Names of every recorded field where the two backends disagree.
 
     Mirrors the bitwise-equality contract of the fast-path test suite:
     an empty list means the runs are indistinguishable.
@@ -81,10 +82,10 @@ class DifferentialOutcome:
         policy: catalog policy name it ran under.
         machine: machine spec label it ran on.
         seed: run seed.
-        mismatches: recorded fields where the cores disagreed (empty when
-            bitwise-identical).
+        mismatches: recorded fields where the backends disagreed (empty
+            when bitwise-identical).
         exception_mismatch: human-readable description when exactly one
-            core raised, or both raised differently; None otherwise.
+            backend raised, or both raised differently; None otherwise.
         residual_j: |measured − components| of the reference run's energy
             decomposition, or None when decomposition was skipped or the
             run raised.
@@ -120,14 +121,16 @@ class DifferentialOutcome:
         if self.exception_mismatch:
             return f"{where}: exception parity broken: {self.exception_mismatch}"
         if self.mismatches:
-            return f"{where}: cores diverge on {', '.join(self.mismatches)}"
+            return (
+                f"{where}: backends diverge on {', '.join(self.mismatches)}"
+            )
         if self.residual_j is not None and self.residual_j > RESIDUAL_TOLERANCE_J:
             return f"{where}: energy decomposition residual {self.residual_j:.3e} J"
         return f"{where}: ok"
 
 
 def _run(
-    spec: FuzzSpec, policy: str, machine: MachineSpec, seed: int, fastpath: bool
+    spec: FuzzSpec, policy: str, machine: MachineSpec, seed: int, backend: str
 ) -> ExperimentResult:
     return run_workload(
         fuzz_workload(spec),
@@ -136,7 +139,7 @@ def _run(
         seed=seed,
         use_daq=False,
         recording=RECORDING_FULL,
-        fastpath=fastpath,
+        backend=backend,
     )
 
 
@@ -146,16 +149,21 @@ def check_fuzz_spec(
     machine: Optional[MachineSpec] = None,
     seed: int = 0,
     check_decomposition: bool = True,
+    backend: str = "fastpath",
 ) -> DifferentialOutcome:
-    """Run one fuzzed scenario through both cores and judge it."""
+    """Run one fuzzed scenario on reference and ``backend``; judge it.
+
+    Backends are named explicitly (never ``None``) so the comparison
+    stays reference-vs-``backend`` even under ``REPRO_FORCE_BACKEND``.
+    """
     machine = machine if machine is not None else MachineSpec("itsy")
     ref = fast = ref_exc = fast_exc = None
     try:
-        ref = _run(spec, policy, machine, seed, fastpath=False)
+        ref = _run(spec, policy, machine, seed, backend="reference")
     except Exception as exc:  # noqa: BLE001 - parity checked below
         ref_exc = exc
     try:
-        fast = _run(spec, policy, machine, seed, fastpath=True)
+        fast = _run(spec, policy, machine, seed, backend=backend)
     except Exception as exc:  # noqa: BLE001 - parity checked below
         fast_exc = exc
 
@@ -170,7 +178,7 @@ def check_fuzz_spec(
             seed,
             exception_mismatch=(
                 f"reference {type(ref_exc).__name__ if ref_exc else 'ok'}"
-                f"({ref_exc}) vs fastpath "
+                f"({ref_exc}) vs {backend} "
                 f"{type(fast_exc).__name__ if fast_exc else 'ok'}({fast_exc})"
             ),
         )
@@ -218,6 +226,7 @@ def shrink_fuzz_spec(
     seed: int = 0,
     check_decomposition: bool = True,
     max_steps: int = 40,
+    backend: str = "fastpath",
 ) -> Tuple[FuzzSpec, DifferentialOutcome]:
     """Greedily simplify a failing spec while the failure reproduces.
 
@@ -226,7 +235,8 @@ def shrink_fuzz_spec(
     (ok) outcome.
     """
     outcome = check_fuzz_spec(
-        spec, policy, machine, seed, check_decomposition=check_decomposition
+        spec, policy, machine, seed,
+        check_decomposition=check_decomposition, backend=backend,
     )
     if outcome.ok:
         return spec, outcome
@@ -234,7 +244,7 @@ def shrink_fuzz_spec(
         for candidate in _shrink_candidates(spec):
             cand_outcome = check_fuzz_spec(
                 candidate, policy, machine, seed,
-                check_decomposition=check_decomposition,
+                check_decomposition=check_decomposition, backend=backend,
             )
             if not cand_outcome.ok:
                 spec, outcome = candidate, cand_outcome

@@ -243,11 +243,11 @@ class SweepCell:
             ``"minimal"``).  Not part of the cache key: recording modes
             are bitwise-equivalent in everything a :class:`CellResult`
             carries, so either mode may answer for the other.
-        fastpath: simulate on the fast-path core
-            (:class:`~repro.kernel.fastpath.FastKernel`).  Not part of
-            the cache key either — the cores are bitwise-equivalent, so
-            a cached reference result answers for a fastpath cell and
-            vice versa.
+        backend: execution-backend name for the simulation
+            (``"reference"`` / ``"fastpath"``; None = the default, see
+            :func:`repro.kernel.backend.resolve_backend`).  Not part of
+            the cache key either — backends are bitwise-equivalent, so a
+            cached result from one backend answers for any other.
     """
 
     workload: WorkloadSpec
@@ -258,7 +258,7 @@ class SweepCell:
     daq_seed: Optional[int] = None
     machine: MachineSpec = MachineSpec()
     recording: str = RECORDING_FULL
-    fastpath: bool = False
+    backend: Optional[str] = None
 
     def effective_kernel_config(self) -> KernelConfig:
         """The kernel config that will be used (defaults if none given)."""
@@ -296,7 +296,7 @@ class SweepCell:
             daq_seed=self.daq_seed,
             recording=self.recording,
             extra_recorders=extra_recorders,
-            fastpath=self.fastpath,
+            backend=self.backend,
         )
 
     def run(
@@ -480,8 +480,8 @@ def cache_key(cell: SweepCell) -> str:
     workload name/effective config, machine spec, seed, DAQ settings,
     kernel config, schema version).  Stable across processes and hosts —
     it depends only on the cell's values, never on object identity or
-    hash seeds.  The recording mode and the ``fastpath`` switch are
-    deliberately absent: recording modes and kernel cores all produce
+    hash seeds.  The recording mode and the execution ``backend`` are
+    deliberately absent: recording modes and backends all produce
     bitwise-identical :class:`CellResult`\\ s, so they share cache
     entries.
     """
@@ -701,17 +701,11 @@ class SweepStats:
         executed: simulations actually run (unique cells, deduplicated).
         cache_hits: unique cells answered from the cache.
         wall_s: wall-clock time spent inside :meth:`SweepEngine.run`.
-        fastpath_fallbacks: cells that asked for the fast-path core but
-            ran on the reference kernel because observability recorders
-            (``metrics``) were attached — the fast core has no pluggable
-            recorder hooks.  Results are still bitwise-identical; only
-            the speed advantage is lost.
     """
 
     executed: int = 0
     cache_hits: int = 0
     wall_s: float = 0.0
-    fastpath_fallbacks: int = 0
 
     @property
     def total(self) -> int:
@@ -725,16 +719,10 @@ class SweepStats:
 
     def summary(self) -> str:
         """The one-line accounting every sweep CLI command prints."""
-        text = (
+        return (
             f"sweep: {self.executed} simulated, {self.cache_hits} cached, "
             f"{self.wall_s:.1f} s, {self.cells_per_s:.1f} cells/s"
         )
-        if self.fastpath_fallbacks:
-            text += (
-                f" ({self.fastpath_fallbacks} fastpath cells ran on the "
-                f"reference kernel: recorders attached)"
-            )
-        return text
 
 
 class SweepEngine:
@@ -991,13 +979,6 @@ class SweepEngine:
                     if self.diagnosis_log is not None:
                         self.diagnosis_log.write(diagnosis)
             self.stats.executed += len(todo)
-            if with_metrics:
-                # Metrics attach a recorder to every executed cell, which
-                # forces fast-path cells onto the reference kernel (see
-                # run_workload); make that visible instead of silent.
-                self.stats.fastpath_fallbacks += sum(
-                    1 for _, cell in todo if cell.fastpath
-                )
 
         return [results[key] for key in keys]
 
@@ -1021,7 +1002,7 @@ class SweepEngine:
                     seed=cell.seed,
                     kernel_config=cell.kernel_config,
                     engine=self,
-                    fastpath=cell.fastpath,
+                    backend=cell.backend,
                 ).exact_energy_j
             except ValueError:
                 out[key] = None
@@ -1071,8 +1052,8 @@ class SweepSpec:
         machines: the machine axis (default: the modified Itsy only).
         kernel_config: shared kernel tunables (None = defaults).
         use_daq: measure through the DAQ model.
-        fastpath: simulate every cell on the fast-path core
-            (bitwise-equal results, several times faster).
+        backend: execution-backend name for every cell (None = the
+            default; bitwise-equal results on any backend).
     """
 
     policies: Tuple[PolicySpec, ...]
@@ -1081,7 +1062,7 @@ class SweepSpec:
     machines: Tuple[MachineSpec, ...] = (MachineSpec(),)
     kernel_config: Optional[KernelConfig] = None
     use_daq: bool = True
-    fastpath: bool = False
+    backend: Optional[str] = None
 
     def cells(self) -> List[SweepCell]:
         """The grid flattened in deterministic machine-major order."""
@@ -1093,7 +1074,7 @@ class SweepSpec:
                 kernel_config=self.kernel_config,
                 use_daq=self.use_daq,
                 machine=machine,
-                fastpath=self.fastpath,
+                backend=self.backend,
             )
             for machine in self.machines
             for policy in self.policies
@@ -1146,7 +1127,7 @@ def repeat_workload(
     kernel_config: Optional[KernelConfig] = None,
     use_daq: bool = True,
     engine: Optional[SweepEngine] = None,
-    fastpath: bool = False,
+    backend: Optional[str] = None,
 ) -> RepeatedSummary:
     """Spec-based analogue of :func:`repro.measure.runner.repeat_workload`.
 
@@ -1163,7 +1144,7 @@ def repeat_workload(
             kernel_config=kernel_config,
             use_daq=use_daq,
             machine=machine,
-            fastpath=fastpath,
+            backend=backend,
         )
         for i in range(runs)
     ]
@@ -1178,7 +1159,7 @@ def constant_step_cells(
     seed: int = 0,
     kernel_config: Optional[KernelConfig] = None,
     recording: str = RECORDING_MINIMAL,
-    fastpath: bool = False,
+    backend: Optional[str] = None,
 ) -> List[SweepCell]:
     """One exact-energy cell per constant clock step of ``machine``.
 
@@ -1196,7 +1177,7 @@ def constant_step_cells(
             use_daq=False,
             machine=machine,
             recording=recording,
-            fastpath=fastpath,
+            backend=backend,
         )
         for step in machine.clock_table()
     ]
@@ -1208,7 +1189,7 @@ def find_ideal_constant(
     seed: int = 0,
     kernel_config: Optional[KernelConfig] = None,
     engine: Optional[SweepEngine] = None,
-    fastpath: bool = False,
+    backend: Optional[str] = None,
 ) -> CellResult:
     """Batched analogue of :func:`repro.measure.runner.find_ideal_constant`.
 
@@ -1224,7 +1205,7 @@ def find_ideal_constant(
         machine=machine,
         seed=seed,
         kernel_config=kernel_config,
-        fastpath=fastpath,
+        backend=backend,
     )
     results = (engine or SweepEngine()).run(cells)
     best: Optional[CellResult] = None

@@ -14,17 +14,16 @@ jitter).
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Union
 
 from repro.hw.itsy import ItsyConfig, ItsyMachine
 from repro.hw.machine import Machine
 from repro.hw.machines import MachineSpec
-from repro.kernel.fastpath import FastKernel
+from repro.kernel.backend import ExecutionBackend, resolve_backend
 from repro.kernel.governor import Governor
-from repro.kernel.recorders import RECORDING_FULL, RunRecorder, recorders_for
-from repro.kernel.scheduler import Kernel, KernelConfig, KernelRun
+from repro.kernel.recorders import RECORDING_FULL, RunRecorder
+from repro.kernel.scheduler import KernelConfig, KernelRun
 from repro.measure.daq import DaqCapture, DaqSystem
 from repro.measure.stats import ConfidenceInterval, confidence_interval
 from repro.traces.schema import AppEvent
@@ -44,29 +43,10 @@ GovernorFactory = Callable[[], Governor]
 #: or a (callable) :class:`~repro.hw.machines.MachineSpec`.
 MachineFactory = Callable[[], Machine]
 
-#: Set once the fast-path → reference fallback has been mentioned on
-#: stderr, so a sweep attaching recorders to thousands of cells produces
-#: one note, not thousands.  Tests reset it via
-#: :func:`reset_fastpath_fallback_note`.
-_fastpath_fallback_noted = False
-
-
-def reset_fastpath_fallback_note() -> None:
-    """Re-arm the one-shot fast-path fallback note (for tests)."""
-    global _fastpath_fallback_noted
-    _fastpath_fallback_noted = False
-
-
-def _note_fastpath_fallback() -> None:
-    global _fastpath_fallback_noted
-    if not _fastpath_fallback_noted:
-        _fastpath_fallback_noted = True
-        print(
-            "note: falling back to the reference kernel: the fast-path "
-            "core has no pluggable recorder hooks, and extra recorders "
-            "(e.g. --metrics observability) are attached",
-            file=sys.stderr,
-        )
+#: A caller's execution-backend choice: a registered name
+#: (``"reference"`` / ``"fastpath"``), a backend instance, or None for
+#: the default (see :func:`repro.kernel.backend.resolve_backend`).
+BackendChoice = Union[str, ExecutionBackend, None]
 
 
 def default_machine() -> ItsyMachine:
@@ -129,7 +109,7 @@ def run_workload(
     daq_seed: Optional[int] = None,
     recording: str = RECORDING_FULL,
     extra_recorders: Optional[Iterable[RunRecorder]] = None,
-    fastpath: bool = False,
+    backend: BackendChoice = None,
 ) -> ExperimentResult:
     """Run one workload under one governor and measure it.
 
@@ -150,15 +130,15 @@ def run_workload(
         extra_recorders: additional observers (e.g. a
             :class:`~repro.obs.trace.TraceRecorder` or
             :class:`~repro.obs.metrics.KernelMetricsRecorder`) appended
-            to the mode's recorder set.  Pure observation: results are
-            bitwise-identical with or without them.
-        fastpath: run on the fast-path core
-            (:class:`~repro.kernel.fastpath.FastKernel`) — bitwise-equal
-            results, several times faster.  When ``extra_recorders`` are
-            attached the reference kernel is used instead (the fast core
-            has no pluggable recorder hooks); the fallback is announced
-            once per process on stderr, and sweeps count affected cells
-            in ``SweepStats.fastpath_fallbacks``.
+            to the mode's recorder set on whichever backend runs.  Pure
+            observation: results are bitwise-identical with or without
+            them, on either backend.
+        backend: the execution backend — a registered name
+            (``"reference"`` / ``"fastpath"``), an
+            :class:`~repro.kernel.backend.ExecutionBackend` instance, or
+            None for the default (``"fastpath"``, overridable via the
+            ``REPRO_FORCE_BACKEND`` environment variable).  Results are
+            bitwise identical across backends.
     """
     if use_daq and recording != RECORDING_FULL:
         raise ValueError(
@@ -168,25 +148,13 @@ def run_workload(
     if kernel_config is None:
         kernel_config = KernelConfig()
     machine = machine_factory()
-    if fastpath and extra_recorders is None:
-        kernel: Kernel = FastKernel(
-            machine,
-            governor=governor_factory(),
-            config=kernel_config,
-            recording=recording,
-        )
-    else:
-        if fastpath:
-            _note_fastpath_fallback()
-        recorders = recorders_for(recording, kernel_config)
-        if extra_recorders is not None:
-            recorders.extend(extra_recorders)
-        kernel = Kernel(
-            machine,
-            governor=governor_factory(),
-            config=kernel_config,
-            recorders=recorders,
-        )
+    kernel = resolve_backend(backend).build_kernel(
+        machine,
+        governor=governor_factory(),
+        config=kernel_config,
+        recording=recording,
+        extra_recorders=extra_recorders,
+    )
     workload.setup(kernel, seed)
     run = kernel.run(workload.duration_us)
 
@@ -219,7 +187,7 @@ def find_ideal_constant(
     seed: int = 0,
     kernel_config: Optional[KernelConfig] = None,
     engine: Optional["SweepEngine"] = None,
-    fastpath: bool = False,
+    backend: BackendChoice = None,
 ) -> Union[ExperimentResult, "CellResult"]:
     """The energy-minimal *feasible* constant clock step for a workload.
 
@@ -250,7 +218,7 @@ def find_ideal_constant(
             seed=seed,
             kernel_config=kernel_config,
             engine=engine,
-            fastpath=fastpath,
+            backend=backend,
         )
     if engine is not None:
         raise ValueError("parallel execution needs a WorkloadSpec workload")
@@ -265,7 +233,7 @@ def find_ideal_constant(
             seed=seed,
             kernel_config=kernel_config,
             use_daq=False,
-            fastpath=fastpath,
+            backend=backend,
         )
         if result.missed:
             continue
@@ -308,7 +276,7 @@ def repeat_workload(
     kernel_config: Optional[KernelConfig] = None,
     use_daq: bool = True,
     engine: Optional["SweepEngine"] = None,
-    fastpath: bool = False,
+    backend: BackendChoice = None,
 ) -> Union[RepeatedResult, "RepeatedSummary"]:
     """Run the experiment ``runs`` times and report the 95 % energy CI.
 
@@ -338,7 +306,7 @@ def repeat_workload(
             kernel_config=kernel_config,
             use_daq=use_daq,
             engine=engine,
-            fastpath=fastpath,
+            backend=backend,
         )
     if runs < 2:
         raise ValueError("need at least two runs for a confidence interval")
@@ -350,7 +318,7 @@ def repeat_workload(
             seed=base_seed + 1000 * i,
             kernel_config=kernel_config,
             use_daq=use_daq,
-            fastpath=fastpath,
+            backend=backend,
         )
         for i in range(runs)
     ]

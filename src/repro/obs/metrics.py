@@ -25,7 +25,7 @@ up only overridden recorder hooks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.kernel.recorders import RunRecorder
 from repro.traces.schema import FreqChange, QuantumRecord, VoltChange
@@ -261,6 +261,7 @@ class KernelMetricsRecorder(RunRecorder):
         self._final_mhz = registry.gauge(f"{p}final_mhz")
         # Hot-loop buffers, reduced in contribute().
         self._quantum_rows: list = []
+        self._bulk_quanta: Optional[Tuple[list, float]] = None
         self._freq_rows: list = []
         self._volt_rows: list = []
         self.on_quantum = self._quantum_rows.append
@@ -276,29 +277,67 @@ class KernelMetricsRecorder(RunRecorder):
     def on_volt_change(self, change: VoltChange) -> None:
         self._volt_rows.append(change)
 
+    def replay_quantum_rows(self, rows: list, quantum_us: float) -> None:
+        # Bulk form: keep the shared row buffer and reduce it directly in
+        # contribute() -- no QuantumRecord per quantum.
+        self._bulk_quanta = (rows, quantum_us)
+
     def contribute(self, run: "KernelRun") -> None:
+        # Reduce whichever form the backend delivered: per-record
+        # captures, or a bulk row buffer with the constant quantum
+        # length.  Both walks visit (busy, quantum) pairs in arrival
+        # order with the same arithmetic, so the totals are bitwise
+        # equal either way.
+        # The two branches below duplicate the reduction body on purpose:
+        # a shared (busy, quantum) pair list or generator costs more than
+        # the reduction itself at 100k+ quanta.  Keep the arithmetic in
+        # both branches identical token-for-token — the equivalence suite
+        # compares their snapshots bitwise.
         busy_sum = idle_sum = 0.0
         u_sum = 0.0
         u_min = float("inf")
         u_max = float("-inf")
-        for record in self._quantum_rows:
-            busy = record.busy_us
-            quantum = record.quantum_us
-            busy_sum += busy
-            idle = quantum - busy
-            idle_sum += idle if idle > 0.0 else 0.0
-            # Inlined QuantumRecord.utilization (same ops, bitwise-equal).
-            u = busy / quantum if quantum > 0 else 0.0
-            if u < 0.0:
-                u = 0.0
-            elif u > 1.0:
-                u = 1.0
-            u_sum += u
-            if u < u_min:
-                u_min = u
-            if u > u_max:
-                u_max = u
-        n = len(self._quantum_rows)
+        if self._bulk_quanta is not None:
+            rows, quantum = self._bulk_quanta
+            n = len(rows)
+            quantum_positive = quantum > 0
+            for row in rows:
+                busy = row[1]
+                busy_sum += busy
+                idle = quantum - busy
+                idle_sum += idle if idle > 0.0 else 0.0
+                # Inlined QuantumRecord.utilization (same ops,
+                # bitwise-equal).
+                u = busy / quantum if quantum_positive else 0.0
+                if u < 0.0:
+                    u = 0.0
+                elif u > 1.0:
+                    u = 1.0
+                u_sum += u
+                if u < u_min:
+                    u_min = u
+                if u > u_max:
+                    u_max = u
+        else:
+            n = len(self._quantum_rows)
+            for record in self._quantum_rows:
+                busy = record.busy_us
+                quantum = record.quantum_us
+                busy_sum += busy
+                idle = quantum - busy
+                idle_sum += idle if idle > 0.0 else 0.0
+                # Inlined QuantumRecord.utilization (same ops,
+                # bitwise-equal).
+                u = busy / quantum if quantum > 0 else 0.0
+                if u < 0.0:
+                    u = 0.0
+                elif u > 1.0:
+                    u = 1.0
+                u_sum += u
+                if u < u_min:
+                    u_min = u
+                if u > u_max:
+                    u_max = u
         self._quanta.inc(n)
         self._busy_us.inc(busy_sum)
         self._idle_us.inc(idle_sum)
@@ -323,7 +362,12 @@ class KernelMetricsRecorder(RunRecorder):
         # perceptibility thresholds; tolerance-aware counts stay with the
         # measurement layer.
         self._misses.inc(sum(1 for e in run.events if e.lateness_us > 0.0))
-        if run.quanta:
+        # Prefer the run's quantum statistics for the final clock: a
+        # replaying backend keeps them alongside lazily-materialized
+        # quanta, and reading `run.quanta` first would force that
+        # materialization just for one float (same value either way).
+        stats = run.quantum_stats
+        if stats is not None and stats.count:
+            self._final_mhz.set(stats.final_mhz)
+        elif run.quanta:
             self._final_mhz.set(run.quanta[-1].mhz)
-        elif run.quantum_stats is not None and run.quantum_stats.count:
-            self._final_mhz.set(run.quantum_stats.final_mhz)

@@ -7,7 +7,9 @@ This module folds them into a single self-contained report — Table-2
 style rows per policy x workload x machine, with settling verdicts and
 energy decompositions joined in where available — rendered as markdown
 or as standalone HTML (inline CSS, no external assets, opens from a CI
-artifact without a web server).
+artifact without a web server).  Committed ``BENCH_*.json`` perf records
+can ride along as a "Perf history" section, so one document carries both
+the science and the cost of producing it.
 
 Rendering is pure: the same records produce the same document, so report
 snapshots can be golden-tested.
@@ -81,18 +83,25 @@ class SweepReport:
     total_runs: int
     total_cache_hits: int
     total_wall_s: float
+    #: committed ``BENCH_*.json`` benchmark records, rendered as a
+    #: "Perf history" section when present.
+    bench: Tuple[dict, ...] = ()
 
 
 def build_report(
     records: Sequence[dict],
     diagnoses: Sequence[PolicyDiagnosis] = (),
+    bench_records: Sequence[dict] = (),
 ) -> SweepReport:
     """Aggregate run-log records (and optional diagnoses) into a report.
 
     Records group by ``(policy, workload, machine)``; diagnoses join onto
     their matching group by the same labels.  Diagnoses without a
     matching record still appear (as diagnosis-only rows), so a report
-    built from a diagnosis log alone is not empty.
+    built from a diagnosis log alone is not empty.  ``bench_records``
+    (parsed ``BENCH_*.json`` perf records, as the benchmark suite
+    commits at the repo root) are carried through verbatim and rendered
+    as a "Perf history" section.
     """
     rows: Dict[Tuple[str, str, str], ReportRow] = {}
 
@@ -133,6 +142,7 @@ def build_report(
         total_runs=sum(r.runs for r in ordered),
         total_cache_hits=sum(r.cache_hits for r in ordered),
         total_wall_s=sum(r.wall_s for r in ordered),
+        bench=tuple(bench_records),
     )
 
 
@@ -187,6 +197,54 @@ _HEADER = [
     "excess J",
 ]
 
+_BENCH_HEADER = ["benchmark", "headline", "bar", "setup"]
+
+
+def _bench_cells(record: dict) -> List[str]:
+    """One perf-history table row from a committed ``BENCH_*.json`` dict.
+
+    Knows the headline figure of each benchmark the suite commits;
+    records from future benchmarks fall back to a generic numeric dump
+    so the section never fails to render.
+    """
+    name = str(record.get("benchmark", "?"))
+    setup = "-"
+    if record.get("machine"):
+        setup = (
+            f"{record['machine']}, {record.get('duration_s', '?')} s "
+            f"{record.get('workload', '?')}"
+        )
+    if name == "kernel_hotloop" and "fastpath_speedup" in record:
+        return [
+            name,
+            f"fastpath {record['fastpath_speedup']:g}x over full recorders",
+            f">= {record.get('min_fastpath_speedup', '?')}x",
+            setup,
+        ]
+    if name == "obs_overhead" and "enabled_overhead_pct" in record:
+        return [
+            name,
+            f"enabled +{record['enabled_overhead_pct']:g}%, "
+            f"disabled +{record.get('disabled_overhead_pct', 0):g}%",
+            f"<= {record.get('max_enabled_overhead_pct', '?')}% / "
+            f"{record.get('max_disabled_overhead_pct', '?')}%",
+            setup,
+        ]
+    if name == "sweep_throughput" and "new_cells_per_s" in record:
+        return [
+            name,
+            f"{record['new_cells_per_s']:g} cells/s "
+            f"({record.get('speedup', '?')}x over legacy)",
+            f">= {record.get('min_speedup', '?')}x",
+            setup,
+        ]
+    numbers = ", ".join(
+        f"{k}={v:g}"
+        for k, v in sorted(record.items())
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    )
+    return [name, numbers or "-", "-", setup]
+
 
 def _render_markdown(report: SweepReport) -> str:
     lines = ["# Sweep report", ""]
@@ -232,6 +290,15 @@ def _render_markdown(report: SweepReport) -> str:
                     f"{e.measured_j:.2f} J = {base} + "
                     f"{e.stall_j:.2f} J stall + {e.sag_j:.4f} J sag"
                 )
+        lines.append("")
+
+    if report.bench:
+        lines.append("## Perf history")
+        lines.append("")
+        lines.append("| " + " | ".join(_BENCH_HEADER) + " |")
+        lines.append("|" + "|".join(["---"] * len(_BENCH_HEADER)) + "|")
+        for record in report.bench:
+            lines.append("| " + " | ".join(_bench_cells(record)) + " |")
         lines.append("")
     return "\n".join(lines)
 
@@ -296,5 +363,18 @@ def _render_html(report: SweepReport) -> str:
                     f"{e.stall_j:.2f} J stall, {e.sag_j:.4f} J sag</li>"
                 )
         parts.append("</ul>")
+
+    if report.bench:
+        parts.append("<h2>Perf history</h2>")
+        parts.append("<table><tr>")
+        parts.extend(f"<th>{escape(h)}</th>" for h in _BENCH_HEADER)
+        parts.append("</tr>")
+        for record in report.bench:
+            parts.append("<tr>")
+            parts.extend(
+                f"<td>{escape(cell)}</td>" for cell in _bench_cells(record)
+            )
+            parts.append("</tr>")
+        parts.append("</table>")
     parts.append("</body></html>")
     return "\n".join(parts)

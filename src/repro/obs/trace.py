@@ -70,7 +70,10 @@ class TraceRecorder(RunRecorder):
         power: ``(start_us, end_us, watts)`` power segments, mirrored from
             the run's merged timeline at run end (empty under minimal
             recording, which keeps no timeline).
-        quanta: per-quantum utilization records.
+        quanta: per-quantum utilization records; a lazily-materializing
+            view (a replaying backend hands the stream over as raw rows,
+            which only become :class:`QuantumRecord` objects on first
+            read).
         decisions: scheduler activity log entries (always captured here,
             independent of ``KernelConfig.record_sched_log``); a
             materializing view over the internal tuple buffer.
@@ -79,7 +82,8 @@ class TraceRecorder(RunRecorder):
 
     def __init__(self) -> None:
         self.power: List[Tuple[float, float, float]] = []
-        self.quanta: List[QuantumRecord] = []
+        self._quanta_records: List[QuantumRecord] = []
+        self._quanta_rows: Optional[Tuple[List[tuple], float]] = None
         self._decision_rows: List[tuple] = []
         self.freq_changes: List[FreqChange] = []
         self.volt_changes: List[VoltChange] = []
@@ -87,7 +91,7 @@ class TraceRecorder(RunRecorder):
         # Rebind the single-argument hooks to C-level list appends and the
         # scheduler hook to a closure over the buffer's append; the kernel
         # dispatches instance attributes, so these win over the methods.
-        self.on_quantum = self.quanta.append
+        self.on_quantum = self._quanta_records.append
         self.on_freq_change = self.freq_changes.append
         self.on_volt_change = self.volt_changes.append
 
@@ -113,10 +117,42 @@ class TraceRecorder(RunRecorder):
     def on_volt_change(self, change: VoltChange) -> None:
         self.volt_changes.append(change)
 
+    def replay_quantum_rows(self, rows: List[tuple], quantum_us: float) -> None:
+        # Bulk form: keep the shared row buffer and defer QuantumRecord
+        # construction to the first `quanta` read (exports need records;
+        # most runs never look).
+        self._quanta_rows = (rows, quantum_us)
+
+    def replay_sched_rows(self, rows: List[tuple]) -> None:
+        # The backend's rows are already this buffer's tuple layout.
+        self._decision_rows.extend(rows)
+
     def contribute(self, run: "KernelRun") -> None:
         self._run = run
         self.power = list(run.timeline)
         run.trace = self
+
+    @property
+    def quanta(self) -> List[QuantumRecord]:
+        """Per-quantum utilization records (materialized on first read)."""
+        pending = self._quanta_rows
+        if pending is not None:
+            rows, q = pending
+            # Same construction as the run's own materialization — the
+            # records compare (bitwise-)equal to live on_quantum capture.
+            self._quanta_records = [
+                QuantumRecord(
+                    end_us=t,
+                    busy_us=b,
+                    quantum_us=q,
+                    step_index=si,
+                    mhz=m,
+                    volts=v,
+                )
+                for (t, b, _u, si, m, v) in rows
+            ]
+            self._quanta_rows = None
+        return self._quanta_records
 
     @property
     def decisions(self) -> List[SchedDecision]:

@@ -42,8 +42,10 @@ def test_load_corpus_collects_every_file():
 def test_entry_replays_bitwise_identically(path):
     entry = load_entry(path)
     gov = resolve_policy("best")
-    ref = run_workload(entry.workload(), gov, use_daq=False)
-    fast = run_workload(entry.workload(), gov, use_daq=False, fastpath=True)
+    ref = run_workload(entry.workload(), gov, use_daq=False,
+                       backend="reference")
+    fast = run_workload(entry.workload(), gov, use_daq=False,
+                        backend="fastpath")
     assert compare_results(ref, fast) == [], entry.name
 
 

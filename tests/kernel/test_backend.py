@@ -1,0 +1,113 @@
+"""Tests for the pluggable execution-backend registry."""
+
+import pytest
+
+from repro.core.catalog import resolve_policy
+from repro.kernel.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    FORCE_BACKEND_ENV,
+    ExecutionBackend,
+    backend_names,
+    register_backend,
+    resolve_backend,
+)
+from repro.kernel.fastpath import FastKernel
+from repro.kernel.scheduler import Kernel
+from repro.measure.runner import run_workload
+from repro.workloads.mpeg import MpegConfig, mpeg_workload
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert backend_names() == ["fastpath", "reference"]
+
+    def test_default_is_fastpath(self, monkeypatch):
+        # Clear any forced backend: CI runs the whole suite once under
+        # REPRO_FORCE_BACKEND=reference, and this test is about the
+        # *unforced* default.
+        monkeypatch.delenv(FORCE_BACKEND_ENV, raising=False)
+        assert DEFAULT_BACKEND == "fastpath"
+        assert resolve_backend(None) is BACKENDS["fastpath"]
+
+    def test_resolve_by_name(self):
+        assert resolve_backend("reference") is BACKENDS["reference"]
+        assert resolve_backend("fastpath") is BACKENDS["fastpath"]
+
+    def test_resolve_instance_passthrough(self):
+        backend = BACKENDS["reference"]
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_rejected_with_known_names(self):
+        with pytest.raises(ValueError, match="unknown backend 'batch'"):
+            resolve_backend("batch")
+        with pytest.raises(ValueError, match="fastpath, reference"):
+            resolve_backend("batch")
+
+    def test_register_seam_for_future_backends(self):
+        class BatchBackend(ExecutionBackend):
+            name = "test-batch"
+
+        backend = BatchBackend()
+        try:
+            assert register_backend(backend) is backend
+            assert resolve_backend("test-batch") is backend
+            assert "test-batch" in backend_names()
+        finally:
+            del BACKENDS["test-batch"]
+
+    def test_base_build_kernel_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ExecutionBackend().build_kernel(machine=None)
+
+
+class TestBuildKernel:
+    def test_reference_builds_reference_kernel(self):
+        from repro.hw.machines import MachineSpec
+
+        kernel = resolve_backend("reference").build_kernel(
+            MachineSpec("itsy").build()
+        )
+        assert type(kernel) is Kernel
+
+    def test_fastpath_builds_fast_kernel(self):
+        from repro.hw.machines import MachineSpec
+
+        kernel = resolve_backend("fastpath").build_kernel(
+            MachineSpec("itsy").build()
+        )
+        assert isinstance(kernel, FastKernel)
+
+
+class TestForceEnv:
+    """``REPRO_FORCE_BACKEND`` overrides only the *default* resolution."""
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(FORCE_BACKEND_ENV, "reference")
+        assert resolve_backend(None) is BACKENDS["reference"]
+
+    def test_env_does_not_override_explicit_choice(self, monkeypatch):
+        # Differential harnesses name both backends explicitly; a forced
+        # CI leg must not collapse them onto one backend.
+        monkeypatch.setenv(FORCE_BACKEND_ENV, "reference")
+        assert resolve_backend("fastpath") is BACKENDS["fastpath"]
+
+    def test_env_unknown_name_rejected(self, monkeypatch):
+        monkeypatch.setenv(FORCE_BACKEND_ENV, "warp")
+        with pytest.raises(ValueError, match="unknown backend 'warp'"):
+            resolve_backend(None)
+
+    def test_empty_env_means_default(self, monkeypatch):
+        monkeypatch.setenv(FORCE_BACKEND_ENV, "")
+        assert resolve_backend(None) is BACKENDS[DEFAULT_BACKEND]
+
+    def test_forced_run_matches_explicit_reference(self, monkeypatch):
+        workload = mpeg_workload(MpegConfig(duration_s=0.3))
+        gov = resolve_policy("best")
+        explicit = run_workload(
+            workload, gov, use_daq=False, backend="reference"
+        )
+        monkeypatch.setenv(FORCE_BACKEND_ENV, "reference")
+        forced = run_workload(workload, gov, use_daq=False)
+        assert forced.exact_energy_j == explicit.exact_energy_j
+        assert forced.run.quanta == explicit.run.quanta

@@ -1,13 +1,16 @@
-"""Fast-path kernel equivalence: FastKernel ≡ Kernel, bitwise.
+"""Execution-backend equivalence: fastpath ≡ reference, bitwise.
 
-The fast-path core (:mod:`repro.kernel.fastpath`) is only allowed to be
-faster — never different.  These tests drive every catalog policy ×
-workload × machine through both cores and assert bitwise equality of
+The fast-path backend (:mod:`repro.kernel.fastpath`) is only allowed to
+be faster — never different.  These tests drive every catalog policy ×
+workload × machine through both backends and assert bitwise equality of
 everything a run records: energies (exact and DAQ-sampled), deadline
 misses, the quantum log, the power timeline, clock/voltage transition
 logs and counters, per-pid busy accounting, and application events.
 Exception behaviour must match too (e.g. the stock Itsy rejecting the
-1.23 V request of ``best-voltage``) — same type, same message.
+1.23 V request of ``best-voltage``) — same type, same message.  The
+observed grid re-runs the whole grid with trace, metrics and diagnosis
+observers attached to both backends and demands identical observer
+output, not just identical runs.
 """
 
 import pytest
@@ -24,6 +27,9 @@ from repro.measure.parallel import (
     WorkloadSpec,
 )
 from repro.measure.runner import run_workload
+from repro.obs.diagnose import diagnose
+from repro.obs.metrics import KernelMetricsRecorder, MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.workloads.chess import ChessConfig, chess_workload
 from repro.workloads.editor import EditorConfig, editor_workload
 from repro.workloads.mpeg import MpegConfig, mpeg_workload
@@ -71,11 +77,12 @@ def run_one(
     workload_name,
     policy,
     spec,
-    fastpath,
+    backend,
     recording="full",
     use_daq=False,
     seed=0,
     duration_s=DURATION_S,
+    extra_recorders=None,
 ):
     workload = WORKLOAD_BUILDERS[workload_name](duration_s)
     factory = resolve_policy(policy, clock_table=spec.clock_table())
@@ -86,7 +93,8 @@ def run_one(
         seed=seed,
         use_daq=use_daq,
         recording=recording,
-        fastpath=fastpath,
+        extra_recorders=extra_recorders,
+        backend=backend,
     )
 
 
@@ -112,30 +120,92 @@ def assert_bitwise_equal(ref, fast):
 
 
 class TestCatalogGrid:
-    """The acceptance grid: every policy × workload × machine, both cores."""
+    """The acceptance grid: every policy × workload × machine, both backends."""
 
     @pytest.mark.parametrize("machine", MACHINES)
     @pytest.mark.parametrize("workload", sorted(WORKLOAD_BUILDERS))
     @pytest.mark.parametrize("key", POLICY_KEYS)
-    def test_cores_bitwise_equal(self, key, workload, machine):
+    def test_backends_bitwise_equal(self, key, workload, machine):
         spec = MachineSpec.parse(machine)
         policy = policy_name(key, spec)
         ref = fast = ref_exc = fast_exc = None
         try:
-            ref = run_one(workload, policy, spec, fastpath=False)
+            ref = run_one(workload, policy, spec, backend="reference")
         except Exception as exc:  # noqa: BLE001 - parity check below
             ref_exc = exc
         try:
-            fast = run_one(workload, policy, spec, fastpath=True)
+            fast = run_one(workload, policy, spec, backend="fastpath")
         except Exception as exc:  # noqa: BLE001 - parity check below
             fast_exc = exc
         if ref_exc is not None or fast_exc is not None:
-            # Both cores must fail identically (e.g. best-voltage on the
-            # stock Itsy: "this Itsy unit does not support 1.23 V").
+            # Both backends must fail identically (e.g. best-voltage on
+            # the stock Itsy: "this Itsy unit does not support 1.23 V").
             assert type(fast_exc) is type(ref_exc)
             assert str(fast_exc) == str(ref_exc)
             return
         assert_bitwise_equal(ref, fast)
+
+
+def observed_run(workload, policy, spec, backend, duration_s):
+    """One observed run: trace + metrics + diagnosis on ``backend``."""
+    tracer = TraceRecorder()
+    registry = MetricsRegistry()
+    result = run_one(
+        workload, policy, spec, backend=backend, duration_s=duration_s,
+        extra_recorders=[tracer, KernelMetricsRecorder(registry)],
+    )
+    diagnosis = diagnose(
+        result,
+        policy=policy,
+        workload=workload,
+        machine=spec,
+        machine_label=spec.label,
+        baseline_j=None,
+    )
+    return result, tracer, registry.snapshot(), diagnosis
+
+
+class TestObservedGrid:
+    """The same grid, observed: trace + metrics + diagnosis recorders
+    attached on both backends must leave runs bitwise-identical and
+    produce identical observer output (no fallback path remains)."""
+
+    OBSERVED_DURATION_S = 1.0
+
+    @pytest.mark.parametrize("machine", MACHINES)
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_BUILDERS))
+    @pytest.mark.parametrize("key", POLICY_KEYS)
+    def test_observers_identical_across_backends(self, key, workload, machine):
+        spec = MachineSpec.parse(machine)
+        policy = policy_name(key, spec)
+        outcomes = {}
+        errors = {}
+        for backend in ("reference", "fastpath"):
+            try:
+                outcomes[backend] = observed_run(
+                    workload, policy, spec, backend, self.OBSERVED_DURATION_S
+                )
+            except Exception as exc:  # noqa: BLE001 - parity check below
+                errors[backend] = exc
+        if errors:
+            ref_exc = errors.get("reference")
+            fast_exc = errors.get("fastpath")
+            assert type(fast_exc) is type(ref_exc)
+            assert str(fast_exc) == str(ref_exc)
+            return
+        ref, ref_trace, ref_snap, ref_diag = outcomes["reference"]
+        fast, fast_trace, fast_snap, fast_diag = outcomes["fastpath"]
+        assert_bitwise_equal(ref, fast)
+        # Trace buffers: every stream, element for element.
+        assert fast_trace.quanta == ref_trace.quanta
+        assert fast_trace.freq_changes == ref_trace.freq_changes
+        assert fast_trace.volt_changes == ref_trace.volt_changes
+        assert fast_trace.power == ref_trace.power
+        assert fast_trace.decisions == ref_trace.decisions
+        # Metrics: identical counters, gauges and histograms.
+        assert fast_snap == ref_snap
+        # Diagnosis: the full report, field for field.
+        assert fast_diag.to_json() == ref_diag.to_json()
 
 
 class TestRecordingModes:
@@ -144,10 +214,10 @@ class TestRecordingModes:
         spec = MachineSpec.parse("itsy")
         policy = policy_name(key, spec)
         ref = run_one(
-            "mpeg", policy, spec, fastpath=False, recording=RECORDING_MINIMAL
+            "mpeg", policy, spec, "reference", recording=RECORDING_MINIMAL
         )
         fast = run_one(
-            "mpeg", policy, spec, fastpath=True, recording=RECORDING_MINIMAL
+            "mpeg", policy, spec, "fastpath", recording=RECORDING_MINIMAL
         )
         assert fast.exact_energy_j == ref.exact_energy_j
         assert fast.run.energy == ref.run.energy
@@ -156,9 +226,9 @@ class TestRecordingModes:
 
     def test_minimal_equals_full_on_fastpath(self):
         spec = MachineSpec.parse("itsy")
-        full = run_one("mpeg", "best", spec, fastpath=True)
+        full = run_one("mpeg", "best", spec, "fastpath")
         minimal = run_one(
-            "mpeg", "best", spec, fastpath=True, recording=RECORDING_MINIMAL
+            "mpeg", "best", spec, "fastpath", recording=RECORDING_MINIMAL
         )
         assert minimal.exact_energy_j == full.exact_energy_j
         assert minimal.run.quantum_stats.count == len(full.run.quanta)
@@ -173,8 +243,8 @@ class TestDaqPath:
     @pytest.mark.parametrize("workload", sorted(WORKLOAD_BUILDERS))
     def test_daq_energy_bitwise_equal(self, workload):
         spec = MachineSpec.parse("itsy")
-        ref = run_one(workload, "best", spec, fastpath=False, use_daq=True)
-        fast = run_one(workload, "best", spec, fastpath=True, use_daq=True)
+        ref = run_one(workload, "best", spec, "reference", use_daq=True)
+        fast = run_one(workload, "best", spec, "fastpath", use_daq=True)
         assert fast.energy_j == ref.energy_j
         assert fast.mean_power_w == ref.mean_power_w
 
@@ -185,8 +255,8 @@ class TestLongRuns:
     @pytest.mark.parametrize("policy", ["best", "best-voltage"])
     def test_30s_mpeg_bitwise_equal(self, policy):
         spec = MachineSpec.parse("itsy")
-        ref = run_one("mpeg", policy, spec, fastpath=False, duration_s=30.0)
-        fast = run_one("mpeg", policy, spec, fastpath=True, duration_s=30.0)
+        ref = run_one("mpeg", policy, spec, "reference", duration_s=30.0)
+        fast = run_one("mpeg", policy, spec, "fastpath", duration_s=30.0)
         assert_bitwise_equal(ref, fast)
 
     def test_sched_log_matches(self):
@@ -198,11 +268,11 @@ class TestLongRuns:
         factory = resolve_policy("best", clock_table=spec.clock_table())
         ref = run_workload(
             workload, factory, machine_factory=spec, use_daq=False,
-            kernel_config=cfg, fastpath=False,
+            kernel_config=cfg, backend="reference",
         )
         fast = run_workload(
             workload, factory, machine_factory=spec, use_daq=False,
-            kernel_config=cfg, fastpath=True,
+            kernel_config=cfg, backend="fastpath",
         )
         assert fast.run.sched_log == ref.run.sched_log
 
@@ -213,18 +283,20 @@ class TestSweepIntegration:
             workload=WorkloadSpec("mpeg", MpegConfig(duration_s=0.4)),
             policy=PolicySpec("best"),
         )
-        assert SweepCell(fastpath=True, **base).run() == SweepCell(**base).run()
+        fast = SweepCell(backend="fastpath", **base).run()
+        ref = SweepCell(backend="reference", **base).run()
+        assert fast == ref
 
-    def test_fastpath_shares_cache_with_reference(self, tmp_path):
+    def test_backends_share_cache(self, tmp_path):
         base = dict(
             workload=WorkloadSpec("mpeg", MpegConfig(duration_s=0.4)),
             policy=PolicySpec("best"),
         )
         cache = ResultCache(tmp_path)
         cold = SweepEngine(cache=cache)
-        cold.run([SweepCell(fastpath=True, **base)])
+        cold.run([SweepCell(backend="fastpath", **base)])
         assert cold.stats.executed == 1
         warm = SweepEngine(cache=cache)
-        warm.run([SweepCell(**base)])
+        warm.run([SweepCell(backend="reference", **base)])
         assert warm.stats.cache_hits == 1
         assert warm.stats.executed == 0

@@ -1,5 +1,5 @@
-"""Tests for the differential fuzz harness (and the fast-path fallback
-accounting it leans on)."""
+"""Tests for the differential fuzz harness (and the backend-agnostic
+observer taps it leans on)."""
 
 import io
 from contextlib import redirect_stderr
@@ -25,10 +25,7 @@ from repro.measure.parallel import (
     SweepEngine,
     WorkloadSpec,
 )
-from repro.measure.runner import (
-    reset_fastpath_fallback_note,
-    run_workload,
-)
+from repro.measure.runner import run_workload
 from repro.obs.metrics import KernelMetricsRecorder, MetricsRegistry
 from repro.traces.corpus import load_entry, save_entry
 from repro.workloads.fuzz import FuzzSpec, fuzz_family
@@ -41,8 +38,10 @@ class TestCompareResults:
     def run_pair(self, seed=0):
         gov = resolve_policy("best")
         wl = mpeg_workload(MpegConfig(duration_s=0.5))
-        ref = run_workload(wl, gov, seed=seed, use_daq=False)
-        fast = run_workload(wl, gov, seed=seed, use_daq=False, fastpath=True)
+        ref = run_workload(wl, gov, seed=seed, use_daq=False,
+                           backend="reference")
+        fast = run_workload(wl, gov, seed=seed, use_daq=False,
+                            backend="fastpath")
         return ref, fast
 
     def test_identical_runs_have_no_mismatches(self):
@@ -137,7 +136,7 @@ class TestShrinking:
         real_check = differential.check_fuzz_spec
 
         def fake_check(spec, policy="best", machine=None, seed=0,
-                       check_decomposition=True):
+                       check_decomposition=True, backend="fastpath"):
             outcome = real_check(spec, policy, machine, seed,
                                  check_decomposition=False)
             if spec.processes > 1:
@@ -178,73 +177,56 @@ class TestShrinking:
         assert counterexample_entry(outcome) is None
 
 
-class TestFastpathFallback:
-    """Satellite: the silent fast-path fallback is now explicit."""
+class TestObservedBackends:
+    """Satellite: observers attach to either backend, no fallback left."""
 
-    def _observed_run(self, fastpath):
+    def _observed_run(self, backend):
         registry = MetricsRegistry()
-        return run_workload(
+        result = run_workload(
             mpeg_workload(MpegConfig(duration_s=0.3)),
             resolve_policy("best"),
             use_daq=False,
-            fastpath=fastpath,
+            backend=backend,
             extra_recorders=[KernelMetricsRecorder(registry)],
         )
+        return result, registry.snapshot()
 
-    def test_note_printed_once_per_process(self):
-        reset_fastpath_fallback_note()
+    def test_no_fallback_note_on_either_backend(self):
         buf = io.StringIO()
         with redirect_stderr(buf):
-            self._observed_run(fastpath=True)
-            self._observed_run(fastpath=True)
-        err = buf.getvalue()
-        assert err.count("falling back to the reference kernel") == 1
-
-    def test_no_note_without_fastpath(self):
-        reset_fastpath_fallback_note()
-        buf = io.StringIO()
-        with redirect_stderr(buf):
-            self._observed_run(fastpath=False)
+            self._observed_run("fastpath")
+            self._observed_run("reference")
         assert buf.getvalue() == ""
 
-    def test_fallback_result_still_bitwise_equal(self):
-        reset_fastpath_fallback_note()
-        buf = io.StringIO()
-        with redirect_stderr(buf):
-            observed = self._observed_run(fastpath=True)
+    def test_observed_fastpath_bitwise_equal_to_plain(self):
+        observed, _ = self._observed_run("fastpath")
         plain = run_workload(
             mpeg_workload(MpegConfig(duration_s=0.3)),
             resolve_policy("best"),
             use_daq=False,
-            fastpath=True,
+            backend="fastpath",
         )
         assert compare_results(plain, observed) == []
 
-    def test_sweep_stats_count_fallbacks(self):
-        reset_fastpath_fallback_note()
+    def test_observed_metrics_identical_across_backends(self):
+        fast_result, fast_snap = self._observed_run("fastpath")
+        ref_result, ref_snap = self._observed_run("reference")
+        assert compare_results(ref_result, fast_result) == []
+        assert fast_snap.counters == ref_snap.counters
+        assert fast_snap.histograms == ref_snap.histograms
+
+    def test_observed_sweep_stays_on_requested_backend(self):
         cell = SweepCell(
             workload=WorkloadSpec("mpeg", MpegConfig(duration_s=0.3)),
             policy=PolicySpec("best"),
             machine=MachineSpec("itsy"),
             use_daq=False,
-            fastpath=True,
+            backend="fastpath",
         )
         buf = io.StringIO()
         with redirect_stderr(buf):
             with SweepEngine(jobs=1, metrics=MetricsRegistry()) as engine:
                 engine.run([cell])
-        assert engine.stats.fastpath_fallbacks == 1
-        assert "fastpath cells ran on the reference kernel" in engine.stats.summary()
-
-    def test_sweep_without_metrics_counts_none(self):
-        cell = SweepCell(
-            workload=WorkloadSpec("mpeg", MpegConfig(duration_s=0.3)),
-            policy=PolicySpec("best"),
-            machine=MachineSpec("itsy"),
-            use_daq=False,
-            fastpath=True,
-        )
-        with SweepEngine(jobs=1) as engine:
-            engine.run([cell])
-        assert engine.stats.fastpath_fallbacks == 0
+        assert buf.getvalue() == ""
+        assert not hasattr(engine.stats, "fastpath_fallbacks")
         assert "fastpath" not in engine.stats.summary()

@@ -141,3 +141,98 @@ class TestRenderers:
         report = build_report([record(), record(v=1)])
         assert "> **warning:**" in render_report(report, FORMAT_MARKDOWN)
         assert 'class="warning"' in render_report(report, FORMAT_HTML)
+
+
+def bench_record(**overrides) -> dict:
+    base = dict(
+        benchmark="kernel_hotloop",
+        machine="itsy",
+        workload="mpeg",
+        duration_s=60.0,
+        fastpath_speedup=2.9,
+        min_fastpath_speedup=2.0,
+        full_wall_s=0.14,
+    )
+    base.update(overrides)
+    return base
+
+
+class TestPerfHistory:
+    def test_absent_without_bench_records(self):
+        text = render_report(build_report([record()]), FORMAT_MARKDOWN)
+        assert "Perf history" not in text
+
+    def test_markdown_section_renders_known_benchmarks(self):
+        report = build_report(
+            [record()],
+            bench_records=[
+                bench_record(),
+                dict(
+                    benchmark="obs_overhead",
+                    machine="itsy",
+                    workload="mpeg",
+                    duration_s=60.0,
+                    enabled_overhead_pct=2.3,
+                    disabled_overhead_pct=0.0,
+                    max_enabled_overhead_pct=10.0,
+                    max_disabled_overhead_pct=5.0,
+                ),
+                dict(
+                    benchmark="sweep_throughput",
+                    machine="itsy",
+                    workload="mpeg",
+                    duration_s=60.0,
+                    new_cells_per_s=22.7,
+                    speedup=3.1,
+                    min_speedup=3.0,
+                ),
+            ],
+        )
+        text = render_report(report, FORMAT_MARKDOWN)
+        assert "## Perf history" in text
+        assert "fastpath 2.9x over full recorders" in text
+        assert "enabled +2.3%" in text
+        assert "22.7 cells/s" in text
+
+    def test_html_section_renders(self):
+        text = render_report(
+            build_report([record()], bench_records=[bench_record()]),
+            FORMAT_HTML,
+        )
+        assert "<h2>Perf history</h2>" in text
+        assert "fastpath 2.9x over full recorders" in text
+
+    def test_unknown_benchmark_falls_back_to_numeric_dump(self):
+        text = render_report(
+            build_report(
+                [record()],
+                bench_records=[dict(benchmark="future_bench", widgets=7.0)],
+            ),
+            FORMAT_MARKDOWN,
+        )
+        assert "future_bench" in text
+        assert "widgets=7" in text
+
+    def test_committed_records_render(self):
+        # The actual BENCH_*.json files at the repo root must flow
+        # through the renderer without falling back or raising.
+        import json
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        records = [
+            json.loads(p.read_text())
+            for p in sorted(root.glob("BENCH_*.json"))
+        ]
+        assert records, "committed BENCH_*.json records missing"
+        text = render_report(
+            build_report([record()], bench_records=records), FORMAT_MARKDOWN
+        )
+        assert "## Perf history" in text
+        for line in text.splitlines():
+            if line.startswith("| kernel_hotloop"):
+                assert "fastpath" in line
+            if line.startswith("| obs_overhead"):
+                assert "enabled" in line
+            if line.startswith("| sweep_throughput"):
+                assert "cells/s" in line

@@ -19,7 +19,7 @@ from repro.measure.runner import run_workload
 from repro.workloads.fuzz import FuzzSpec, fuzz_family, fuzz_plan, fuzz_workload
 
 
-def run_spec(spec, policy="best", machine="itsy", seed=0, fastpath=False):
+def run_spec(spec, policy="best", machine="itsy", seed=0, backend=None):
     mspec = MachineSpec.parse(machine)
     return run_workload(
         fuzz_workload(spec),
@@ -27,7 +27,7 @@ def run_spec(spec, policy="best", machine="itsy", seed=0, fastpath=False):
         machine_factory=mspec,
         seed=seed,
         use_daq=False,
-        fastpath=fastpath,
+        backend=backend,
     )
 
 
