@@ -52,7 +52,19 @@ identity and a closed energy decomposition, shrinking failures and
 saving them as replayable corpus entries (see
 :mod:`repro.traces.corpus`).
 ``report`` additionally renders a "Perf history" section from any
-committed ``BENCH_*.json`` benchmark records passed via ``--bench``.
+committed ``BENCH_*.json`` benchmark records passed via ``--bench``
+(files, directories or globs, ordered by recorded timestamp).
+
+Sweep commands also take the sweep-telemetry flags: ``--progress`` for a
+live TTY status line (cells done/total, cells/s, ETA, cache-hit rate,
+worker utilization, straggler flags — silent when stderr is piped),
+``--sweep-trace PATH`` to export the whole sweep pipeline as a Chrome
+trace with one lane per pool worker (see :mod:`repro.obs.telemetry`),
+and the fleet ledger: every engine-served sweep appends one record to
+``.repro/fleet.jsonl`` (``--fleet PATH`` overrides, ``--no-fleet`` opts
+out), queryable afterwards with ``repro fleet`` — list/filter past
+sweeps, throughput trend, markdown/HTML perf-trajectory reports (see
+:mod:`repro.obs.fleet`).
 """
 
 from __future__ import annotations
@@ -76,7 +88,9 @@ from repro.measure.parallel import (
     WorkloadSpec,
 )
 from repro.obs.diagnose import DiagnosisWriter
+from repro.obs.fleet import DEFAULT_FLEET_PATH, FleetLedger, read_fleet
 from repro.obs.runlog import RunLogWriter
+from repro.obs.telemetry import SweepTelemetry
 from repro.measure.runner import find_ideal_constant, repeat_workload, run_workload
 from repro.measure.stats import confidence_interval
 from repro.workloads.base import Workload
@@ -138,15 +152,20 @@ def machine_spec(args) -> MachineSpec:
 
 def sweep_engine(args) -> Optional[SweepEngine]:
     """Build the sweep engine the ``--jobs``/``--cache``/``--run-log``/
-    ``--diagnoses`` flags ask for.
+    ``--diagnoses``/``--progress``/``--sweep-trace``/``--fleet`` flags
+    ask for.
 
     Returns None when none of the flags is given: the command then takes
-    the legacy serial, uncached path.
+    the legacy serial, uncached path (and records nothing in the fleet
+    ledger — only engine-served sweeps are ledger entries).
     """
     jobs = getattr(args, "jobs", 1)
     cache_dir = getattr(args, "cache", None)
     run_log_path = getattr(args, "run_log", None)
     diagnoses_path = getattr(args, "diagnoses", None)
+    progress = getattr(args, "progress", False)
+    sweep_trace = getattr(args, "sweep_trace", None)
+    fleet_path = getattr(args, "fleet", None)
     if getattr(args, "no_cache", False):
         cache_dir = None
     if (
@@ -154,6 +173,9 @@ def sweep_engine(args) -> Optional[SweepEngine]:
         and cache_dir is None
         and run_log_path is None
         and diagnoses_path is None
+        and not progress
+        and sweep_trace is None
+        and fleet_path is None
     ):
         return None
     cache = ResultCache(cache_dir) if cache_dir else None
@@ -164,6 +186,8 @@ def sweep_engine(args) -> Optional[SweepEngine]:
         cache=cache,
         run_log=run_log,
         diagnosis_log=diagnosis_log,
+        telemetry=SweepTelemetry() if sweep_trace else None,
+        progress=progress,
     )
 
 
@@ -175,15 +199,43 @@ def cell_backend(args) -> Optional[str]:
     return getattr(args, "backend", None)
 
 
-def report_sweep_stats(engine: Optional[SweepEngine]) -> None:
-    """Print the engine's throughput summary to stderr and shut it down."""
-    if engine is not None:
-        print(engine.stats.summary(), file=sys.stderr)
-        engine.close()
-        if engine.run_log is not None:
-            engine.run_log.close()
-        if engine.diagnosis_log is not None:
-            engine.diagnosis_log.close()
+def report_sweep_stats(
+    engine: Optional[SweepEngine], args=None
+) -> None:
+    """Print the engine's throughput summary to stderr and shut it down.
+
+    With ``args``, also settles the sweep-level observers: exports the
+    ``--sweep-trace`` Chrome trace when requested, and appends one fleet
+    record to the ledger (``--fleet`` path or the repo-local default)
+    unless ``--no-fleet`` opted out.
+    """
+    if engine is None:
+        return
+    print(engine.stats.summary(), file=sys.stderr)
+    engine.close()
+    if engine.run_log is not None:
+        engine.run_log.close()
+    if engine.diagnosis_log is not None:
+        engine.diagnosis_log.close()
+    if args is None:
+        return
+    sweep_trace = getattr(args, "sweep_trace", None)
+    if sweep_trace and engine.telemetry is not None:
+        from repro.obs.trace import write_chrome_trace
+
+        payload = engine.telemetry.chrome_trace()
+        out = write_chrome_trace(payload, sweep_trace)
+        print(
+            f"sweep trace: {out} ({len(payload['traceEvents'])} events, "
+            f"{payload['otherData']['workers']} worker lanes; open in "
+            f"Perfetto)",
+            file=sys.stderr,
+        )
+    if not getattr(args, "no_fleet", False):
+        fleet_path = getattr(args, "fleet", None) or DEFAULT_FLEET_PATH
+        record = engine.fleet_record(command=getattr(args, "command", "") or "")
+        with FleetLedger(fleet_path) as ledger:
+            ledger.append(record)
 
 
 def cmd_list_policies(_args) -> int:
@@ -240,7 +292,7 @@ def cmd_run(args) -> int:
         if summary.missed:
             print(f"  worst: {summary.worst_miss_kind} late by "
                   f"{summary.worst_lateness_us / 1000:.1f} ms")
-        report_sweep_stats(engine)
+        report_sweep_stats(engine, args)
         return 1 if summary.missed else 0
     factory = resolve_policy(args.policy, clock_table=mspec.clock_table())
     result = run_workload(
@@ -295,7 +347,7 @@ def cmd_table2(args) -> int:
             ci = confidence_interval([c.energy_j for c in row])
             misses = sum(c.miss_count for c in row)
             print(f"{name:30s} {ci.low:9.2f} - {ci.high:5.2f} {misses:7d}")
-        report_sweep_stats(engine)
+        report_sweep_stats(engine, args)
         return 0
     table = mspec.clock_table()
     for name, policy in TABLE2_ROWS:
@@ -329,7 +381,7 @@ def cmd_fig9(args) -> int:
                 f"{step.mhz:6.1f} {res.mean_utilization * 100:11.1f}% "
                 f"{res.miss_count:7d}"
             )
-        report_sweep_stats(engine)
+        report_sweep_stats(engine, args)
         return 0
     cfg = MpegConfig(duration_s=args.duration or 30.0)
     for step in table:
@@ -395,7 +447,7 @@ def cmd_ideal(args) -> int:
             print(f"ideal constant  : {summary.final_mhz:.1f} MHz")
             print(f"energy          : {summary.exact_energy_j:.2f} J")
             print(f"mean utilization: {summary.mean_utilization:.3f}")
-            report_sweep_stats(engine)
+            report_sweep_stats(engine, args)
             return 0
         result = find_ideal_constant(
             workload, machine_factory=mspec, seed=args.seed,
@@ -543,16 +595,14 @@ def cmd_diagnose(args) -> int:
 def cmd_report(args) -> int:
     """Aggregate a run-log (plus optional diagnoses) into one document."""
     from repro.obs.diagnose import read_diagnoses
-    from repro.obs.report import build_report, render_report
+    from repro.obs.report import build_report, load_bench_records, render_report
     from repro.obs.runlog import read_run_log
 
     try:
         records = read_run_log(args.run_log)
         diagnoses = read_diagnoses(args.diagnoses) if args.diagnoses else []
-        bench_records = [
-            json.loads(Path(path).read_text()) for path in args.bench or []
-        ]
-    except (OSError, json.JSONDecodeError) as exc:
+        bench_records = load_bench_records(args.bench) if args.bench else []
+    except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     report = build_report(records, diagnoses, bench_records=bench_records)
@@ -650,6 +700,79 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """List, filter and render the fleet ledger of past sweeps."""
+    from repro.obs.fleet import throughput_trend
+    from repro.obs.report import build_report, load_bench_records, render_report
+
+    path = Path(args.ledger)
+    if not path.exists():
+        print(
+            f"error: no fleet ledger at {path} (engine-served sweeps "
+            f"record themselves there; run one first, e.g. "
+            f"`repro table2 --jobs 2`)",
+            file=sys.stderr,
+        )
+        return 1
+    history = read_fleet(path)
+    for warning in history.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    records = list(history.records)
+    if args.workload:
+        records = [r for r in records if args.workload in r.workloads]
+    if args.machine:
+        records = [r for r in records if args.machine in r.machines]
+    if args.backend:
+        records = [r for r in records if args.backend in r.backend.split(",")]
+    records.sort(key=lambda r: r.unix_time)
+    if args.last:
+        records = records[-args.last:]
+    if not records:
+        print("fleet: no recorded sweeps match the filters", file=sys.stderr)
+        return 1
+
+    try:
+        bench_records = load_bench_records(args.bench) if args.bench else []
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format:
+        report = build_report(
+            [], bench_records=bench_records, fleet_records=records
+        )
+        text = render_report(report, args.format)
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+            print(
+                f"wrote {args.output} ({len(records)} sweeps, "
+                f"format {args.format})",
+                file=sys.stderr,
+            )
+        else:
+            print(text)
+        return 0
+
+    import time as time_module
+
+    print(
+        f"{'sweep id':22s} {'when':17s} {'command':8s} {'cells':>6s} "
+        f"{'cached':>6s} {'cells/s':>8s} {'wall s':>7s} {'backend':10s} "
+        f"{'jobs':>4s}"
+    )
+    for r in records:
+        when = time_module.strftime(
+            "%Y-%m-%d %H:%M", time_module.localtime(r.unix_time)
+        )
+        print(
+            f"{r.sweep_id:22s} {when:17s} {(r.command or '-'):8s} "
+            f"{r.cells_total:6d} {r.cells_cached:6d} {r.cells_per_s:8.1f} "
+            f"{r.wall_s:7.1f} {(r.backend or '-'):10s} {r.jobs:4d}"
+        )
+    print(throughput_trend(records))
+    return 0
+
+
 def cmd_battery(_args) -> int:
     from repro.battery.lifetime import idle_lifetime_hours
 
@@ -700,6 +823,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--diagnoses", default=None, metavar="PATH",
         help="diagnose every executed cell in the workers and append "
              "JSONL diagnoses here (implies full recording)",
+    )
+    sweep_opts.add_argument(
+        "--progress", action="store_true",
+        help="live sweep progress on stderr (cells done/total, cells/s, "
+             "ETA, cache-hit rate, worker utilization, stragglers); "
+             "silently degrades to the summary line when not a TTY",
+    )
+    sweep_opts.add_argument(
+        "--sweep-trace", default=None, metavar="PATH", dest="sweep_trace",
+        help="export the sweep pipeline as Chrome trace-event JSON with "
+             "one lane per pool worker (open in Perfetto)",
+    )
+    sweep_opts.add_argument(
+        "--fleet", default=None, metavar="PATH",
+        help=f"fleet ledger to append this sweep's record to "
+             f"(default: {DEFAULT_FLEET_PATH})",
+    )
+    sweep_opts.add_argument(
+        "--no-fleet", action="store_true", dest="no_fleet",
+        help="do not record this sweep in the fleet ledger",
     )
 
     machine_opts = argparse.ArgumentParser(add_help=False)
@@ -799,13 +942,56 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--diagnoses", default=None, metavar="PATH",
                                help="join a JSONL diagnosis log into the report")
     report_parser.add_argument("--bench", nargs="+", default=None,
-                               metavar="JSON",
-                               help="render committed BENCH_*.json perf "
-                                    "records as a Perf history section")
+                               metavar="PATH",
+                               help="render BENCH_*.json perf records as a "
+                                    "Perf history section; accepts files, "
+                                    "directories or globs, ordered by "
+                                    "recorded timestamp (e.g. --bench .)")
     report_parser.add_argument("--format", choices=["md", "html"], default="md")
     report_parser.add_argument("-o", "--output", default=None, metavar="PATH",
                                help="write the report here instead of stdout")
     report_parser.set_defaults(func=cmd_report)
+
+    fleet_parser = sub.add_parser(
+        "fleet",
+        help="list past sweeps from the fleet ledger and their "
+             "throughput trend",
+    )
+    fleet_parser.add_argument(
+        "--ledger", default=str(DEFAULT_FLEET_PATH), metavar="PATH",
+        help=f"fleet ledger to read (default: {DEFAULT_FLEET_PATH})",
+    )
+    fleet_parser.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the N most recent sweeps",
+    )
+    fleet_parser.add_argument(
+        "--workload", default=None, metavar="NAME",
+        help="only sweeps whose grid included this workload",
+    )
+    fleet_parser.add_argument(
+        "--machine", default=None, metavar="NAME",
+        help="only sweeps whose grid included this machine label",
+    )
+    fleet_parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="only sweeps executed on this backend",
+    )
+    fleet_parser.add_argument(
+        "--bench", nargs="+", default=None, metavar="PATH",
+        help="fold BENCH_*.json perf records into the rendered report "
+             "(files, directories or globs)",
+    )
+    fleet_parser.add_argument(
+        "--format", choices=["md", "html"], default=None,
+        help="render a markdown/HTML fleet report instead of the "
+             "plain-text listing",
+    )
+    fleet_parser.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the rendered report here instead of stdout",
+    )
+    fleet_parser.set_defaults(func=cmd_fleet)
 
     fuzz_parser = sub.add_parser(
         "fuzz",

@@ -35,12 +35,17 @@ lock this in.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import inspect
 import json
+import multiprocessing
 import os
+import queue as queue_module
+import sys
 import tempfile
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -48,10 +53,12 @@ from time import perf_counter
 from typing import (
     Callable,
     Dict,
+    IO,
     Iterable,
     List,
     Mapping,
     Optional,
+    Set,
     Tuple,
     Union,
 )
@@ -72,7 +79,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from repro.obs.fleet import FleetRecord, git_sha, new_sweep_id
 from repro.obs.runlog import RunLogRecord, RunLogWriter, now_unix
+from repro.obs.telemetry import (
+    HEARTBEAT_DONE,
+    HEARTBEAT_START,
+    LANE_ENGINE,
+    ProgressModel,
+    ProgressRenderer,
+    SweepTelemetry,
+)
+from repro.kernel.backend import resolve_backend
 from repro.measure.stats import ConfidenceInterval, confidence_interval
 from repro.workloads.base import Workload
 from repro.workloads.chess import ChessConfig, chess_workload
@@ -561,22 +578,33 @@ def _execute_cell(cell: SweepCell) -> CellResult:
 
 def _execute_cell_observed(
     cell: SweepCell, with_metrics: bool
-) -> Tuple[CellResult, float, Optional[MetricsSnapshot]]:
+) -> Tuple[CellResult, float, Optional[MetricsSnapshot], int, float, float]:
     """Instrumented worker: times the cell and (optionally) collects the
     kernel hot-loop metrics in a worker-local registry whose snapshot the
     parent merges.  The simulation itself is the very same ``cell.run``
-    the plain worker calls, so results stay bitwise-identical."""
+    the plain worker calls, so results stay bitwise-identical.
+
+    The trailing ``(pid, t_start, t_end)`` fields carry the executing
+    process and the cell's ``perf_counter`` interval home on the result
+    channel — the telemetry layer builds its per-cell worker-lane spans
+    from these (never from heartbeats, which are display-only and may
+    trail the future's completion).
+    """
     registry = MetricsRegistry() if with_metrics else None
     extra = [KernelMetricsRecorder(registry)] if registry is not None else None
     start = perf_counter()
     result = cell.run(extra_recorders=extra)
-    wall_s = perf_counter() - start
-    return result, wall_s, registry.snapshot() if registry is not None else None
+    end = perf_counter()
+    snap = registry.snapshot() if registry is not None else None
+    return result, end - start, snap, os.getpid(), start, end
 
 
 def _execute_cell_diagnosed(
     cell: SweepCell, with_metrics: bool, baseline_j: Optional[float]
-) -> Tuple[CellResult, float, Optional[MetricsSnapshot], PolicyDiagnosis]:
+) -> Tuple[
+    CellResult, float, Optional[MetricsSnapshot], PolicyDiagnosis,
+    int, float, float,
+]:
     """Diagnosing worker: runs the cell with full recording, computes its
     :class:`~repro.obs.diagnose.PolicyDiagnosis` worker-side, and ships
     the picklable diagnosis home alongside the summary — the diagnosis
@@ -585,6 +613,11 @@ def _execute_cell_diagnosed(
     Full recording is forced (diagnosis needs the quantum log and power
     timeline); that cannot change the summary, because recording modes
     are bitwise-equivalent in everything a :class:`CellResult` carries.
+
+    ``wall_s`` keeps its historical meaning (simulation time only) while
+    the telemetry interval ``t_start..t_end`` covers simulate + diagnose
+    — the span shows what the worker was occupied with, the run-log
+    shows what the simulation cost.
     """
     registry = MetricsRegistry() if with_metrics else None
     extra = [KernelMetricsRecorder(registry)] if registry is not None else None
@@ -606,10 +639,18 @@ def _execute_cell_diagnosed(
         wall_s,
         registry.snapshot() if registry is not None else None,
         diagnosis,
+        os.getpid(),
+        start,
+        perf_counter(),
     )
 
 
-def _warm_worker() -> None:
+#: Worker-global heartbeat channel, installed by :func:`_warm_worker`.
+#: None in workers whose engine runs without live progress.
+_HEARTBEATS: Optional[object] = None
+
+
+def _warm_worker(heartbeats: Optional[object] = None) -> None:
     """Pool initializer: preimport the simulator once per worker process.
 
     With the ``fork`` start method workers inherit the parent's modules
@@ -617,8 +658,25 @@ def _warm_worker() -> None:
     the kernel, workloads and measurement stack out of the first chunk's
     latency.  Importing :mod:`repro.measure.runner` pulls in everything a
     cell run touches (both kernel cores, all workload builders, the DAQ).
+
+    ``heartbeats`` is the engine's live-progress queue (or None): pool
+    initargs travel through ``Process`` arguments, which is exactly the
+    channel a ``multiprocessing.Queue`` is allowed to cross.
     """
+    global _HEARTBEATS
+    _HEARTBEATS = heartbeats
     import repro.measure.runner  # noqa: F401
+
+
+def _heartbeat(tag: str, cell_id: Optional[int]) -> None:
+    """Emit one display heartbeat, best-effort (never fails the cell)."""
+    hb = _HEARTBEATS
+    if hb is None or cell_id is None:
+        return
+    try:
+        hb.put((tag, os.getpid(), cell_id, perf_counter()))
+    except Exception:  # pragma: no cover - queue torn down mid-sweep
+        pass
 
 
 def _execute_chunk(
@@ -626,6 +684,7 @@ def _execute_chunk(
     mode: str,
     with_metrics: bool,
     baseline_js: List[Optional[float]],
+    cell_ids: Optional[List[int]] = None,
 ) -> List[Tuple[str, object]]:
     """Run a contiguous chunk of cells in one pool task.
 
@@ -637,9 +696,17 @@ def _execute_chunk(
     with the original exception as ``__cause__``.  ``mode`` selects the
     same per-cell entry points the unchunked engine used: ``"plain"``,
     ``"observed"`` or ``"diagnosed"``.
+
+    When the worker carries a heartbeat queue (live ``--progress``),
+    each cell brackets its execution with start/done heartbeats keyed by
+    ``cell_ids`` — pure display traffic on a side channel; results still
+    travel only on the pool's result path.
     """
+    if cell_ids is None:
+        cell_ids = [None] * len(cells)  # type: ignore[list-item]
     out: List[Tuple[str, object]] = []
-    for cell, baseline_j in zip(cells, baseline_js):
+    for cell, baseline_j, cell_id in zip(cells, baseline_js, cell_ids):
+        _heartbeat(HEARTBEAT_START, cell_id)
         try:
             if mode == "diagnosed":
                 outcome: object = _execute_cell_diagnosed(
@@ -652,6 +719,7 @@ def _execute_chunk(
             out.append(("ok", outcome))
         except Exception as exc:
             out.append(("err", exc))
+        _heartbeat(HEARTBEAT_DONE, cell_id)
     return out
 
 
@@ -725,6 +793,91 @@ class SweepStats:
         )
 
 
+class _HeartbeatPump:
+    """Drains worker heartbeats into the progress model while futures fly.
+
+    A daemon thread blocks on the heartbeat queue with a short timeout so
+    the display stays live between chunk completions; :meth:`stop` joins
+    the thread and then drains whatever the queue's feeder thread had
+    still in flight — heartbeats are asynchronous to the result channel,
+    so trailing events after the last future are normal, not a bug.
+    """
+
+    def __init__(
+        self,
+        heartbeats: object,
+        model: ProgressModel,
+        renderer: Optional[ProgressRenderer],
+        labels: Dict[int, str],
+        lock: threading.Lock,
+    ):
+        self._heartbeats = heartbeats
+        self._model = model
+        self._renderer = renderer
+        self._labels = labels
+        self._lock = lock
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="sweep-heartbeats", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._drain(timeout=0.05)
+
+    def _drain(self, timeout: Optional[float] = None) -> None:
+        try:
+            event = self._heartbeats.get(timeout=timeout)  # type: ignore[attr-defined]
+        except (queue_module.Empty, OSError, ValueError):
+            return
+        if event is not None:
+            self._apply(event)
+        while True:
+            try:
+                event = self._heartbeats.get_nowait()  # type: ignore[attr-defined]
+            except (queue_module.Empty, OSError, ValueError):
+                break
+            if event is not None:
+                self._apply(event)
+
+    def _apply(self, event: Tuple[str, int, int, float]) -> None:
+        tag, pid, cell_id, t = event
+        with self._lock:
+            if tag == HEARTBEAT_START:
+                self._model.cell_started(
+                    pid, cell_id, t, self._labels.get(cell_id, "")
+                )
+            elif tag == HEARTBEAT_DONE:
+                self._model.cell_finished(pid, cell_id, t)
+        if self._renderer is not None:
+            self._renderer.update()
+
+    def stop(self) -> None:
+        """Stop the pump and drain any heartbeats already queued.
+
+        A ``None`` sentinel wakes the drain thread out of its blocking
+        get immediately, so stopping costs microseconds rather than a
+        full poll-timeout — the pump must not tax sweeps that finish
+        between display refreshes.
+        """
+        self._stop.set()
+        try:
+            self._heartbeats.put_nowait(None)  # type: ignore[attr-defined]
+        except (OSError, ValueError):
+            pass
+        self._thread.join(timeout=2.0)
+        while True:
+            try:
+                event = self._heartbeats.get_nowait()  # type: ignore[attr-defined]
+            except (queue_module.Empty, OSError, ValueError):
+                break
+            if event is not None:
+                self._apply(event)
+
+
 class SweepEngine:
     """Runs batches of sweep cells, in parallel and through the cache.
 
@@ -755,6 +908,17 @@ class SweepEngine:
     run and are not re-diagnosed).  None of this can change a result —
     instrumented workers run the very same simulation, and the
     determinism tests pin the equality bitwise.
+
+    Sweep-level telemetry rides the same observer seam: pass a
+    :class:`~repro.obs.telemetry.SweepTelemetry` to span-trace the
+    pipeline (pool spin-up, chunk submission, per-cell execution on one
+    lane per worker, cache hits, baseline dedup, result merge — export
+    via ``telemetry.chrome_trace()``), and ``progress=True`` for the
+    live heartbeat-driven TTY display (silently inert when
+    ``progress_stream`` is not a terminal).  Both are pure observers;
+    ``benchmarks/bench_telemetry_overhead.py`` enforces bitwise equality
+    and the overhead bar.  :meth:`fleet_record` summarizes everything
+    the engine served into one fleet-ledger entry.
     """
 
     def __init__(
@@ -767,6 +931,9 @@ class SweepEngine:
         diagnosis_log: Optional[DiagnosisWriter] = None,
         chunk_size: Optional[int] = None,
         reuse_pool: bool = True,
+        telemetry: Optional[SweepTelemetry] = None,
+        progress: bool = False,
+        progress_stream: Optional[IO[str]] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -785,6 +952,34 @@ class SweepEngine:
         self.stats = SweepStats()
         self._run_depth = 0  # baseline batches re-enter run()
         self._pool: Optional[ProcessPoolExecutor] = None
+        self.telemetry = telemetry
+        self.progress = progress
+        self._progress_lock = threading.Lock()
+        self._cell_labels: Dict[int, str] = {}
+        self._next_cell_id = 0
+        self._worker_ordinals: Dict[int, int] = {}
+        self._pump: Optional[_HeartbeatPump] = None
+        # The heartbeat queue is created up front (not per batch): pool
+        # initargs are fixed at pool spin-up, and the warm pool outlives
+        # individual batches.
+        self._heartbeats = (
+            multiprocessing.Queue() if progress and jobs > 1 else None
+        )
+        if progress:
+            stream = progress_stream if progress_stream is not None else sys.stderr
+            self.progress_model: Optional[ProgressModel] = ProgressModel()
+            self.progress_renderer: Optional[ProgressRenderer] = ProgressRenderer(
+                self.progress_model, stream
+            )
+        else:
+            self.progress_model = None
+            self.progress_renderer = None
+        # Grid axes of top-level batches, accumulated for fleet_record().
+        self._axis_policies: Set[str] = set()
+        self._axis_workloads: Set[str] = set()
+        self._axis_machines: Set[str] = set()
+        self._axis_seeds: Set[int] = set()
+        self._axis_backends: Set[str] = set()
 
     @property
     def diagnosing(self) -> bool:
@@ -814,8 +1009,8 @@ class SweepEngine:
             pass
 
     def _chunked(
-        self, todo: List[Tuple[str, SweepCell]], workers: int
-    ) -> List[List[Tuple[str, SweepCell]]]:
+        self, todo: List[Tuple[str, SweepCell, int]], workers: int
+    ) -> List[List[Tuple[str, SweepCell, int]]]:
         """Split ``todo`` into contiguous chunks, preserving order.
 
         Auto-sizing targets four chunks per worker: large enough to
@@ -830,7 +1025,7 @@ class SweepEngine:
     def _run_chunks(
         self,
         pool: ProcessPoolExecutor,
-        chunks: List[List[Tuple[str, SweepCell]]],
+        chunks: List[List[Tuple[str, SweepCell, int]]],
         mode: str,
         with_metrics: bool,
         baselines: Dict[str, Optional[float]],
@@ -842,19 +1037,27 @@ class SweepEngine:
                 cell, original exception as ``__cause__``) or a pool-level
                 failure (attributed to the chunk's first cell).
         """
-        futures = [
-            pool.submit(
-                _execute_chunk,
-                [cell for _, cell in chunk],
-                mode,
-                with_metrics,
-                [
-                    baselines[_baseline_key(cell)] if mode == "diagnosed" else None
-                    for _, cell in chunk
-                ],
-            )
-            for chunk in chunks
-        ]
+        with self._t_span(
+            "submit chunks",
+            chunks=len(chunks),
+            cells=sum(len(chunk) for chunk in chunks),
+        ):
+            futures = [
+                pool.submit(
+                    _execute_chunk,
+                    [cell for _, cell, _ in chunk],
+                    mode,
+                    with_metrics,
+                    [
+                        baselines[_baseline_key(cell)]
+                        if mode == "diagnosed"
+                        else None
+                        for _, cell, _ in chunk
+                    ],
+                    [cell_id for _, _, cell_id in chunk],
+                )
+                for chunk in chunks
+            ]
         fresh: List[object] = []
         for chunk, future in zip(chunks, futures):
             try:
@@ -865,7 +1068,7 @@ class SweepEngine:
                 if pool is self._pool:
                     self.close()
                 raise SweepCellError(chunk[0][1], exc) from exc
-            for (_, cell), (tag, payload) in zip(chunk, tagged):
+            for (_, cell, _), (tag, payload) in zip(chunk, tagged):
                 if tag == "err":
                     assert isinstance(payload, BaseException)
                     raise SweepCellError(cell, payload) from payload
@@ -880,6 +1083,8 @@ class SweepEngine:
                 naming the affected cell.
         """
         start = perf_counter()
+        if self._run_depth == 0:
+            self._begin_sweep()
         self._run_depth += 1
         try:
             return self._run_batch(cells)
@@ -887,11 +1092,102 @@ class SweepEngine:
             self._run_depth -= 1
             if self._run_depth == 0:
                 self.stats.wall_s += perf_counter() - start
+                self._end_sweep()
+
+    def _begin_sweep(self) -> None:
+        """Arm the observers before a top-level batch."""
+        if self.telemetry is not None:
+            self.telemetry.start()
+        if (
+            self._heartbeats is not None
+            and self.progress_model is not None
+            and self._pump is None
+        ):
+            self._pump = _HeartbeatPump(
+                self._heartbeats,
+                self.progress_model,
+                self.progress_renderer,
+                self._cell_labels,
+                self._progress_lock,
+            )
+            self._pump.start()
+
+    def _end_sweep(self) -> None:
+        """Settle the observers after a top-level batch completes."""
+        pump, self._pump = self._pump, None
+        if pump is not None:
+            pump.stop()
+        if self.progress_renderer is not None:
+            self.progress_renderer.finish()
+
+    def _t_span(self, name: str, **args: object):
+        """A telemetry span context, or a no-op when telemetry is off."""
+        if self.telemetry is None:
+            return contextlib.nullcontext()
+        return self.telemetry.span(name, **args)
+
+    def _new_cell_id(self, cell: SweepCell) -> int:
+        """A sweep-unique display id for one pending cell."""
+        cell_id = self._next_cell_id
+        self._next_cell_id += 1
+        self._cell_labels[cell_id] = (
+            f"{cell.policy.label}/{cell.workload.name}"
+        )
+        return cell_id
+
+    def _ordinal_for(self, pid: int) -> int:
+        """Stable zero-based worker ordinal for ``pid``.
+
+        Shares the telemetry lane assignment when telemetry is on, so
+        run-log ordinals and trace lanes name the same worker.
+        """
+        if self.telemetry is not None and pid != os.getpid():
+            return self.telemetry.ordinal_for(pid)
+        ordinal = self._worker_ordinals.get(pid)
+        if ordinal is None:
+            ordinal = len(self._worker_ordinals)
+            self._worker_ordinals[pid] = ordinal
+        return ordinal
+
+    def _record_axes(self, cells: List[SweepCell]) -> None:
+        """Accumulate top-level grid axes for :meth:`fleet_record`."""
+        for cell in cells:
+            self._axis_policies.add(cell.policy.label)
+            self._axis_workloads.add(cell.workload.name)
+            self._axis_machines.add(cell.machine.label)
+            self._axis_seeds.add(cell.seed)
+            self._axis_backends.add(resolve_backend(cell.backend).name)
+
+    def fleet_record(self, command: str = "") -> FleetRecord:
+        """Summarize everything this engine served as one ledger entry."""
+        finished = now_unix()
+        return FleetRecord(
+            sweep_id=new_sweep_id(finished),
+            unix_time=finished,
+            command=command,
+            policies=tuple(sorted(self._axis_policies)),
+            workloads=tuple(sorted(self._axis_workloads)),
+            machines=tuple(sorted(self._axis_machines)),
+            seeds=len(self._axis_seeds),
+            cells_total=self.stats.total,
+            cells_executed=self.stats.executed,
+            cells_cached=self.stats.cache_hits,
+            wall_s=self.stats.wall_s,
+            cells_per_s=self.stats.cells_per_s,
+            backend=",".join(sorted(self._axis_backends)),
+            jobs=self.jobs,
+            git_sha=git_sha(),
+        )
 
     def _run_batch(self, cells: Iterable[SweepCell]) -> List[CellResult]:
         ordered = list(cells)
         keys = [cache_key(cell) for cell in ordered]
         results: Dict[str, CellResult] = {}
+        if self._run_depth == 1:
+            self._record_axes(ordered)
+        if self.progress_model is not None:
+            with self._progress_lock:
+                self.progress_model.add_total(len(set(keys)))
 
         pending: Dict[str, SweepCell] = {}
         for key, cell in zip(keys, ordered):
@@ -902,6 +1198,18 @@ class SweepEngine:
                 results[key] = hit
                 self.stats.cache_hits += 1
                 self._observe(cell, key, hit, wall_s=0.0, cached=True)
+                if self.telemetry is not None:
+                    self.telemetry.add_instant(
+                        "cache hit",
+                        policy=cell.policy.label,
+                        workload=cell.workload.name,
+                        seed=cell.seed,
+                    )
+                if self.progress_model is not None:
+                    with self._progress_lock:
+                        self.progress_model.cache_hit(-1, perf_counter())
+                    if self.progress_renderer is not None:
+                        self.progress_renderer.update()
             else:
                 pending[key] = cell
 
@@ -912,75 +1220,142 @@ class SweepEngine:
         diagnosing = self._diagnose and self._run_depth == 1
         baselines: Dict[str, Optional[float]] = {}
         if diagnosing and pending:
-            baselines = self._compute_baselines(pending.values())
+            with self._t_span("baseline dedup", cells=len(pending)):
+                baselines = self._compute_baselines(pending.values())
 
         if pending:
-            todo = list(pending.items())
-            observed = self.metrics is not None or self.run_log is not None
+            todo = [
+                (key, cell, self._new_cell_id(cell))
+                for key, cell in pending.items()
+            ]
+            observed = (
+                self.metrics is not None
+                or self.run_log is not None
+                or self.telemetry is not None
+            )
             with_metrics = self.metrics is not None
+            if diagnosing:
+                mode = "diagnosed"
+            elif observed:
+                mode = "observed"
+            else:
+                mode = "plain"
             if self.jobs > 1 and len(todo) > 1:
                 workers = min(self.jobs, len(todo))
                 if self.metrics is not None:
                     self.metrics.gauge("sweep.workers").set(workers)
-                if diagnosing:
-                    mode = "diagnosed"
-                elif observed:
-                    mode = "observed"
-                else:
-                    mode = "plain"
                 chunks = self._chunked(todo, workers)
                 if self.reuse_pool:
                     if self._pool is None:
-                        self._pool = ProcessPoolExecutor(
-                            max_workers=self.jobs, initializer=_warm_worker
-                        )
+                        with self._t_span("pool spin-up", workers=self.jobs):
+                            self._pool = ProcessPoolExecutor(
+                                max_workers=self.jobs,
+                                initializer=_warm_worker,
+                                initargs=(self._heartbeats,),
+                            )
                     fresh = self._run_chunks(
                         self._pool, chunks, mode, with_metrics, baselines
                     )
                 else:
-                    with ProcessPoolExecutor(
-                        max_workers=workers, initializer=_warm_worker
-                    ) as pool:
+                    with self._t_span("pool spin-up", workers=workers):
+                        pool = ProcessPoolExecutor(
+                            max_workers=workers,
+                            initializer=_warm_worker,
+                            initargs=(self._heartbeats,),
+                        )
+                    with pool:
                         fresh = self._run_chunks(
                             pool, chunks, mode, with_metrics, baselines
                         )
-            elif diagnosing:
-                fresh = [
-                    _execute_cell_diagnosed(
-                        cell, with_metrics, baselines[_baseline_key(cell)]
-                    )
-                    for _, cell in todo
-                ]
-            elif observed:
-                fresh = [
-                    _execute_cell_observed(cell, with_metrics)
-                    for _, cell in todo
-                ]
             else:
-                fresh = [cell.run() for _, cell in todo]
-            for (key, cell), outcome in zip(todo, fresh):
-                diagnosis: Optional[PolicyDiagnosis] = None
-                if diagnosing:
-                    result, wall_s, snap, diagnosis = outcome
-                    if self.metrics is not None and snap is not None:
-                        self.metrics.merge(snap)
-                elif observed:
-                    result, wall_s, snap = outcome
-                    if self.metrics is not None and snap is not None:
-                        self.metrics.merge(snap)
-                else:
-                    result, wall_s = outcome, 0.0
-                results[key] = result
-                if self.cache is not None:
-                    self.cache.put(key, result)
-                self._observe(cell, key, result, wall_s=wall_s, cached=False)
-                if diagnosis is not None:
-                    self.diagnoses[key] = diagnosis
-                    if self.diagnosis_log is not None:
-                        self.diagnosis_log.write(diagnosis)
+                fresh = []
+                for _, cell, cell_id in todo:
+                    self._progress_cell_started(cell_id)
+                    if diagnosing:
+                        outcome: object = _execute_cell_diagnosed(
+                            cell, with_metrics, baselines[_baseline_key(cell)]
+                        )
+                    elif observed:
+                        outcome = _execute_cell_observed(cell, with_metrics)
+                    else:
+                        outcome = _execute_cell(cell)
+                    fresh.append(outcome)
+                    self._progress_cell_finished(cell_id)
+            with self._t_span("merge results", cells=len(todo)):
+                for (key, cell, cell_id), outcome in zip(todo, fresh):
+                    diagnosis: Optional[PolicyDiagnosis] = None
+                    pid: Optional[int] = None
+                    t_start = t_end = 0.0
+                    if diagnosing:
+                        (
+                            result, wall_s, snap, diagnosis, pid, t_start, t_end
+                        ) = outcome
+                        if self.metrics is not None and snap is not None:
+                            self.metrics.merge(snap)
+                    elif observed:
+                        result, wall_s, snap, pid, t_start, t_end = outcome
+                        if self.metrics is not None and snap is not None:
+                            self.metrics.merge(snap)
+                    else:
+                        result, wall_s = outcome, 0.0
+                    results[key] = result
+                    if self.cache is not None:
+                        self.cache.put(key, result)
+                    self._observe(
+                        cell,
+                        key,
+                        result,
+                        wall_s=wall_s,
+                        cached=False,
+                        worker_pid=pid,
+                        worker_ordinal=(
+                            self._ordinal_for(pid) if pid is not None else None
+                        ),
+                    )
+                    if self.telemetry is not None and pid is not None:
+                        lane = (
+                            LANE_ENGINE
+                            if pid == os.getpid()
+                            else self.telemetry.lane_for(pid)
+                        )
+                        self.telemetry.add_span(
+                            self._cell_labels.get(cell_id, cell.policy.label),
+                            self.telemetry.to_us(t_start),
+                            self.telemetry.to_us(t_end),
+                            lane=lane,
+                            seed=cell.seed,
+                            machine=cell.machine.label,
+                            mode=mode,
+                        )
+                    if diagnosis is not None:
+                        self.diagnoses[key] = diagnosis
+                        if self.diagnosis_log is not None:
+                            self.diagnosis_log.write(diagnosis)
             self.stats.executed += len(todo)
 
         return [results[key] for key in keys]
+
+    def _progress_cell_started(self, cell_id: int) -> None:
+        """Feed the in-process execution path into the progress model."""
+        if self.progress_model is None:
+            return
+        with self._progress_lock:
+            self.progress_model.cell_started(
+                os.getpid(), cell_id, perf_counter(),
+                self._cell_labels.get(cell_id, ""),
+            )
+        if self.progress_renderer is not None:
+            self.progress_renderer.update()
+
+    def _progress_cell_finished(self, cell_id: int) -> None:
+        if self.progress_model is None:
+            return
+        with self._progress_lock:
+            self.progress_model.cell_finished(
+                os.getpid(), cell_id, perf_counter()
+            )
+        if self.progress_renderer is not None:
+            self.progress_renderer.update()
 
     def _compute_baselines(
         self, cells: Iterable[SweepCell]
@@ -1015,8 +1390,15 @@ class SweepEngine:
         result: CellResult,
         wall_s: float,
         cached: bool,
+        worker_pid: Optional[int] = None,
+        worker_ordinal: Optional[int] = None,
     ) -> None:
-        """Account one served cell to the metrics registry and run-log."""
+        """Account one served cell to the metrics registry and run-log.
+
+        ``worker_pid``/``worker_ordinal`` attribute executed cells to the
+        pool process that ran them (None for cache hits, which no worker
+        touched) so reports can attribute stragglers.
+        """
         if self.metrics is not None:
             which = "sweep.cells_cached" if cached else "sweep.cells_executed"
             self.metrics.counter(which).inc()
@@ -1037,6 +1419,8 @@ class SweepEngine:
                     cache="hit" if cached else "executed",
                     wall_s=wall_s,
                     unix_time=now_unix(),
+                    worker_pid=worker_pid,
+                    worker_ordinal=worker_ordinal,
                 )
             )
 

@@ -1,0 +1,231 @@
+"""The persistent fleet ledger: one JSONL record per completed sweep.
+
+ROADMAP calls for "a queryable fleet dashboard, not just a batch
+runner".  The run-log (:mod:`repro.obs.runlog`) audits individual
+*cells*; this module audits *sweeps*: every engine run appends one
+schema-versioned :class:`FleetRecord` — grid axes, cells
+simulated/cached, throughput, wall time, backend, package version, git
+sha — to a repo-local ledger (``.repro/fleet.jsonl`` by default).  The
+``repro fleet`` CLI command lists and filters the ledger, summarizes
+the throughput trend, and renders the combined perf trajectory —
+ledger sweeps alongside the committed ``BENCH_*.json`` history —
+through the existing markdown/HTML report path.
+
+Like the run-log, the ledger is append-only JSONL, flushed per line,
+and safe to concatenate.  Its reader tolerates a truncated or corrupt
+trailing line (the crashed-mid-write case) by skipping it with a
+provenance warning instead of raising — history should survive a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, List, Optional, Sequence, Tuple, Union
+
+import repro
+
+#: Bump when the fleet record layout changes incompatibly.
+FLEET_SCHEMA_VERSION = 1
+
+#: Default repo-local ledger location (gitignored; the ledger is local
+#: operational history, not committed state).
+DEFAULT_FLEET_PATH = Path(".repro") / "fleet.jsonl"
+
+_SPARK_BARS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class FleetRecord:
+    """One completed sweep's ledger entry.
+
+    Attributes:
+        sweep_id: short unique id (timestamp + pid derived).
+        unix_time: wall-clock time the sweep finished.
+        command: the CLI subcommand (or caller-supplied tag) that ran
+            the sweep; empty for library use.
+        policies: sorted unique policy labels in the grid.
+        workloads: sorted unique workload names.
+        machines: sorted unique machine spec strings.
+        seeds: count of distinct seeds in the grid.
+        cells_total: unique cells served (executed + cached).
+        cells_executed: cells actually simulated.
+        cells_cached: cells answered from the result cache.
+        wall_s: end-to-end sweep wall time.
+        cells_per_s: throughput over unique cells.
+        backend: execution backend name used for the sweep.
+        jobs: worker processes (1 = in-process serial).
+        repro_version: simulator package version.
+        git_sha: repo HEAD at sweep time ("" outside a checkout).
+    """
+
+    sweep_id: str
+    unix_time: float
+    command: str
+    policies: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    machines: Tuple[str, ...]
+    seeds: int
+    cells_total: int
+    cells_executed: int
+    cells_cached: int
+    wall_s: float
+    cells_per_s: float
+    backend: str
+    jobs: int
+    repro_version: str = repro.__version__
+    git_sha: str = ""
+
+    def to_json(self) -> dict:
+        """The record as a JSON-safe dict, version-stamped."""
+        payload = asdict(self)
+        payload["policies"] = list(self.policies)
+        payload["workloads"] = list(self.workloads)
+        payload["machines"] = list(self.machines)
+        return {"v": FLEET_SCHEMA_VERSION, **payload}
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cells answered from the cache."""
+        return self.cells_cached / self.cells_total if self.cells_total else 0.0
+
+
+class FleetLedger:
+    """Appends :class:`FleetRecord` lines to the ledger file.
+
+    Mirrors :class:`repro.obs.runlog.RunLogWriter`: lazy open on first
+    write (configuring a ledger path never creates an empty file),
+    flush per record, idempotent :meth:`close`, context-manager ready.
+    """
+
+    def __init__(self, path: Union[str, Path] = DEFAULT_FLEET_PATH):
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+        self.written = 0
+
+    def append(self, record: FleetRecord) -> None:
+        """Append one sweep record and flush it to disk."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+        self._handle.flush()
+        self.written += 1
+
+    def close(self) -> None:
+        """Close the underlying file (no-op if never written to)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "FleetLedger":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class FleetHistory:
+    """A parsed ledger: records plus reader-level provenance warnings."""
+
+    records: Tuple[FleetRecord, ...]
+    warnings: Tuple[str, ...] = ()
+
+
+def read_fleet(path: Union[str, Path]) -> FleetHistory:
+    """Parse the fleet ledger, tolerating damaged lines.
+
+    Unlike a run-log (where a bad line voids the cell audit), the fleet
+    ledger is operational history — a truncated trailing line from a
+    crashed sweep must not make every *earlier* sweep unreadable.  Bad
+    lines are skipped and reported in ``warnings``.
+    """
+    records: List[FleetRecord] = []
+    warnings: List[str] = []
+    path = Path(path)
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                raw = json.loads(line)
+                if not isinstance(raw, dict):
+                    raise ValueError("not a JSON object")
+                records.append(_from_json(raw))
+            except (ValueError, TypeError, KeyError) as exc:
+                warnings.append(
+                    f"{path}:{lineno}: skipped unreadable fleet record "
+                    f"(truncated write?): {exc}"
+                )
+    return FleetHistory(records=tuple(records), warnings=tuple(warnings))
+
+
+def _from_json(raw: dict) -> FleetRecord:
+    known = {f for f in FleetRecord.__dataclass_fields__}
+    kwargs = {k: v for k, v in raw.items() if k in known}
+    for axis in ("policies", "workloads", "machines"):
+        kwargs[axis] = tuple(kwargs.get(axis, ()))
+    return FleetRecord(**kwargs)
+
+
+def new_sweep_id(unix_time: Optional[float] = None) -> str:
+    """A short, human-sortable sweep id: ``20260809T143205-4f21``."""
+    if unix_time is None:
+        unix_time = time.time()
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.localtime(unix_time))
+    suffix = f"{(os.getpid() * 2654435761 + int(unix_time * 1e6)) & 0xFFFF:04x}"
+    return f"{stamp}-{suffix}"
+
+
+def git_sha(cwd: Union[str, Path, None] = None) -> str:
+    """The repo's HEAD sha, or ``""`` when git/repo is unavailable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline of ``values`` (empty string for no values)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_BARS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_BARS) - 1))
+        out.append(_SPARK_BARS[idx])
+    return "".join(out)
+
+
+def throughput_trend(records: Sequence[FleetRecord]) -> str:
+    """A one-line throughput trend over the ledger, oldest first.
+
+    ``throughput trend (cells/s): 5.7 → 19.3 (3.39x) ▁▃█`` — only
+    sweeps that executed at least one cell count (an all-cached sweep's
+    "throughput" measures the cache, not the engine).
+    """
+    measured = [r for r in sorted(records, key=lambda r: r.unix_time)
+                if r.cells_executed > 0 and r.cells_per_s > 0]
+    if not measured:
+        return "throughput trend: no executed sweeps recorded yet"
+    rates = [r.cells_per_s for r in measured]
+    first, last = rates[0], rates[-1]
+    trend = f"throughput trend (cells/s): {first:.1f} → {last:.1f}"
+    if first > 0:
+        trend += f" ({last / first:.2f}x)"
+    spark = sparkline(rates)
+    if len(rates) > 1:
+        trend += f" {spark}"
+    return trend

@@ -17,11 +17,15 @@ snapshots can be golden-tested.
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field
 from html import escape
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.diagnose import PolicyDiagnosis
+from repro.obs.fleet import FleetRecord, throughput_trend
 from repro.obs.runlog import provenance_warnings
 
 #: Renderer names accepted by :func:`render_report`.
@@ -86,12 +90,16 @@ class SweepReport:
     #: committed ``BENCH_*.json`` benchmark records, rendered as a
     #: "Perf history" section when present.
     bench: Tuple[dict, ...] = ()
+    #: fleet-ledger sweep records, rendered as a "Fleet history" section
+    #: (per-sweep table + throughput trend line) when present.
+    fleet: Tuple[FleetRecord, ...] = ()
 
 
 def build_report(
     records: Sequence[dict],
     diagnoses: Sequence[PolicyDiagnosis] = (),
     bench_records: Sequence[dict] = (),
+    fleet_records: Sequence[FleetRecord] = (),
 ) -> SweepReport:
     """Aggregate run-log records (and optional diagnoses) into a report.
 
@@ -101,7 +109,11 @@ def build_report(
     built from a diagnosis log alone is not empty.  ``bench_records``
     (parsed ``BENCH_*.json`` perf records, as the benchmark suite
     commits at the repo root) are carried through verbatim and rendered
-    as a "Perf history" section.
+    as a "Perf history" section; ``fleet_records`` (parsed fleet-ledger
+    sweeps) render as a "Fleet history" section with a throughput trend.
+    Reader-level warnings attached to ``records`` (the tolerant
+    :func:`~repro.obs.runlog.read_run_log` reports skipped lines there)
+    surface next to the provenance warnings.
     """
     rows: Dict[Tuple[str, str, str], ReportRow] = {}
 
@@ -136,14 +148,65 @@ def build_report(
     ordered = tuple(
         rows[key] for key in sorted(rows, key=lambda k: (k[1], k[2], k[0]))
     )
+    reader_warnings = tuple(getattr(records, "warnings", ()))
     return SweepReport(
         rows=ordered,
-        warnings=tuple(provenance_warnings(list(records))),
+        warnings=reader_warnings + tuple(provenance_warnings(list(records))),
         total_runs=sum(r.runs for r in ordered),
         total_cache_hits=sum(r.cache_hits for r in ordered),
         total_wall_s=sum(r.wall_s for r in ordered),
         bench=tuple(bench_records),
+        fleet=tuple(fleet_records),
     )
+
+
+def load_bench_records(
+    specs: Sequence[Union[str, Path]]
+) -> List[dict]:
+    """Load committed ``BENCH_*.json`` perf records from path specs.
+
+    Each spec may be a JSON file, a directory (every ``BENCH_*.json``
+    directly inside it), or a glob pattern.  Records are ordered by
+    their recorded ``unix_time`` when present, else the file's mtime,
+    with the file name breaking ties — so the perf-history section reads
+    oldest-to-newest regardless of argument order.
+
+    Raises:
+        ValueError: when a spec matches nothing or a file is not JSON.
+    """
+    paths: List[Path] = []
+    for spec in specs:
+        path = Path(spec)
+        if path.is_dir():
+            matches = sorted(path.glob("BENCH_*.json"))
+        elif path.exists():
+            matches = [path]
+        else:
+            matches = sorted(path.parent.glob(path.name))
+        if not matches:
+            raise ValueError(f"no benchmark records match {spec!r}")
+        paths.extend(matches)
+    seen = set()
+    loaded: List[Tuple[float, str, dict]] = []
+    for path in paths:
+        if path in seen:
+            continue
+        seen.add(path)
+        try:
+            record = json.loads(path.read_text())
+        except ValueError as exc:
+            raise ValueError(f"{path}: not a JSON benchmark record: {exc}") from None
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}: benchmark record is not a JSON object")
+        stamp = record.get("unix_time")
+        if not isinstance(stamp, (int, float)):
+            try:
+                stamp = path.stat().st_mtime
+            except OSError:
+                stamp = time.time()
+        loaded.append((float(stamp), path.name, record))
+    loaded.sort(key=lambda item: (item[0], item[1]))
+    return [record for _, _, record in loaded]
 
 
 def render_report(report: SweepReport, fmt: str = FORMAT_MARKDOWN) -> str:
@@ -199,6 +262,42 @@ _HEADER = [
 
 _BENCH_HEADER = ["benchmark", "headline", "bar", "setup"]
 
+_FLEET_HEADER = [
+    "sweep",
+    "when",
+    "command",
+    "grid",
+    "cells",
+    "cached",
+    "cells/s",
+    "wall s",
+    "backend",
+    "jobs",
+]
+
+
+def _fleet_cells(record: FleetRecord) -> List[str]:
+    """One fleet-history table row from a ledger sweep record."""
+    when = time.strftime(
+        "%Y-%m-%d %H:%M", time.localtime(record.unix_time)
+    )
+    grid = (
+        f"{len(record.policies)}p x {len(record.workloads)}w x "
+        f"{len(record.machines)}m x {record.seeds}s"
+    )
+    return [
+        record.sweep_id,
+        when,
+        record.command or "-",
+        grid,
+        str(record.cells_total),
+        str(record.cells_cached),
+        f"{record.cells_per_s:.1f}",
+        f"{record.wall_s:.1f}",
+        record.backend or "-",
+        str(record.jobs),
+    ]
+
 
 def _bench_cells(record: dict) -> List[str]:
     """One perf-history table row from a committed ``BENCH_*.json`` dict.
@@ -230,6 +329,14 @@ def _bench_cells(record: dict) -> List[str]:
             f"{record.get('max_disabled_overhead_pct', '?')}%",
             setup,
         ]
+    if name == "telemetry_overhead" and "telemetry_overhead_pct" in record:
+        return [
+            name,
+            f"telemetry +{record['telemetry_overhead_pct']:g}% "
+            f"({record.get('worker_lanes', '?')} worker lanes)",
+            f"<= {record.get('max_telemetry_overhead_pct', '?')}%",
+            setup,
+        ]
     if name == "sweep_throughput" and "new_cells_per_s" in record:
         return [
             name,
@@ -257,11 +364,12 @@ def _render_markdown(report: SweepReport) -> str:
         lines.append(f"> **warning:** {warning}")
     if report.warnings:
         lines.append("")
-    lines.append("| " + " | ".join(_HEADER) + " |")
-    lines.append("|" + "|".join(["---"] * len(_HEADER)) + "|")
-    for row in report.rows:
-        lines.append("| " + " | ".join(_row_cells(row)) + " |")
-    lines.append("")
+    if report.rows:
+        lines.append("| " + " | ".join(_HEADER) + " |")
+        lines.append("|" + "|".join(["---"] * len(_HEADER)) + "|")
+        for row in report.rows:
+            lines.append("| " + " | ".join(_row_cells(row)) + " |")
+        lines.append("")
 
     diagnosed = [row for row in report.rows if row.diagnoses]
     if diagnosed:
@@ -300,6 +408,17 @@ def _render_markdown(report: SweepReport) -> str:
         for record in report.bench:
             lines.append("| " + " | ".join(_bench_cells(record)) + " |")
         lines.append("")
+
+    if report.fleet:
+        lines.append("## Fleet history")
+        lines.append("")
+        lines.append(throughput_trend(report.fleet))
+        lines.append("")
+        lines.append("| " + " | ".join(_FLEET_HEADER) + " |")
+        lines.append("|" + "|".join(["---"] * len(_FLEET_HEADER)) + "|")
+        for record in sorted(report.fleet, key=lambda r: r.unix_time):
+            lines.append("| " + " | ".join(_fleet_cells(record)) + " |")
+        lines.append("")
     return "\n".join(lines)
 
 
@@ -331,19 +450,20 @@ def _render_html(report: SweepReport) -> str:
     ]
     for warning in report.warnings:
         parts.append(f'<div class="warning">{escape(warning)}</div>')
-    parts.append("<table><tr>")
-    parts.extend(f"<th>{escape(h)}</th>" for h in _HEADER)
-    parts.append("</tr>")
-    for row in report.rows:
-        cells = _row_cells(row)
-        parts.append("<tr>")
-        for header, cell in zip(_HEADER, cells):
-            if header == "settling" and cell != "-":
-                parts.append(f'<td class="{cell}">{escape(cell)}</td>')
-            else:
-                parts.append(f"<td>{escape(cell)}</td>")
+    if report.rows:
+        parts.append("<table><tr>")
+        parts.extend(f"<th>{escape(h)}</th>" for h in _HEADER)
         parts.append("</tr>")
-    parts.append("</table>")
+        for row in report.rows:
+            cells = _row_cells(row)
+            parts.append("<tr>")
+            for header, cell in zip(_HEADER, cells):
+                if header == "settling" and cell != "-":
+                    parts.append(f'<td class="{cell}">{escape(cell)}</td>')
+                else:
+                    parts.append(f"<td>{escape(cell)}</td>")
+            parts.append("</tr>")
+        parts.append("</table>")
 
     diagnosed = [row for row in report.rows if row.diagnoses]
     if diagnosed:
@@ -373,6 +493,20 @@ def _render_html(report: SweepReport) -> str:
             parts.append("<tr>")
             parts.extend(
                 f"<td>{escape(cell)}</td>" for cell in _bench_cells(record)
+            )
+            parts.append("</tr>")
+        parts.append("</table>")
+
+    if report.fleet:
+        parts.append("<h2>Fleet history</h2>")
+        parts.append(f"<p>{escape(throughput_trend(report.fleet))}</p>")
+        parts.append("<table><tr>")
+        parts.extend(f"<th>{escape(h)}</th>" for h in _FLEET_HEADER)
+        parts.append("</tr>")
+        for record in sorted(report.fleet, key=lambda r: r.unix_time):
+            parts.append("<tr>")
+            parts.extend(
+                f"<td>{escape(cell)}</td>" for cell in _fleet_cells(record)
             )
             parts.append("</tr>")
         parts.append("</table>")

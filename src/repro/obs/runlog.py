@@ -20,7 +20,7 @@ import json
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import IO, Iterator, List, Optional, Union
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 import repro
 
@@ -28,7 +28,11 @@ import repro
 #: Version 2 added provenance: every record carries the ``repro`` package
 #: version alongside the ``v`` schema tag, so cross-run comparisons can
 #: detect mismatched inputs instead of silently merging them.
-RUN_LOG_VERSION = 2
+#: Version 3 added worker attribution — ``worker_pid`` and
+#: ``worker_ordinal`` of the pool process that executed the cell (null
+#: for cache hits) — so fleet reports can attribute stragglers.  v2
+#: records remain readable: the new fields default to None.
+RUN_LOG_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -52,6 +56,13 @@ class RunLogRecord:
         unix_time: wall-clock time the record was written.
         repro_version: the simulator package version that produced the
             record (defaults to the running package).
+        worker_pid: OS pid of the pool process that executed the cell
+            (the parent's own pid for in-process execution; None for
+            cache hits, which no worker touched).
+        worker_ordinal: stable zero-based index of that worker within
+            the sweep — matches the telemetry trace lane numbering, so
+            a straggler flagged in the run-log points at a Perfetto
+            track.  None for cache hits.
     """
 
     run_id: str
@@ -67,6 +78,8 @@ class RunLogRecord:
     wall_s: float
     unix_time: float
     repro_version: str = repro.__version__
+    worker_pid: Optional[int] = None
+    worker_ordinal: Optional[int] = None
 
     def to_json(self) -> dict:
         """The record as a JSON-safe dict, version-stamped."""
@@ -113,27 +126,47 @@ def now_unix() -> float:
     return time.time()
 
 
-def read_run_log(path: Union[str, Path]) -> List[dict]:
+class RunLogRecords(List[dict]):
+    """The parsed run-log: a plain list of record dicts, plus the
+    reader-level warnings for lines that could not be parsed.
+
+    Being a ``list`` subclass keeps every existing caller working
+    unchanged; report code picks up :attr:`warnings` to surface skipped
+    lines next to the provenance warnings.
+    """
+
+    def __init__(self, records: Iterable[dict] = (), warnings: Iterable[str] = ()):
+        super().__init__(records)
+        self.warnings: Tuple[str, ...] = tuple(warnings)
+
+
+def read_run_log(path: Union[str, Path]) -> RunLogRecords:
     """Parse a JSONL run-log back into a list of record dicts.
 
-    Blank lines are skipped; malformed lines raise, since a run-log that
-    cannot be parsed has lost its audit value.
-
-    Raises:
-        ValueError: for lines that are not valid JSON objects.
+    Blank lines are skipped.  Malformed lines — the torn trailing line
+    of a sweep that crashed mid-write, or stray corruption — are
+    *skipped* rather than raised: losing one record must not void the
+    audit value of every other line.  Each skip is reported in the
+    returned list's ``warnings`` so reports surface the damage instead
+    of hiding it.
     """
     records: List[dict] = []
+    warnings: List[str] = []
     for lineno, line in enumerate(_lines(path), start=1):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("line is not a JSON object")
         except ValueError as exc:
-            raise ValueError(f"{path}:{lineno}: bad run-log line: {exc}") from None
-        if not isinstance(record, dict):
-            raise ValueError(f"{path}:{lineno}: run-log line is not an object")
+            warnings.append(
+                f"{path}:{lineno}: skipped unreadable run-log line "
+                f"(truncated write?): {exc}"
+            )
+            continue
         records.append(record)
-    return records
+    return RunLogRecords(records, warnings)
 
 
 def provenance_warnings(records: List[dict]) -> List[str]:

@@ -310,6 +310,105 @@ class TestSweepObservability:
         assert snap.counters["kernel.quanta"] > 0
 
 
+class TestSweepTelemetry:
+    """The telemetry/progress stack must observe without perturbing."""
+
+    def engine_with_telemetry(self, jobs: int):
+        import io
+
+        from repro.obs.telemetry import SweepTelemetry
+
+        return SweepEngine(
+            jobs=jobs,
+            telemetry=SweepTelemetry(),
+            progress=True,
+            progress_stream=io.StringIO(),
+        )
+
+    def test_instrumented_grid_bitwise_equal(self):
+        plain = run_sweep(GRID, SweepEngine(jobs=2))
+        with self.engine_with_telemetry(jobs=2) as engine:
+            instrumented = run_sweep(GRID, engine)
+        assert instrumented == plain
+
+    def test_trace_has_one_lane_per_worker(self):
+        from repro.obs.trace import validate_chrome_trace
+
+        with self.engine_with_telemetry(jobs=2) as engine:
+            engine.run([cell(seed=s) for s in range(4)])
+            payload = engine.telemetry.chrome_trace()
+        validate_chrome_trace(payload)
+        assert payload["otherData"]["workers"] == 2
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "pool spin-up" in names
+        assert "merge results" in names
+        # One per-cell span per executed cell, on a worker lane.
+        cell_spans = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "best/mpeg"
+        ]
+        assert len(cell_spans) == 4
+        assert all(e["tid"] > 0 for e in cell_spans)
+
+    def test_serial_engine_uses_engine_lane(self):
+        with self.engine_with_telemetry(jobs=1) as engine:
+            engine.run([cell()])
+            payload = engine.telemetry.chrome_trace()
+        [span] = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "best/mpeg"
+        ]
+        assert span["tid"] == 0
+        assert payload["otherData"]["workers"] == 0
+
+    def test_cache_hits_become_instants(self, tmp_path):
+        from repro.obs.telemetry import SweepTelemetry
+
+        cache = ResultCache(tmp_path)
+        SweepEngine(jobs=1, cache=cache).run([cell()])
+        telemetry = SweepTelemetry()
+        SweepEngine(jobs=1, cache=cache, telemetry=telemetry).run([cell()])
+        instants = [
+            e for e in telemetry.chrome_trace()["traceEvents"]
+            if e["ph"] == "i"
+        ]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "cache hit"
+
+    def test_progress_counts_pool_cells(self):
+        with self.engine_with_telemetry(jobs=2) as engine:
+            engine.run([cell(seed=s) for s in range(4)])
+            snap = engine.progress_model.snapshot(0.0)
+        assert snap.total == 4
+        assert snap.executed == 4
+        assert snap.cached == 0
+
+    def test_progress_counts_cached_cells(self, tmp_path):
+        import io
+
+        cache = ResultCache(tmp_path)
+        SweepEngine(jobs=1, cache=cache).run([cell(), cell(seed=1)])
+        engine = SweepEngine(
+            jobs=1, cache=cache, progress=True, progress_stream=io.StringIO()
+        )
+        engine.run([cell(), cell(seed=1)])
+        snap = engine.progress_model.snapshot(0.0)
+        assert snap.cached == 2
+        assert snap.cache_hit_rate == 1.0
+
+    def test_fleet_record_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = SweepEngine(jobs=1, cache=cache)
+        engine.run([cell(), cell(seed=1)])
+        engine.run([cell(), cell(seed=2)])
+        rec = engine.fleet_record(command="test")
+        assert rec.cells_total == 4
+        assert rec.cells_executed == 3
+        assert rec.cells_cached == 1
+        assert rec.policies == ("best",)
+        assert rec.seeds == 3
+
+
 class TestCellResultRoundTrip:
     def test_json_round_trip_is_exact(self):
         result = cell().run()

@@ -6,10 +6,12 @@ from repro.cli import workload_spec
 from repro.core.catalog import resolve_policy
 from repro.measure.runner import run_workload
 from repro.obs.diagnose import diagnose
+from repro.obs.fleet import FleetRecord
 from repro.obs.report import (
     FORMAT_HTML,
     FORMAT_MARKDOWN,
     build_report,
+    load_bench_records,
     render_report,
 )
 from repro.obs.runlog import RUN_LOG_VERSION
@@ -236,3 +238,118 @@ class TestPerfHistory:
                 assert "enabled" in line
             if line.startswith("| sweep_throughput"):
                 assert "cells/s" in line
+            if line.startswith("| telemetry_overhead"):
+                assert "worker lanes" in line
+
+
+class TestLoadBenchRecords:
+    def write(self, path, **fields):
+        import json
+
+        base = dict(benchmark="b", machine="itsy")
+        base.update(fields)
+        path.write_text(json.dumps(base))
+        return path
+
+    def test_directory_loads_all_bench_json(self, tmp_path):
+        self.write(tmp_path / "BENCH_a.json", unix_time=2.0)
+        self.write(tmp_path / "BENCH_b.json", unix_time=1.0)
+        (tmp_path / "notes.txt").write_text("ignored")
+        records = load_bench_records([tmp_path])
+        assert [r["unix_time"] for r in records] == [1.0, 2.0]
+
+    def test_glob_pattern(self, tmp_path):
+        self.write(tmp_path / "BENCH_a.json", unix_time=1.0)
+        self.write(tmp_path / "BENCH_b.json", unix_time=2.0)
+        records = load_bench_records([str(tmp_path / "BENCH_*.json")])
+        assert len(records) == 2
+
+    def test_explicit_files_dedup_and_order_by_mtime(self, tmp_path):
+        import os
+
+        older = self.write(tmp_path / "BENCH_old.json")
+        newer = self.write(tmp_path / "BENCH_new.json")
+        os.utime(older, (1_000_000, 1_000_000))
+        os.utime(newer, (2_000_000, 2_000_000))
+        records = load_bench_records([newer, older, newer])
+        assert len(records) == 2
+        # mtime orders records that carry no unix_time of their own.
+        assert [r["benchmark"] for r in records] == ["b", "b"]
+
+    def test_recorded_timestamp_beats_mtime(self, tmp_path):
+        import os
+
+        a = self.write(tmp_path / "BENCH_a.json", unix_time=5.0)
+        b = self.write(tmp_path / "BENCH_b.json", unix_time=1.0)
+        os.utime(a, (1_000_000, 1_000_000))
+        os.utime(b, (2_000_000, 2_000_000))
+        records = load_bench_records([tmp_path])
+        assert [r["unix_time"] for r in records] == [1.0, 5.0]
+
+    def test_no_match_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no benchmark records match"):
+            load_bench_records([tmp_path / "BENCH_missing.json"])
+
+    def test_non_json_raises(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("not json")
+        with pytest.raises(ValueError, match="not a JSON benchmark record"):
+            load_bench_records([bad])
+
+
+def fleet_record(**overrides):
+    base = dict(
+        sweep_id="20260809T120000-abcd",
+        unix_time=1_786_000_000.0,
+        command="table2",
+        policies=("best",),
+        workloads=("mpeg",),
+        machines=("itsy",),
+        seeds=3,
+        cells_total=15,
+        cells_executed=15,
+        cells_cached=0,
+        wall_s=0.7,
+        cells_per_s=21.4,
+        backend="fastpath",
+        jobs=2,
+    )
+    base.update(overrides)
+    return FleetRecord(**base)
+
+
+class TestFleetHistory:
+    def test_absent_without_fleet_records(self):
+        text = render_report(build_report([record()]), FORMAT_MARKDOWN)
+        assert "Fleet history" not in text
+
+    def test_markdown_section(self):
+        report = build_report(
+            [],
+            fleet_records=[
+                fleet_record(unix_time=1.0, cells_per_s=5.7),
+                fleet_record(sweep_id="later", unix_time=2.0,
+                             cells_per_s=19.3),
+            ],
+        )
+        text = render_report(report, FORMAT_MARKDOWN)
+        assert "## Fleet history" in text
+        assert "throughput trend (cells/s): 5.7 → 19.3" in text
+        assert "| sweep | when | command |" in text
+        assert "| 20260809T120000-abcd |" in text
+        # Rows are ordered oldest first regardless of input order.
+        assert text.index("20260809T120000-abcd") < text.index("later")
+
+    def test_html_section(self):
+        text = render_report(
+            build_report([], fleet_records=[fleet_record()]), FORMAT_HTML
+        )
+        assert "<h2>Fleet history</h2>" in text
+        assert "throughput trend" in text
+        assert "<td>20260809T120000-abcd</td>" in text
+
+    def test_fleet_only_report_skips_runs_table(self):
+        text = render_report(
+            build_report([], fleet_records=[fleet_record()]), FORMAT_MARKDOWN
+        )
+        assert "| policy | workload |" not in text

@@ -1,8 +1,7 @@
 """Tests for the structured JSONL sweep run-log."""
 
 import json
-
-import pytest
+import os
 
 from repro.measure.parallel import (
     PolicySpec,
@@ -88,17 +87,37 @@ class TestReader:
         path.write_text('{"a": 1}\n\n{"b": 2}\n')
         assert len(read_run_log(path)) == 2
 
-    def test_rejects_garbage(self, tmp_path):
+    def test_skips_garbage_with_warning(self, tmp_path):
+        # A torn trailing line (crash mid-write) must not void the rest
+        # of the log: the bad line is skipped and reported, not raised.
         path = tmp_path / "log.jsonl"
-        path.write_text("not json\n")
-        with pytest.raises(ValueError, match="bad run-log line"):
-            read_run_log(path)
+        path.write_text('{"a": 1}\nnot json\n{"b": 2}\n')
+        records = read_run_log(path)
+        assert [r for r in records] == [{"a": 1}, {"b": 2}]
+        assert len(records.warnings) == 1
+        assert "log.jsonl:2" in records.warnings[0]
+        assert "skipped unreadable run-log line" in records.warnings[0]
 
-    def test_rejects_non_objects(self, tmp_path):
+    def test_skips_non_objects_with_warning(self, tmp_path):
         path = tmp_path / "log.jsonl"
         path.write_text("[1, 2]\n")
-        with pytest.raises(ValueError, match="not an object"):
-            read_run_log(path)
+        records = read_run_log(path)
+        assert list(records) == []
+        assert len(records.warnings) == 1
+        assert "not a JSON object" in records.warnings[0]
+
+    def test_truncated_trailing_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2, "cache": "exec')
+        records = read_run_log(path)
+        assert list(records) == [{"a": 1}]
+        assert len(records.warnings) == 1
+
+    def test_clean_log_has_no_warnings(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with RunLogWriter(path) as log:
+            log.write(record())
+        assert read_run_log(path).warnings == ()
 
 
 class TestEngineIntegration:
@@ -147,3 +166,38 @@ class TestEngineIntegration:
         log.close()
         plain = SweepEngine(jobs=1).run(self.cells())
         assert logged == plain
+
+    def test_worker_attribution_in_process(self, tmp_path):
+        # jobs=1 executes in the parent, which is still "a worker" for
+        # attribution purposes: its own pid, ordinal 0.
+        log = RunLogWriter(tmp_path / "log.jsonl")
+        SweepEngine(jobs=1, run_log=log).run(self.cells())
+        log.close()
+        records = read_run_log(tmp_path / "log.jsonl")
+        assert all(r["worker_pid"] == os.getpid() for r in records)
+        assert all(r["worker_ordinal"] == 0 for r in records)
+        assert all(r["v"] == RUN_LOG_VERSION for r in records)
+
+    def test_worker_attribution_pool(self, tmp_path):
+        log = RunLogWriter(tmp_path / "log.jsonl")
+        with SweepEngine(jobs=2, run_log=log) as engine:
+            engine.run(self.cells())
+        log.close()
+        records = read_run_log(tmp_path / "log.jsonl")
+        assert all(isinstance(r["worker_pid"], int) for r in records)
+        assert all(r["worker_pid"] != os.getpid() for r in records)
+        pids = {r["worker_pid"] for r in records}
+        ordinals = {r["worker_ordinal"] for r in records}
+        # Ordinals are a stable zero-based relabeling of the pids seen.
+        assert len(ordinals) == len(pids)
+        assert ordinals <= {0, 1}
+
+    def test_cache_hits_have_no_worker(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        SweepEngine(jobs=1, cache=cache).run(self.cells())
+        log = RunLogWriter(tmp_path / "log.jsonl")
+        SweepEngine(jobs=1, cache=cache, run_log=log).run(self.cells())
+        log.close()
+        records = read_run_log(tmp_path / "log.jsonl")
+        assert all(r["worker_pid"] is None for r in records)
+        assert all(r["worker_ordinal"] is None for r in records)

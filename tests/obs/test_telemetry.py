@@ -1,0 +1,275 @@
+"""Tests for sweep telemetry: spans, progress math, and the renderer.
+
+Everything here drives the progress model with a fake clock and
+hand-built heartbeat streams — no sleeps, no real pools — so the ETA
+and straggler arithmetic is checked exactly, not statistically.
+"""
+
+import io
+
+from repro.obs.telemetry import (
+    HEARTBEAT_DONE,
+    HEARTBEAT_START,
+    LANE_ENGINE,
+    ProgressModel,
+    ProgressRenderer,
+    SweepTelemetry,
+    format_progress_line,
+)
+from repro.obs.trace import validate_chrome_trace
+
+
+class FakeClock:
+    """A monotonically advancing clock the tests control."""
+
+    def __init__(self, t: float = 100.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> float:
+        self.t += dt
+        return self.t
+
+
+def replay(model, events):
+    """Feed ``(tag, pid, cell_id, t)`` heartbeats like the pump does."""
+    for tag, pid, cell_id, t in events:
+        if tag == HEARTBEAT_START:
+            model.cell_started(pid, cell_id, t)
+        elif tag == HEARTBEAT_DONE:
+            model.cell_finished(pid, cell_id, t)
+
+
+class TestProgressModel:
+    def test_eta_from_rate(self):
+        model = ProgressModel(total=10)
+        model.start(0.0)
+        replay(model, [
+            (HEARTBEAT_START, 1, 0, 0.0), (HEARTBEAT_DONE, 1, 0, 2.0),
+            (HEARTBEAT_START, 1, 1, 2.0), (HEARTBEAT_DONE, 1, 1, 4.0),
+        ])
+        snap = model.snapshot(4.0)
+        assert snap.done == 2
+        assert snap.cells_per_s == 0.5
+        # 8 remaining at 0.5 cells/s.
+        assert snap.eta_s == 16.0
+
+    def test_eta_none_before_first_completion(self):
+        model = ProgressModel(total=5)
+        model.start(0.0)
+        model.cell_started(1, 0, 0.0)
+        assert model.snapshot(1.0).eta_s is None
+
+    def test_eta_zero_when_done(self):
+        model = ProgressModel(total=1)
+        model.start(0.0)
+        replay(model, [
+            (HEARTBEAT_START, 1, 0, 0.0), (HEARTBEAT_DONE, 1, 0, 1.0),
+        ])
+        assert model.snapshot(1.0).eta_s == 0.0
+
+    def test_zero_cell_sweep(self):
+        model = ProgressModel(total=0)
+        model.start(0.0)
+        snap = model.snapshot(0.0)
+        assert snap.done == snap.total == 0
+        assert snap.fraction == 1.0
+        assert snap.eta_s == 0.0
+        assert snap.stragglers == ()
+        # The summary line must still format without dividing by zero.
+        assert "0/0" in format_progress_line(snap)
+
+    def test_all_cached_sweep(self):
+        model = ProgressModel(total=4)
+        model.start(0.0)
+        for cell_id in range(4):
+            model.cache_hit(cell_id, 0.0)
+        snap = model.snapshot(0.0)
+        assert snap.done == 4
+        assert snap.cached == 4
+        assert snap.executed == 0
+        assert snap.cache_hit_rate == 1.0
+        assert snap.fraction == 1.0
+        assert snap.eta_s == 0.0
+
+    def test_cache_hit_rate_mixed(self):
+        model = ProgressModel(total=4)
+        model.start(0.0)
+        replay(model, [
+            (HEARTBEAT_START, 1, 0, 0.0), (HEARTBEAT_DONE, 1, 0, 1.0),
+        ])
+        model.cache_hit(1, 1.0)
+        assert model.snapshot(1.0).cache_hit_rate == 0.5
+
+    def test_worker_utilization(self):
+        model = ProgressModel(total=4)
+        model.start(0.0)
+        # Two workers; one busy the whole window, one idle half of it.
+        replay(model, [
+            (HEARTBEAT_START, 1, 0, 0.0), (HEARTBEAT_DONE, 1, 0, 4.0),
+            (HEARTBEAT_START, 2, 1, 0.0), (HEARTBEAT_DONE, 2, 1, 2.0),
+        ])
+        assert model.worker_utilization(4.0) == (4.0 + 2.0) / (2 * 4.0)
+
+    def test_utilization_counts_in_flight_work(self):
+        model = ProgressModel(total=2)
+        model.start(0.0)
+        model.cell_started(1, 0, 0.0)
+        assert model.worker_utilization(2.0) == 1.0
+
+    def test_straggler_needs_min_samples(self):
+        model = ProgressModel(total=10)
+        model.start(0.0)
+        # Two completions at 1 s each — below the 3-sample floor, so even
+        # a 100x-median in-flight cell is not yet flagged.
+        replay(model, [
+            (HEARTBEAT_START, 1, 0, 0.0), (HEARTBEAT_DONE, 1, 0, 1.0),
+            (HEARTBEAT_START, 1, 1, 1.0), (HEARTBEAT_DONE, 1, 1, 2.0),
+            (HEARTBEAT_START, 2, 2, 0.0),
+        ])
+        assert model.stragglers(100.0) == ()
+
+    def test_straggler_flagged_past_factor(self):
+        model = ProgressModel(total=10)
+        model.start(0.0)
+        replay(model, [
+            (HEARTBEAT_START, 1, 0, 0.0), (HEARTBEAT_DONE, 1, 0, 1.0),
+            (HEARTBEAT_START, 1, 1, 1.0), (HEARTBEAT_DONE, 1, 1, 2.0),
+            (HEARTBEAT_START, 1, 2, 2.0), (HEARTBEAT_DONE, 1, 2, 3.0),
+        ])
+        model.cell_started(2, 3, 3.0, label="best/mpeg")
+        # Median completed wall is 1 s; the in-flight cell crosses the
+        # 4x bar only after 4 s elapsed.
+        assert model.stragglers(6.9) == ()
+        [straggler] = model.stragglers(7.1)
+        assert straggler.cell_id == 3
+        assert straggler.worker_pid == 2
+        assert straggler.label == "best/mpeg"
+        assert straggler.elapsed_s == 7.1 - 3.0
+        assert straggler.median_s == 1.0
+
+    def test_stragglers_sorted_worst_first(self):
+        model = ProgressModel(total=10)
+        model.start(0.0)
+        replay(model, [
+            (HEARTBEAT_START, 1, i, float(i)) for i in range(3)
+        ] + [
+            (HEARTBEAT_DONE, 1, i, float(i) + 1.0) for i in range(3)
+        ])
+        model.cell_started(2, 8, 0.0)
+        model.cell_started(3, 9, 2.0)
+        flagged = model.stragglers(10.0)
+        assert [s.cell_id for s in flagged] == [8, 9]
+
+    def test_snapshot_line_formats(self):
+        model = ProgressModel(total=10)
+        model.start(0.0)
+        replay(model, [
+            (HEARTBEAT_START, 1, 0, 0.0), (HEARTBEAT_DONE, 1, 0, 2.0),
+            (HEARTBEAT_START, 1, 1, 2.0), (HEARTBEAT_DONE, 1, 1, 4.0),
+        ])
+        line = format_progress_line(model.snapshot(4.0))
+        assert "2/10" in line
+        assert "20%" in line
+        assert "0.5 cells/s" in line
+        assert "eta 16s" in line
+
+    def test_total_can_grow_across_batches(self):
+        model = ProgressModel()
+        model.add_total(3)
+        model.add_total(2)
+        assert model.snapshot(0.0).total == 5
+
+
+class TestProgressRenderer:
+    def model(self):
+        model = ProgressModel(total=2)
+        model.start(0.0)
+        return model
+
+    def test_disabled_on_non_tty(self):
+        sink = io.StringIO()  # StringIO.isatty() is False
+        renderer = ProgressRenderer(self.model(), sink)
+        renderer.update(force=True)
+        renderer.finish()
+        assert sink.getvalue() == ""
+
+    def test_forced_renderer_draws_and_clears(self):
+        clock = FakeClock()
+        model = self.model()
+        sink = io.StringIO()
+        renderer = ProgressRenderer(model, sink, clock=clock, enabled=True)
+        renderer.update(force=True)
+        out = sink.getvalue()
+        assert out.startswith("\r")
+        assert "0/2" in out
+        renderer.finish()
+        # finish() leaves the line cleared for whatever prints next.
+        assert sink.getvalue().endswith("\r")
+
+    def test_updates_throttle(self):
+        clock = FakeClock()
+        model = self.model()
+        sink = io.StringIO()
+        renderer = ProgressRenderer(
+            model, sink, min_interval_s=0.1, clock=clock, enabled=True
+        )
+        renderer.update(force=True)
+        first = sink.getvalue()
+        renderer.update()  # same instant: throttled away
+        assert sink.getvalue() == first
+        clock.advance(0.2)
+        renderer.update()
+        assert len(sink.getvalue()) > len(first)
+
+
+class TestSweepTelemetry:
+    def test_trace_validates_with_worker_lanes(self):
+        clock = FakeClock()
+        tel = SweepTelemetry(clock=clock)
+        tel.start()
+        with tel.span("pool spin-up", workers=2):
+            clock.advance(0.01)
+        lane_a = tel.lane_for(111)
+        lane_b = tel.lane_for(222)
+        assert tel.lane_for(111) == lane_a  # stable per pid
+        assert lane_a != lane_b
+        tel.add_span("best", 0, 5000, lane=lane_a, seed=0)
+        tel.add_span("best", 0, 5000, lane=lane_b, seed=1)
+        tel.add_instant("cache hit", policy="best")
+        payload = tel.chrome_trace()
+        validate_chrome_trace(payload)
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"pool spin-up", "best", "cache hit"} <= names
+        thread_names = [
+            e["args"]["name"] for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "engine" in thread_names
+        assert any("pid 111" in n for n in thread_names)
+        assert payload["otherData"]["workers"] == 2
+
+    def test_ordinals_match_lane_order(self):
+        tel = SweepTelemetry()
+        tel.start()
+        tel.lane_for(500)
+        tel.lane_for(600)
+        assert tel.ordinal_for(500) == 0
+        assert tel.ordinal_for(600) == 1
+        assert tel.lane_for(500) != LANE_ENGINE
+
+    def test_span_durations_never_negative(self):
+        tel = SweepTelemetry()
+        tel.start()
+        tel.add_span("clamped", 100, 50)
+        [event] = [
+            e for e in tel.chrome_trace()["traceEvents"] if e["ph"] == "X"
+        ]
+        assert event["dur"] == 0
+
+    def test_empty_telemetry_still_validates(self):
+        tel = SweepTelemetry()
+        tel.start()
+        validate_chrome_trace(tel.chrome_trace())

@@ -341,6 +341,184 @@ class TestObservabilityOptions:
         err = capsys.readouterr().err
         assert "sweep: 1 simulated, 0 cached" in err
 
+
+class TestTelemetryOptions:
+    """--progress, --sweep-trace, and the fleet ledger flags."""
+
+    def test_sweep_trace_writes_valid_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        trace = tmp_path / "sweep.json"
+        code = main(
+            ["table2", "--runs", "2", "--jobs", "2",
+             "--sweep-trace", str(trace),
+             "--fleet", str(tmp_path / "fleet.jsonl")]
+        )
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        validate_chrome_trace(payload)
+        assert payload["otherData"]["workers"] == 2
+        err = capsys.readouterr().err
+        assert "sweep trace:" in err
+        assert "worker lanes" in err
+
+    def test_progress_piped_output_unchanged(self, capsys, tmp_path):
+        argv = ["run", "mpeg", "--policy", "best", "--duration", "1",
+                "--jobs", "2", "--no-fleet"]
+        assert main(argv) == 0
+        plain = capsys.readouterr()
+        assert main(argv + ["--progress"]) == 0
+        with_progress = capsys.readouterr()
+        # Piped (non-TTY) progress degrades to silence: stdout is
+        # byte-identical to the plain run and no progress-bar control
+        # characters leak to stderr (the summary line still prints, but
+        # its cells/s figure is timing-dependent either way).
+        assert with_progress.out == plain.out
+        assert "\r" not in with_progress.err
+        assert with_progress.err.startswith("sweep: 1 simulated, 0 cached")
+
+    def test_fleet_record_appended(self, tmp_path, capsys):
+        from repro.obs.fleet import read_fleet
+
+        ledger = tmp_path / "fleet.jsonl"
+        argv = ["run", "mpeg", "--policy", "best", "--duration", "1",
+                "--jobs", "2", "--fleet", str(ledger)]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        capsys.readouterr()
+        history = read_fleet(ledger)
+        assert history.warnings == ()
+        assert len(history.records) == 2
+        rec = history.records[0]
+        assert rec.command == "run"
+        assert rec.workloads == ("mpeg",)
+        assert rec.cells_total == 1
+        assert rec.jobs == 2
+
+    def test_no_fleet_opts_out(self, tmp_path, capsys):
+        ledger = tmp_path / "fleet.jsonl"
+        assert main(
+            ["run", "mpeg", "--policy", "best", "--duration", "1",
+             "--jobs", "2", "--fleet", str(ledger), "--no-fleet"]
+        ) == 0
+        capsys.readouterr()
+        assert not ledger.exists()
+
+
+class TestFleetCommand:
+    """The `repro fleet` ledger listing/rendering command."""
+
+    def populate(self, ledger, capsys):
+        for workload in ("mpeg", "web"):
+            assert main(
+                ["run", workload, "--policy", "best", "--duration", "1",
+                 "--jobs", "2", "--fleet", str(ledger)]
+            ) == 0
+        capsys.readouterr()
+
+    def test_missing_ledger_exit_one(self, tmp_path, capsys):
+        code = main(["fleet", "--ledger", str(tmp_path / "none.jsonl")])
+        assert code == 1
+        assert "no fleet ledger" in capsys.readouterr().err
+
+    def test_lists_sweeps_with_trend(self, tmp_path, capsys):
+        ledger = tmp_path / "fleet.jsonl"
+        self.populate(ledger, capsys)
+        assert main(["fleet", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep id" in out  # header
+        rows = [ln for ln in out.splitlines() if ln.startswith("20")]
+        assert len(rows) == 2  # one per recorded sweep
+        assert "throughput trend" in out
+
+    def test_workload_filter(self, tmp_path, capsys):
+        ledger = tmp_path / "fleet.jsonl"
+        self.populate(ledger, capsys)
+        assert main(
+            ["fleet", "--ledger", str(ledger), "--workload", "web"]
+        ) == 0
+        out = capsys.readouterr().out
+        body = [ln for ln in out.splitlines()
+                if ln and "sweep id" not in ln and "trend" not in ln]
+        assert len(body) == 1
+
+    def test_filter_with_no_matches_exit_one(self, tmp_path, capsys):
+        ledger = tmp_path / "fleet.jsonl"
+        self.populate(ledger, capsys)
+        code = main(
+            ["fleet", "--ledger", str(ledger), "--workload", "nope"]
+        )
+        assert code == 1
+        assert "no recorded sweeps match" in capsys.readouterr().err
+
+    def test_markdown_render_with_bench_history(self, tmp_path, capsys):
+        ledger = tmp_path / "fleet.jsonl"
+        self.populate(ledger, capsys)
+        assert main(
+            ["fleet", "--ledger", str(ledger), "--format", "md",
+             "--bench", "."]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "## Fleet history" in out
+        assert "throughput trend" in out
+        assert "## Perf history" in out
+        assert "telemetry_overhead" in out
+
+    def test_html_render_to_file(self, tmp_path, capsys):
+        ledger = tmp_path / "fleet.jsonl"
+        self.populate(ledger, capsys)
+        out_file = tmp_path / "fleet.html"
+        assert main(
+            ["fleet", "--ledger", str(ledger), "--format", "html",
+             "-o", str(out_file)]
+        ) == 0
+        text = out_file.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<h2>Fleet history</h2>" in text
+        assert "wrote" in capsys.readouterr().err
+
+
+class TestReportBenchSpecs:
+    """`repro report --bench` accepts files, directories, and globs."""
+
+    def run_log(self, tmp_path, capsys):
+        log = tmp_path / "runs.jsonl"
+        assert main(
+            ["run", "mpeg", "--policy", "best", "--duration", "1",
+             "--run-log", str(log), "--no-fleet"]
+        ) == 0
+        capsys.readouterr()
+        return log
+
+    def test_bench_directory(self, tmp_path, capsys):
+        log = self.run_log(tmp_path, capsys)
+        assert main(
+            ["report", str(log), "--bench", "."]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "## Perf history" in out
+        assert "sweep_throughput" in out
+
+    def test_bench_glob(self, tmp_path, capsys):
+        log = self.run_log(tmp_path, capsys)
+        assert main(
+            ["report", str(log), "--bench", "BENCH_obs_*.json"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "obs_overhead" in out
+        assert "sweep_throughput" not in out
+
+    def test_bench_no_match_exit_two(self, tmp_path, capsys):
+        log = self.run_log(tmp_path, capsys)
+        code = main(
+            ["report", str(log), "--bench",
+             str(tmp_path / "BENCH_none.json")]
+        )
+        assert code == 2
+        assert "no benchmark records match" in capsys.readouterr().err
+
     def test_summary_counts_cache_hits(self, capsys, tmp_path):
         argv = [
             "ideal", "mpeg", "--duration", "10", "--cache", str(tmp_path),
