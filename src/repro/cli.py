@@ -60,11 +60,19 @@ live TTY status line (cells done/total, cells/s, ETA, cache-hit rate,
 worker utilization, straggler flags — silent when stderr is piped),
 ``--sweep-trace PATH`` to export the whole sweep pipeline as a Chrome
 trace with one lane per pool worker (see :mod:`repro.obs.telemetry`),
-and the fleet ledger: every engine-served sweep appends one record to
+``--phases`` to print the phase-level wall-time breakdown (see
+:mod:`repro.obs.profile` — engine-served sweeps always attribute their
+wall time to pipeline phases; the flag only prints the table), and the
+fleet ledger: every engine-served sweep appends one record to
 ``.repro/fleet.jsonl`` (``--fleet PATH`` overrides, ``--no-fleet`` opts
 out), queryable afterwards with ``repro fleet`` — list/filter past
-sweeps, throughput trend, markdown/HTML perf-trajectory reports (see
-:mod:`repro.obs.fleet`).
+sweeps, throughput trend, markdown/HTML perf-trajectory reports,
+inline-SVG trend curves (``--plot``, see :mod:`repro.obs.plot`) and the
+perf-regression sentinel (``--check``: compares the latest sweep
+against the median of comparable predecessors, normalized by the host
+score ``repro calibrate`` caches, and exits non-zero naming the
+regressed phase — see :mod:`repro.obs.fleet` and
+:mod:`repro.obs.calibrate`).
 """
 
 from __future__ import annotations
@@ -89,6 +97,7 @@ from repro.measure.parallel import (
 )
 from repro.obs.diagnose import DiagnosisWriter
 from repro.obs.fleet import DEFAULT_FLEET_PATH, FleetLedger, read_fleet
+from repro.obs.profile import PhaseProfile
 from repro.obs.runlog import RunLogWriter
 from repro.obs.telemetry import SweepTelemetry
 from repro.measure.runner import find_ideal_constant, repeat_workload, run_workload
@@ -152,12 +161,15 @@ def machine_spec(args) -> MachineSpec:
 
 def sweep_engine(args) -> Optional[SweepEngine]:
     """Build the sweep engine the ``--jobs``/``--cache``/``--run-log``/
-    ``--diagnoses``/``--progress``/``--sweep-trace``/``--fleet`` flags
-    ask for.
+    ``--diagnoses``/``--progress``/``--sweep-trace``/``--fleet``/
+    ``--phases`` flags ask for.
 
     Returns None when none of the flags is given: the command then takes
     the legacy serial, uncached path (and records nothing in the fleet
-    ledger — only engine-served sweeps are ledger entries).
+    ledger — only engine-served sweeps are ledger entries).  Every
+    engine built here carries a :class:`~repro.obs.profile.PhaseProfile`
+    — the ledger's phase attribution must not depend on remembering a
+    flag — while ``--phases`` only controls printing the table.
     """
     jobs = getattr(args, "jobs", 1)
     cache_dir = getattr(args, "cache", None)
@@ -166,6 +178,7 @@ def sweep_engine(args) -> Optional[SweepEngine]:
     progress = getattr(args, "progress", False)
     sweep_trace = getattr(args, "sweep_trace", None)
     fleet_path = getattr(args, "fleet", None)
+    phases = getattr(args, "phases", False)
     if getattr(args, "no_cache", False):
         cache_dir = None
     if (
@@ -176,6 +189,7 @@ def sweep_engine(args) -> Optional[SweepEngine]:
         and not progress
         and sweep_trace is None
         and fleet_path is None
+        and not phases
     ):
         return None
     cache = ResultCache(cache_dir) if cache_dir else None
@@ -188,6 +202,7 @@ def sweep_engine(args) -> Optional[SweepEngine]:
         diagnosis_log=diagnosis_log,
         telemetry=SweepTelemetry() if sweep_trace else None,
         progress=progress,
+        profile=PhaseProfile(),
     )
 
 
@@ -212,6 +227,13 @@ def report_sweep_stats(
     if engine is None:
         return
     print(engine.stats.summary(), file=sys.stderr)
+    if (
+        args is not None
+        and getattr(args, "phases", False)
+        and engine.profile is not None
+    ):
+        print("phase profile:", file=sys.stderr)
+        print(engine.profile.table(engine.stats.wall_s), file=sys.stderr)
     engine.close()
     if engine.run_log is not None:
         engine.run_log.close()
@@ -605,6 +627,10 @@ def cmd_report(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    # Tolerant readers skip damaged lines instead of failing; say so
+    # (with file:line provenance) rather than silently under-reporting.
+    for warning in getattr(records, "warnings", ()):
+        print(f"warning: {warning}", file=sys.stderr)
     report = build_report(records, diagnoses, bench_records=bench_records)
     text = render_report(report, args.format)
     if args.output:
@@ -701,8 +727,8 @@ def cmd_fuzz(args) -> int:
 
 
 def cmd_fleet(args) -> int:
-    """List, filter and render the fleet ledger of past sweeps."""
-    from repro.obs.fleet import throughput_trend
+    """List, filter, render, plot and sentinel-check the fleet ledger."""
+    from repro.obs.fleet import check_fleet, throughput_trend
     from repro.obs.report import build_report, load_bench_records, render_report
 
     path = Path(args.ledger)
@@ -737,6 +763,27 @@ def cmd_fleet(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if getattr(args, "plot", None):
+        from repro.obs.plot import fleet_plot_svg
+
+        out = Path(args.plot)
+        out.write_text(fleet_plot_svg(records) + "\n")
+        print(
+            f"fleet plot: {out} ({len(records)} sweeps; throughput, "
+            f"cache-hit rate and phase mix over commits)",
+            file=sys.stderr,
+        )
+
+    if getattr(args, "check", False):
+        report = check_fleet(
+            records,
+            window=args.window,
+            max_drop_pct=args.max_drop,
+            max_hit_rate_drop=args.max_hit_drop,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+
     if args.format:
         report = build_report(
             [], bench_records=bench_records, fleet_records=records
@@ -757,19 +804,56 @@ def cmd_fleet(args) -> int:
 
     print(
         f"{'sweep id':22s} {'when':17s} {'command':8s} {'cells':>6s} "
-        f"{'cached':>6s} {'cells/s':>8s} {'wall s':>7s} {'backend':10s} "
-        f"{'jobs':>4s}"
+        f"{'cached':>6s} {'cells/s':>8s} {'norm/s':>8s} {'wall s':>7s} "
+        f"{'backend':10s} {'jobs':>4s}"
     )
     for r in records:
         when = time_module.strftime(
             "%Y-%m-%d %H:%M", time_module.localtime(r.unix_time)
         )
+        norm = r.normalized_cells_per_s
+        norm_text = f"{norm:8.1f}" if norm is not None else f"{'-':>8s}"
         print(
             f"{r.sweep_id:22s} {when:17s} {(r.command or '-'):8s} "
             f"{r.cells_total:6d} {r.cells_cached:6d} {r.cells_per_s:8.1f} "
+            f"{norm_text} "
             f"{r.wall_s:7.1f} {(r.backend or '-'):10s} {r.jobs:4d}"
         )
     print(throughput_trend(records))
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    """Benchmark this host and cache its fleet-normalization score."""
+    import os as os_module
+
+    from repro.obs.calibrate import (
+        DEFAULT_HOST_PATH,
+        calibrate,
+        load_calibration,
+        save_calibration,
+    )
+
+    path = Path(
+        args.output
+        or os_module.environ.get("REPRO_HOST_CALIBRATION")
+        or DEFAULT_HOST_PATH
+    )
+    existing = load_calibration(path)
+    if existing is not None and not args.force:
+        print(f"host already calibrated (score {existing.score:.2f}, "
+              f"{existing.passes} passes at {existing.probe_wall_s * 1000:.1f} "
+              f"ms/pass); --force to re-measure")
+        print(f"calibration     : {path}")
+        return 0
+    cal = calibrate(budget_s=args.budget)
+    save_calibration(cal, path)
+    print(f"host score      : {cal.score:.2f} (1.0 = nominal reference host)")
+    print(f"probe           : best of {cal.passes} passes, "
+          f"{cal.probe_wall_s * 1000:.1f} ms/pass")
+    print(f"host            : {cal.hostname} ({cal.machine}, "
+          f"python {cal.python})")
+    print(f"calibration     : {path}")
     return 0
 
 
@@ -843,6 +927,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_opts.add_argument(
         "--no-fleet", action="store_true", dest="no_fleet",
         help="do not record this sweep in the fleet ledger",
+    )
+    sweep_opts.add_argument(
+        "--phases", action="store_true",
+        help="print the phase-level wall-time breakdown (pool spin-up, "
+             "kernel compute, observer reduction, result IPC, cache I/O, "
+             "...) after the sweep summary",
     )
 
     machine_opts = argparse.ArgumentParser(add_help=False)
@@ -991,7 +1081,56 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None, metavar="PATH",
         help="write the rendered report here instead of stdout",
     )
+    fleet_parser.add_argument(
+        "--check", action="store_true",
+        help="perf-regression sentinel: compare the latest executed "
+             "sweep against the median of comparable predecessors "
+             "(host-normalized); exit 1 naming the regressed phase on a "
+             "throughput drop or cache-hit collapse",
+    )
+    fleet_parser.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="baseline window: median of the last N comparable sweeps "
+             "(default: 5)",
+    )
+    fleet_parser.add_argument(
+        "--max-drop", type=float, default=25.0, metavar="PCT",
+        dest="max_drop",
+        help="--check fails when normalized throughput drops more than "
+             "PCT%% below the baseline median (default: 25)",
+    )
+    fleet_parser.add_argument(
+        "--max-hit-drop", type=float, default=0.5, metavar="FRAC",
+        dest="max_hit_drop",
+        help="--check fails when the cache-hit rate falls more than "
+             "FRAC below the baseline median (default: 0.5)",
+    )
+    fleet_parser.add_argument(
+        "--plot", default=None, metavar="PATH",
+        help="write the trend curves (cells/s, cache-hit rate, phase "
+             "mix over commits) as a standalone SVG",
+    )
     fleet_parser.set_defaults(func=cmd_fleet)
+
+    cal_parser = sub.add_parser(
+        "calibrate",
+        help="benchmark this host once and cache the score that "
+             "normalizes fleet throughput across machines",
+    )
+    cal_parser.add_argument(
+        "--budget", type=float, default=2.0, metavar="SECONDS",
+        help="wall-time budget for the probe loop (default: 2.0)",
+    )
+    cal_parser.add_argument(
+        "--force", action="store_true",
+        help="re-measure even when a valid calibration is cached",
+    )
+    cal_parser.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="calibration cache to write (default: "
+             "$REPRO_HOST_CALIBRATION or .repro/host.json)",
+    )
+    cal_parser.set_defaults(func=cmd_calibrate)
 
     fuzz_parser = sub.add_parser(
         "fuzz",

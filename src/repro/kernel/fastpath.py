@@ -50,6 +50,7 @@ duplicated.
 from __future__ import annotations
 
 import gc
+from time import perf_counter
 from typing import Iterable, List, Optional
 
 from repro.hw.machine import Machine
@@ -85,6 +86,27 @@ from repro.traces.schema import (
     SchedDecision,
     VoltChange,
 )
+
+
+#: Cached ``(PHASE_REDUCE, record_kernel_phase)`` pair; see :func:`_phase_hook`.
+_PHASE_HOOK: Optional[tuple] = None
+
+
+def _phase_hook() -> tuple:
+    """The phase-profile stamp for the bulk-tap replay, imported lazily.
+
+    The kernel must not import the observability package at module load
+    (``repro.obs`` pulls measurement modules that import the kernel
+    back), so the first tap replay resolves
+    :func:`repro.obs.profile.record_kernel_phase` — a single ``None``
+    check when no profiled sweep cell armed the stamp sink — and caches
+    it for every later run.
+    """
+    global _PHASE_HOOK
+    if _PHASE_HOOK is None:
+        from repro.obs.profile import PHASE_REDUCE, record_kernel_phase
+        _PHASE_HOOK = (PHASE_REDUCE, record_kernel_phase)
+    return _PHASE_HOOK
 
 
 def _stats_from_rows(rows: List[tuple]) -> QuantumStats:
@@ -826,7 +848,10 @@ class FastKernel(Kernel):
         if config.record_sched_log and sched_rows is not None:
             run.sched_log = [SchedDecision(*row) for row in sched_rows]
         if self._taps:
+            phase, stamp = _phase_hook()
+            t0 = perf_counter()
             self._replay_taps(run, rows, segs, sched_rows)
+            stamp(phase, t0, perf_counter())
         return run
 
     def _replay_taps(

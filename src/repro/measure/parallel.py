@@ -79,7 +79,20 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from repro.obs.calibrate import host_score
 from repro.obs.fleet import FleetRecord, git_sha, new_sweep_id
+from repro.obs.profile import (
+    PHASE_CACHE,
+    PHASE_COMPUTE,
+    PHASE_DIAGNOSE,
+    PHASE_IPC,
+    PHASE_REDUCE,
+    PHASE_SPINUP,
+    PHASE_SUBMIT,
+    PhaseProfile,
+    arm_worker_stamps,
+    drain_worker_stamps,
+)
 from repro.obs.runlog import RunLogRecord, RunLogWriter, now_unix
 from repro.obs.telemetry import (
     HEARTBEAT_DONE,
@@ -577,33 +590,59 @@ def _execute_cell(cell: SweepCell) -> CellResult:
 
 
 def _execute_cell_observed(
-    cell: SweepCell, with_metrics: bool
-) -> Tuple[CellResult, float, Optional[MetricsSnapshot], int, float, float]:
+    cell: SweepCell, with_metrics: bool, profiled: bool = False
+) -> Tuple[
+    CellResult, float, Optional[MetricsSnapshot], int, float, float,
+    Tuple[Tuple[str, float, float], ...],
+]:
     """Instrumented worker: times the cell and (optionally) collects the
     kernel hot-loop metrics in a worker-local registry whose snapshot the
     parent merges.  The simulation itself is the very same ``cell.run``
     the plain worker calls, so results stay bitwise-identical.
 
-    The trailing ``(pid, t_start, t_end)`` fields carry the executing
-    process and the cell's ``perf_counter`` interval home on the result
-    channel — the telemetry layer builds its per-cell worker-lane spans
-    from these (never from heartbeats, which are display-only and may
-    trail the future's completion).
+    The trailing ``(pid, t_start, t_end, phases)`` fields carry the
+    executing process and the cell's ``perf_counter`` interval home on
+    the result channel — the telemetry layer builds its per-cell
+    worker-lane spans from these (never from heartbeats, which are
+    display-only and may trail the future's completion).  With
+    ``profiled``, ``phases`` additionally carries the cell's phase
+    stamps for the :class:`~repro.obs.profile.PhaseProfile`: the
+    kernel-compute interval, any kernel-side observer-reduction stamps
+    (the fast path stamps its bulk-tap replay), and the summary
+    reduction — ``cell.run`` split into its two halves
+    (:meth:`SweepCell.execute` + :meth:`CellResult.from_experiment`),
+    which is the very same computation, just stamped between the
+    halves.
     """
     registry = MetricsRegistry() if with_metrics else None
     extra = [KernelMetricsRecorder(registry)] if registry is not None else None
+    if not profiled:
+        start = perf_counter()
+        result = cell.run(extra_recorders=extra)
+        end = perf_counter()
+        snap = registry.snapshot() if registry is not None else None
+        return result, end - start, snap, os.getpid(), start, end, ()
+    arm_worker_stamps()
     start = perf_counter()
-    result = cell.run(extra_recorders=extra)
+    experiment = cell.execute(extra_recorders=extra)
+    t_computed = perf_counter()
+    result = CellResult.from_experiment(experiment)
     end = perf_counter()
+    phases = (
+        (PHASE_COMPUTE, start, t_computed),
+        *drain_worker_stamps(),
+        (PHASE_REDUCE, t_computed, end),
+    )
     snap = registry.snapshot() if registry is not None else None
-    return result, end - start, snap, os.getpid(), start, end
+    return result, end - start, snap, os.getpid(), start, end, phases
 
 
 def _execute_cell_diagnosed(
-    cell: SweepCell, with_metrics: bool, baseline_j: Optional[float]
+    cell: SweepCell, with_metrics: bool, baseline_j: Optional[float],
+    profiled: bool = False,
 ) -> Tuple[
     CellResult, float, Optional[MetricsSnapshot], PolicyDiagnosis,
-    int, float, float,
+    int, float, float, Tuple[Tuple[str, float, float], ...],
 ]:
     """Diagnosing worker: runs the cell with full recording, computes its
     :class:`~repro.obs.diagnose.PolicyDiagnosis` worker-side, and ships
@@ -617,14 +656,19 @@ def _execute_cell_diagnosed(
     ``wall_s`` keeps its historical meaning (simulation time only) while
     the telemetry interval ``t_start..t_end`` covers simulate + diagnose
     — the span shows what the worker was occupied with, the run-log
-    shows what the simulation cost.
+    shows what the simulation cost.  With ``profiled``, the trailing
+    ``phases`` carries compute / diagnosis / reduction stamps (plus any
+    kernel-side stamps) for the phase profile; empty otherwise.
     """
     registry = MetricsRegistry() if with_metrics else None
     extra = [KernelMetricsRecorder(registry)] if registry is not None else None
     full_cell = dataclasses.replace(cell, recording=RECORDING_FULL)
+    if profiled:
+        arm_worker_stamps()
     start = perf_counter()
     result = full_cell.execute(extra_recorders=extra)
-    wall_s = perf_counter() - start
+    t_computed = perf_counter()
+    wall_s = t_computed - start
     diagnosis = diagnose(
         result,
         policy=cell.policy.label,
@@ -634,14 +678,26 @@ def _execute_cell_diagnosed(
         seed=cell.seed,
         baseline_j=baseline_j,
     )
+    t_diagnosed = perf_counter()
+    summary = CellResult.from_experiment(result)
+    end = perf_counter()
+    phases: Tuple[Tuple[str, float, float], ...] = ()
+    if profiled:
+        phases = (
+            (PHASE_COMPUTE, start, t_computed),
+            *drain_worker_stamps(),
+            (PHASE_DIAGNOSE, t_computed, t_diagnosed),
+            (PHASE_REDUCE, t_diagnosed, end),
+        )
     return (
-        CellResult.from_experiment(result),
+        summary,
         wall_s,
         registry.snapshot() if registry is not None else None,
         diagnosis,
         os.getpid(),
         start,
-        perf_counter(),
+        end,
+        phases,
     )
 
 
@@ -685,6 +741,7 @@ def _execute_chunk(
     with_metrics: bool,
     baseline_js: List[Optional[float]],
     cell_ids: Optional[List[int]] = None,
+    profiled: bool = False,
 ) -> List[Tuple[str, object]]:
     """Run a contiguous chunk of cells in one pool task.
 
@@ -710,10 +767,10 @@ def _execute_chunk(
         try:
             if mode == "diagnosed":
                 outcome: object = _execute_cell_diagnosed(
-                    cell, with_metrics, baseline_j
+                    cell, with_metrics, baseline_j, profiled
                 )
             elif mode == "observed":
-                outcome = _execute_cell_observed(cell, with_metrics)
+                outcome = _execute_cell_observed(cell, with_metrics, profiled)
             else:
                 outcome = _execute_cell(cell)
             out.append(("ok", outcome))
@@ -919,6 +976,15 @@ class SweepEngine:
     ``benchmarks/bench_telemetry_overhead.py`` enforces bitwise equality
     and the overhead bar.  :meth:`fleet_record` summarizes everything
     the engine served into one fleet-ledger entry.
+
+    Pass a :class:`~repro.obs.profile.PhaseProfile` as ``profile`` to
+    attribute the sweep's wall time to pipeline phases: the engine
+    stamps its own stages (spin-up, submission, cache I/O, result IPC)
+    and instrumented workers ship compute / reduction / diagnosis
+    stamps home on the result tuples; the per-phase totals land in the
+    fleet record and, with telemetry on, as nested spans in the Chrome
+    trace.  ``benchmarks/bench_profile_overhead.py`` holds profiling to
+    the same bitwise-equality and overhead bars.
     """
 
     def __init__(
@@ -934,6 +1000,7 @@ class SweepEngine:
         telemetry: Optional[SweepTelemetry] = None,
         progress: bool = False,
         progress_stream: Optional[IO[str]] = None,
+        profile: Optional[PhaseProfile] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -953,6 +1020,7 @@ class SweepEngine:
         self._run_depth = 0  # baseline batches re-enter run()
         self._pool: Optional[ProcessPoolExecutor] = None
         self.telemetry = telemetry
+        self.profile = profile
         self.progress = progress
         self._progress_lock = threading.Lock()
         self._cell_labels: Dict[int, str] = {}
@@ -1037,11 +1105,12 @@ class SweepEngine:
                 cell, original exception as ``__cause__``) or a pool-level
                 failure (attributed to the chunk's first cell).
         """
+        profiled = self.profile is not None
         with self._t_span(
             "submit chunks",
             chunks=len(chunks),
             cells=sum(len(chunk) for chunk in chunks),
-        ):
+        ), self._p_interval(PHASE_SUBMIT):
             futures = [
                 pool.submit(
                     _execute_chunk,
@@ -1055,11 +1124,13 @@ class SweepEngine:
                         for _, cell, _ in chunk
                     ],
                     [cell_id for _, _, cell_id in chunk],
+                    profiled,
                 )
                 for chunk in chunks
             ]
         fresh: List[object] = []
         for chunk, future in zip(chunks, futures):
+            wait_start = perf_counter() if profiled else 0.0
             try:
                 tagged = future.result()
             except Exception as exc:
@@ -1073,6 +1144,21 @@ class SweepEngine:
                     assert isinstance(payload, BaseException)
                     raise SweepCellError(cell, payload) from payload
                 fresh.append(payload)
+            if profiled:
+                # Result IPC: the slice of the wait after the chunk's
+                # last cell finished computing is unpickling/transfer —
+                # the rest of the wait is covered by the workers' own
+                # compute stamps on the shared timebase.  Plain-mode
+                # outcomes carry no worker clock, so charge the whole
+                # (already completed) wait.
+                recv = perf_counter()
+                ends = [
+                    payload[-2]
+                    for tag, payload in tagged
+                    if tag == "ok" and mode != "plain"
+                ]
+                ipc_start = max([wait_start] + ends) if ends else wait_start
+                self.profile.add_interval(PHASE_IPC, ipc_start, recv)
         return fresh
 
     def run(self, cells: Iterable[SweepCell]) -> List[CellResult]:
@@ -1126,6 +1212,22 @@ class SweepEngine:
             return contextlib.nullcontext()
         return self.telemetry.span(name, **args)
 
+    @contextlib.contextmanager
+    def _p_interval(self, phase: str):
+        """Stamp the enclosed engine-side work into the phase profile.
+
+        A no-op context when no profile is attached — the profiled path
+        costs two ``perf_counter`` reads per use.
+        """
+        if self.profile is None:
+            yield
+            return
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.profile.add_interval(phase, t0, perf_counter())
+
     def _new_cell_id(self, cell: SweepCell) -> int:
         """A sweep-unique display id for one pending cell."""
         cell_id = self._next_cell_id
@@ -1177,6 +1279,12 @@ class SweepEngine:
             backend=",".join(sorted(self._axis_backends)),
             jobs=self.jobs,
             git_sha=git_sha(),
+            host_score=host_score(),
+            phases=(
+                tuple(sorted(self.profile.phase_seconds().items()))
+                if self.profile is not None
+                else ()
+            ),
         )
 
     def _run_batch(self, cells: Iterable[SweepCell]) -> List[CellResult]:
@@ -1193,7 +1301,11 @@ class SweepEngine:
         for key, cell in zip(keys, ordered):
             if key in results or key in pending:
                 continue
-            hit = self.cache.get(key) if self.cache is not None else None
+            if self.cache is not None:
+                with self._p_interval(PHASE_CACHE):
+                    hit = self.cache.get(key)
+            else:
+                hit = None
             if hit is not None:
                 results[key] = hit
                 self.stats.cache_hits += 1
@@ -1232,7 +1344,9 @@ class SweepEngine:
                 self.metrics is not None
                 or self.run_log is not None
                 or self.telemetry is not None
+                or self.profile is not None
             )
+            profiled = self.profile is not None
             with_metrics = self.metrics is not None
             if diagnosing:
                 mode = "diagnosed"
@@ -1247,7 +1361,9 @@ class SweepEngine:
                 chunks = self._chunked(todo, workers)
                 if self.reuse_pool:
                     if self._pool is None:
-                        with self._t_span("pool spin-up", workers=self.jobs):
+                        with self._t_span(
+                            "pool spin-up", workers=self.jobs
+                        ), self._p_interval(PHASE_SPINUP):
                             self._pool = ProcessPoolExecutor(
                                 max_workers=self.jobs,
                                 initializer=_warm_worker,
@@ -1257,7 +1373,9 @@ class SweepEngine:
                         self._pool, chunks, mode, with_metrics, baselines
                     )
                 else:
-                    with self._t_span("pool spin-up", workers=workers):
+                    with self._t_span(
+                        "pool spin-up", workers=workers
+                    ), self._p_interval(PHASE_SPINUP):
                         pool = ProcessPoolExecutor(
                             max_workers=workers,
                             initializer=_warm_worker,
@@ -1273,10 +1391,13 @@ class SweepEngine:
                     self._progress_cell_started(cell_id)
                     if diagnosing:
                         outcome: object = _execute_cell_diagnosed(
-                            cell, with_metrics, baselines[_baseline_key(cell)]
+                            cell, with_metrics,
+                            baselines[_baseline_key(cell)], profiled,
                         )
                     elif observed:
-                        outcome = _execute_cell_observed(cell, with_metrics)
+                        outcome = _execute_cell_observed(
+                            cell, with_metrics, profiled
+                        )
                     else:
                         outcome = _execute_cell(cell)
                     fresh.append(outcome)
@@ -1286,21 +1407,28 @@ class SweepEngine:
                     diagnosis: Optional[PolicyDiagnosis] = None
                     pid: Optional[int] = None
                     t_start = t_end = 0.0
+                    phases: Tuple[Tuple[str, float, float], ...] = ()
                     if diagnosing:
                         (
-                            result, wall_s, snap, diagnosis, pid, t_start, t_end
+                            result, wall_s, snap, diagnosis,
+                            pid, t_start, t_end, phases,
                         ) = outcome
                         if self.metrics is not None and snap is not None:
                             self.metrics.merge(snap)
                     elif observed:
-                        result, wall_s, snap, pid, t_start, t_end = outcome
+                        (
+                            result, wall_s, snap, pid, t_start, t_end, phases
+                        ) = outcome
                         if self.metrics is not None and snap is not None:
                             self.metrics.merge(snap)
                     else:
                         result, wall_s = outcome, 0.0
+                    if self.profile is not None and phases:
+                        self.profile.add_group(phases)
                     results[key] = result
                     if self.cache is not None:
-                        self.cache.put(key, result)
+                        with self._p_interval(PHASE_CACHE):
+                            self.cache.put(key, result)
                     self._observe(
                         cell,
                         key,
@@ -1327,6 +1455,17 @@ class SweepEngine:
                             machine=cell.machine.label,
                             mode=mode,
                         )
+                        # Phase stamps nest inside the cell span on the
+                        # same lane; compute is the cell span itself.
+                        for phase, p0, p1 in phases:
+                            if phase == PHASE_COMPUTE:
+                                continue
+                            self.telemetry.add_span(
+                                phase,
+                                self.telemetry.to_us(p0),
+                                self.telemetry.to_us(p1),
+                                lane=lane,
+                            )
                     if diagnosis is not None:
                         self.diagnoses[key] = diagnosis
                         if self.diagnosis_log is not None:

@@ -17,8 +17,23 @@ with and without observability to bitwise equality):
   excess-energy decomposition against the ideal-constant oracle;
 - :mod:`repro.obs.report` — run-log + diagnosis aggregation rendered as
   markdown or self-contained HTML.
+
+Fleet analytics ride the same seams: :mod:`repro.obs.profile`
+attributes sweep wall time to pipeline phases, :mod:`repro.obs.calibrate`
+scores the host so throughput normalizes across machines,
+:mod:`repro.obs.fleet` keeps the ledger of past sweeps and runs the
+perf-regression sentinel (:func:`check_fleet`), and
+:mod:`repro.obs.plot` renders the ledger as dependency-free inline-SVG
+trend curves.
 """
 
+from repro.obs.calibrate import (
+    HostCalibration,
+    calibrate,
+    host_score,
+    load_calibration,
+    save_calibration,
+)
 from repro.obs.diagnose import (
     DIAGNOSIS_VERSION,
     DiagnosisWriter,
@@ -40,6 +55,21 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     merge_snapshots,
 )
+from repro.obs.fleet import (
+    FleetLedger,
+    FleetRecord,
+    SentinelReport,
+    check_fleet,
+    read_fleet,
+    throughput_trend,
+)
+from repro.obs.plot import fleet_charts, fleet_plot_svg
+from repro.obs.profile import (
+    PHASE_ORDER,
+    PhaseProfile,
+    format_phase_table,
+    record_kernel_phase,
+)
 from repro.obs.report import SweepReport, build_report, render_report
 from repro.obs.runlog import (
     RUN_LOG_VERSION,
@@ -59,28 +89,45 @@ __all__ = [
     "DIAGNOSIS_VERSION",
     "DiagnosisWriter",
     "EnergyDecomposition",
+    "FleetLedger",
+    "FleetRecord",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "HostCalibration",
     "KernelMetricsRecorder",
     "MetricsRegistry",
     "MetricsSnapshot",
     "MissAttribution",
+    "PHASE_ORDER",
+    "PhaseProfile",
     "PolicyDiagnosis",
     "PredictionLedger",
     "RUN_LOG_VERSION",
     "RunLogRecord",
     "RunLogWriter",
+    "SentinelReport",
     "SettlingReport",
     "SweepReport",
     "TraceRecorder",
     "build_report",
+    "calibrate",
+    "check_fleet",
     "diagnose",
+    "fleet_charts",
+    "fleet_plot_svg",
+    "format_phase_table",
+    "host_score",
+    "load_calibration",
     "merge_snapshots",
     "provenance_warnings",
     "read_diagnoses",
+    "read_fleet",
     "read_run_log",
+    "record_kernel_phase",
     "render_report",
+    "save_calibration",
+    "throughput_trend",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]

@@ -11,6 +11,14 @@ the throughput trend, and renders the combined perf trajectory —
 ledger sweeps alongside the committed ``BENCH_*.json`` history —
 through the existing markdown/HTML report path.
 
+Records from different machines compare through the host calibration
+score (:mod:`repro.obs.calibrate`) stamped into each record, and the
+:func:`check_fleet` sentinel turns the ledger into a self-checking perf
+observatory: ``repro fleet --check`` fails when the newest sweep's
+normalized throughput (or cache-hit rate) falls off its robust
+baseline, naming the per-phase culprit from the stored
+:mod:`~repro.obs.profile` attribution.
+
 Like the run-log, the ledger is append-only JSONL, flushed per line,
 and safe to concatenate.  Its reader tolerates a truncated or corrupt
 trailing line (the crashed-mid-write case) by skipping it with a
@@ -25,12 +33,15 @@ import subprocess
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import IO, List, Optional, Sequence, Tuple, Union
+from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
 
 import repro
 
 #: Bump when the fleet record layout changes incompatibly.
-FLEET_SCHEMA_VERSION = 1
+#: Version 2 added host calibration (``host_score``) and the per-phase
+#: wall-time attribution (``phases``); v1 records read fine (both fields
+#: default to "unknown") and v1 readers ignore the new fields.
+FLEET_SCHEMA_VERSION = 2
 
 #: Default repo-local ledger location (gitignored; the ledger is local
 #: operational history, not committed state).
@@ -61,6 +72,11 @@ class FleetRecord:
         jobs: worker processes (1 = in-process serial).
         repro_version: simulator package version.
         git_sha: repo HEAD at sweep time ("" outside a checkout).
+        host_score: the host calibration score at sweep time
+            (:mod:`repro.obs.calibrate`; 0.0 = uncalibrated host).
+        phases: per-phase wall-time attribution, ``(phase, seconds)``
+            pairs from the sweep's :class:`~repro.obs.profile.PhaseProfile`
+            (empty when the sweep was not profiled).
     """
 
     sweep_id: str
@@ -79,6 +95,8 @@ class FleetRecord:
     jobs: int
     repro_version: str = repro.__version__
     git_sha: str = ""
+    host_score: float = 0.0
+    phases: Tuple[Tuple[str, float], ...] = ()
 
     def to_json(self) -> dict:
         """The record as a JSON-safe dict, version-stamped."""
@@ -86,12 +104,30 @@ class FleetRecord:
         payload["policies"] = list(self.policies)
         payload["workloads"] = list(self.workloads)
         payload["machines"] = list(self.machines)
+        payload["phases"] = {phase: seconds for phase, seconds in self.phases}
         return {"v": FLEET_SCHEMA_VERSION, **payload}
 
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of cells answered from the cache."""
         return self.cells_cached / self.cells_total if self.cells_total else 0.0
+
+    @property
+    def normalized_cells_per_s(self) -> Optional[float]:
+        """Host-normalized throughput, or None on an uncalibrated host.
+
+        Dividing by the host score expresses throughput in
+        reference-host cells/s, so records from a laptop and a CI
+        runner land on one comparable axis.
+        """
+        if self.host_score > 0:
+            return self.cells_per_s / self.host_score
+        return None
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """The stored phase attribution as a ``{phase: seconds}`` dict."""
+        return {phase: seconds for phase, seconds in self.phases}
 
 
 class FleetLedger:
@@ -170,6 +206,15 @@ def _from_json(raw: dict) -> FleetRecord:
     kwargs = {k: v for k, v in raw.items() if k in known}
     for axis in ("policies", "workloads", "machines"):
         kwargs[axis] = tuple(kwargs.get(axis, ()))
+    # v1 records carry no phases; v2 stores them as an object (and a
+    # pair list round-trips too, for hand-edited ledgers).
+    phases = kwargs.get("phases", ())
+    if isinstance(phases, dict):
+        pairs = sorted(phases.items())
+    else:
+        pairs = [(p, s) for p, s in phases]
+    kwargs["phases"] = tuple((str(p), float(s)) for p, s in pairs)
+    kwargs["host_score"] = float(kwargs.get("host_score", 0.0) or 0.0)
     return FleetRecord(**kwargs)
 
 
@@ -229,3 +274,177 @@ def throughput_trend(records: Sequence[FleetRecord]) -> str:
     if len(rates) > 1:
         trend += f" {spark}"
     return trend
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _normalized_rate(record: FleetRecord) -> float:
+    """Host-normalized throughput, raw when the host is uncalibrated."""
+    normalized = record.normalized_cells_per_s
+    return normalized if normalized is not None else record.cells_per_s
+
+
+def _nominal_phase_per_cell(record: FleetRecord) -> Dict[str, float]:
+    """Per-cell phase seconds, scaled to reference-host seconds.
+
+    ``host_wall * score`` is what the nominal host would have spent, so
+    phase costs from differently-fast hosts compare directly; an
+    uncalibrated record contributes its raw seconds.
+    """
+    if record.cells_executed <= 0:
+        return {}
+    scale = record.host_score if record.host_score > 0 else 1.0
+    return {
+        phase: seconds * scale / record.cells_executed
+        for phase, seconds in record.phases
+    }
+
+
+@dataclass(frozen=True)
+class SentinelReport:
+    """The outcome of one :func:`check_fleet` regression check.
+
+    ``checked`` distinguishes "looked and found nothing to compare"
+    (ok, but vacuously) from a real verdict; ``ok`` is the pass/fail
+    the CLI turns into an exit code.
+    """
+
+    checked: bool
+    ok: bool
+    reason: str
+    latest: Optional[FleetRecord] = None
+    window: int = 0
+    baseline_cells_per_s: Optional[float] = None
+    latest_cells_per_s: Optional[float] = None
+    drop_pct: Optional[float] = None
+    baseline_hit_rate: Optional[float] = None
+    latest_hit_rate: Optional[float] = None
+    culprit_phase: Optional[str] = None
+
+    def summary(self) -> str:
+        """The one-line verdict ``repro fleet --check`` prints."""
+        verdict = "ok" if self.ok else "REGRESSION"
+        if not self.checked:
+            return f"fleet sentinel: {verdict} (unchecked: {self.reason})"
+        return f"fleet sentinel: {verdict} — {self.reason}"
+
+
+def check_fleet(
+    records: Sequence[FleetRecord],
+    window: int = 5,
+    max_drop_pct: float = 25.0,
+    max_hit_rate_drop: float = 0.5,
+) -> SentinelReport:
+    """Check the newest executed sweep against its robust baseline.
+
+    The baseline is the median of the last ``window`` *comparable*
+    earlier records — same machine-axis set, same backend, at least one
+    executed cell — each normalized by its own host score (so a slower
+    CI runner is not misread as a code regression).  The check fails
+    when normalized throughput drops more than ``max_drop_pct`` percent
+    below baseline, or the cache-hit rate falls more than
+    ``max_hit_rate_drop`` (absolute fraction) below the baseline median
+    — a sweep that silently stopped reusing its cache.  On a throughput
+    regression the per-phase attribution names the culprit: the phase
+    whose nominal per-cell cost grew the most over baseline.
+
+    With no executed sweep, or no comparable history, the report is
+    ``ok`` but ``checked=False`` — a fresh ledger must not fail CI.
+    """
+    ordered = sorted(records, key=lambda r: r.unix_time)
+    executed = [
+        r for r in ordered if r.cells_executed > 0 and r.cells_per_s > 0
+    ]
+    if not executed:
+        return SentinelReport(
+            checked=False, ok=True,
+            reason="no executed sweeps in the ledger",
+        )
+    latest = executed[-1]
+    comparable = [
+        r for r in executed[:-1]
+        if r.machines == latest.machines and r.backend == latest.backend
+    ]
+    baseline = comparable[-window:] if window > 0 else comparable
+    if not baseline:
+        return SentinelReport(
+            checked=False, ok=True,
+            reason=(
+                f"no comparable baseline for {latest.sweep_id} "
+                f"(machines={'/'.join(latest.machines) or '-'}, "
+                f"backend={latest.backend or '-'})"
+            ),
+            latest=latest,
+        )
+
+    base_rate = _median([_normalized_rate(r) for r in baseline])
+    latest_rate = _normalized_rate(latest)
+    drop_pct = (
+        (base_rate - latest_rate) / base_rate * 100.0 if base_rate > 0 else 0.0
+    )
+    base_hit = _median([r.cache_hit_rate for r in baseline])
+    latest_hit = latest.cache_hit_rate
+    hit_drop = base_hit - latest_hit
+
+    failures = []
+    culprit: Optional[str] = None
+    if drop_pct > max_drop_pct:
+        latest_phases = _nominal_phase_per_cell(latest)
+        base_by_phase: Dict[str, List[float]] = {}
+        for r in baseline:
+            for phase, per_cell in _nominal_phase_per_cell(r).items():
+                base_by_phase.setdefault(phase, []).append(per_cell)
+        growth = {
+            phase: per_cell - _median(base_by_phase.get(phase, [0.0]))
+            for phase, per_cell in latest_phases.items()
+        }
+        if growth:
+            worst, worst_growth = max(growth.items(), key=lambda kv: kv[1])
+            if worst_growth > 0:
+                culprit = worst
+        blame = (
+            f"; culprit phase: {culprit} "
+            f"(+{growth[culprit] * 1e3:.1f} ms/cell over baseline)"
+            if culprit is not None
+            else "; no phase attribution recorded"
+        )
+        failures.append(
+            f"throughput dropped {drop_pct:.0f}% below baseline "
+            f"({latest_rate:.1f} vs {base_rate:.1f} normalized cells/s, "
+            f"bar {max_drop_pct:g}%){blame}"
+        )
+    if hit_drop > max_hit_rate_drop:
+        failures.append(
+            f"cache-hit rate collapsed ({latest_hit:.0%} vs baseline "
+            f"{base_hit:.0%}, bar -{max_hit_rate_drop:.0%})"
+        )
+
+    if failures:
+        reason = "; ".join(failures)
+        ok = False
+    else:
+        reason = (
+            f"{latest.sweep_id}: {latest_rate:.1f} normalized cells/s vs "
+            f"baseline {base_rate:.1f} (median of {len(baseline)}), "
+            f"cache-hit {latest_hit:.0%} vs {base_hit:.0%}"
+        )
+        ok = True
+    return SentinelReport(
+        checked=True,
+        ok=ok,
+        reason=reason,
+        latest=latest,
+        window=len(baseline),
+        baseline_cells_per_s=base_rate,
+        latest_cells_per_s=latest_rate,
+        drop_pct=drop_pct,
+        baseline_hit_rate=base_hit,
+        latest_hit_rate=latest_hit,
+        culprit_phase=culprit,
+    )

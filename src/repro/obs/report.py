@@ -9,7 +9,10 @@ energy decompositions joined in where available — rendered as markdown
 or as standalone HTML (inline CSS, no external assets, opens from a CI
 artifact without a web server).  Committed ``BENCH_*.json`` perf records
 can ride along as a "Perf history" section, so one document carries both
-the science and the cost of producing it.
+the science and the cost of producing it.  Fleet-ledger sweeps render as
+a "Fleet history" section — per-sweep table with host-normalized
+throughput, an aggregated phase-time table, and (in HTML) the inline-SVG
+trend curves from :mod:`repro.obs.plot`.
 
 Rendering is pure: the same records produce the same document, so report
 snapshots can be golden-tested.
@@ -168,8 +171,11 @@ def load_bench_records(
     Each spec may be a JSON file, a directory (every ``BENCH_*.json``
     directly inside it), or a glob pattern.  Records are ordered by
     their recorded ``unix_time`` when present, else the file's mtime,
-    with the file name breaking ties — so the perf-history section reads
-    oldest-to-newest regardless of argument order.
+    with the full file path breaking ties — mtimes quantize coarsely on
+    some filesystems (and records from one ``cp -r`` share one), and
+    two directories may each hold a ``BENCH_foo.json``, so the bare
+    name is not a total order.  The perf-history section therefore
+    reads oldest-to-newest regardless of argument order, every time.
 
     Raises:
         ValueError: when a spec matches nothing or a file is not JSON.
@@ -204,7 +210,7 @@ def load_bench_records(
                 stamp = path.stat().st_mtime
             except OSError:
                 stamp = time.time()
-        loaded.append((float(stamp), path.name, record))
+        loaded.append((float(stamp), str(path), record))
     loaded.sort(key=lambda item: (item[0], item[1]))
     return [record for _, _, record in loaded]
 
@@ -270,6 +276,7 @@ _FLEET_HEADER = [
     "cells",
     "cached",
     "cells/s",
+    "norm/s",
     "wall s",
     "backend",
     "jobs",
@@ -285,6 +292,7 @@ def _fleet_cells(record: FleetRecord) -> List[str]:
         f"{len(record.policies)}p x {len(record.workloads)}w x "
         f"{len(record.machines)}m x {record.seeds}s"
     )
+    norm = record.normalized_cells_per_s
     return [
         record.sweep_id,
         when,
@@ -293,6 +301,7 @@ def _fleet_cells(record: FleetRecord) -> List[str]:
         str(record.cells_total),
         str(record.cells_cached),
         f"{record.cells_per_s:.1f}",
+        f"{norm:.1f}" if norm is not None else "-",
         f"{record.wall_s:.1f}",
         record.backend or "-",
         str(record.jobs),
@@ -337,6 +346,15 @@ def _bench_cells(record: dict) -> List[str]:
             f"<= {record.get('max_telemetry_overhead_pct', '?')}%",
             setup,
         ]
+    if name == "profile_overhead" and "profile_overhead_pct" in record:
+        return [
+            name,
+            f"phase profiling +{record['profile_overhead_pct']:g}% "
+            f"({record.get('phases_seen', '?')} phases, "
+            f"{record.get('coverage_pct', '?')}% wall accounted)",
+            f"<= {record.get('max_profile_overhead_pct', '?')}%",
+            setup,
+        ]
     if name == "sweep_throughput" and "new_cells_per_s" in record:
         return [
             name,
@@ -351,6 +369,21 @@ def _bench_cells(record: dict) -> List[str]:
         if isinstance(v, (int, float)) and not isinstance(v, bool)
     )
     return [name, numbers or "-", "-", setup]
+
+
+def _fleet_phase_seconds(
+    fleet: Sequence[FleetRecord],
+) -> Dict[str, float]:
+    """Summed per-phase busy seconds across the fleet records.
+
+    Sweeps recorded before the phase profiler (schema v1) contribute
+    nothing; an empty dict suppresses the phase section entirely.
+    """
+    totals: Dict[str, float] = {}
+    for record in fleet:
+        for phase, seconds in record.phases:
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    return totals
 
 
 def _render_markdown(report: SweepReport) -> str:
@@ -419,6 +452,16 @@ def _render_markdown(report: SweepReport) -> str:
         for record in sorted(report.fleet, key=lambda r: r.unix_time):
             lines.append("| " + " | ".join(_fleet_cells(record)) + " |")
         lines.append("")
+        phase_totals = _fleet_phase_seconds(report.fleet)
+        if phase_totals:
+            from repro.obs.profile import format_phase_table
+
+            lines.append("### Where the time went")
+            lines.append("")
+            lines.append("```")
+            lines.append(format_phase_table(phase_totals))
+            lines.append("```")
+            lines.append("")
     return "\n".join(lines)
 
 
@@ -500,6 +543,12 @@ def _render_html(report: SweepReport) -> str:
     if report.fleet:
         parts.append("<h2>Fleet history</h2>")
         parts.append(f"<p>{escape(throughput_trend(report.fleet))}</p>")
+        # Inline-SVG trend curves: throughput, cache-hit rate, phase mix
+        # over commits — self-contained, no scripts or external assets.
+        from repro.obs.plot import fleet_charts
+
+        for svg in fleet_charts(sorted(report.fleet, key=lambda r: r.unix_time)):
+            parts.append(svg)
         parts.append("<table><tr>")
         parts.extend(f"<th>{escape(h)}</th>" for h in _FLEET_HEADER)
         parts.append("</tr>")
@@ -510,5 +559,13 @@ def _render_html(report: SweepReport) -> str:
             )
             parts.append("</tr>")
         parts.append("</table>")
+        phase_totals = _fleet_phase_seconds(report.fleet)
+        if phase_totals:
+            from repro.obs.profile import format_phase_table
+
+            parts.append("<h3>Where the time went</h3>")
+            parts.append(
+                "<pre>" + escape(format_phase_table(phase_totals)) + "</pre>"
+            )
     parts.append("</body></html>")
     return "\n".join(parts)

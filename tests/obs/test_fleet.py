@@ -2,12 +2,15 @@
 
 import json
 
+import pytest
+
 from repro.kernel.backend import resolve_backend
 from repro.measure.parallel import PolicySpec, SweepCell, SweepEngine, WorkloadSpec
 from repro.obs.fleet import (
     FLEET_SCHEMA_VERSION,
     FleetLedger,
     FleetRecord,
+    check_fleet,
     git_sha,
     new_sweep_id,
     read_fleet,
@@ -97,6 +100,54 @@ class TestLedger:
         assert record(cells_cached=3).cache_hit_rate == 0.5
         assert record(cells_total=0, cells_executed=0).cache_hit_rate == 0.0
 
+    def test_v2_round_trip_with_phases_and_host_score(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        rec = record(
+            host_score=1.5,
+            phases=(("kernel compute", 0.4), ("result IPC", 0.05)),
+        )
+        with FleetLedger(path) as ledger:
+            ledger.append(rec)
+        loaded = read_fleet(path).records[0]
+        assert loaded == rec
+        assert loaded.phase_seconds == {
+            "kernel compute": 0.4, "result IPC": 0.05,
+        }
+        # On disk the phases are a JSON object, not nested arrays.
+        raw = json.loads(path.read_text())
+        assert raw["phases"] == {"kernel compute": 0.4, "result IPC": 0.05}
+        assert raw["host_score"] == 1.5
+
+    def test_v1_records_read_tolerantly(self, tmp_path):
+        # A pre-calibration ledger line has neither host_score nor
+        # phases; both must default rather than fail the read.
+        path = tmp_path / "fleet.jsonl"
+        raw = record().to_json()
+        del raw["host_score"]
+        del raw["phases"]
+        raw["v"] = 1
+        path.write_text(json.dumps(raw) + "\n")
+        history = read_fleet(path)
+        assert history.warnings == ()
+        loaded = history.records[0]
+        assert loaded.host_score == 0.0
+        assert loaded.phases == ()
+        assert loaded.normalized_cells_per_s is None
+
+    def test_phases_as_pair_list_round_trips(self, tmp_path):
+        # Hand-edited ledgers may store phases as pairs instead of an
+        # object; the reader accepts both.
+        path = tmp_path / "fleet.jsonl"
+        raw = record().to_json()
+        raw["phases"] = [["kernel compute", 0.25]]
+        path.write_text(json.dumps(raw) + "\n")
+        loaded = read_fleet(path).records[0]
+        assert loaded.phases == (("kernel compute", 0.25),)
+
+    def test_normalized_throughput(self):
+        assert record(host_score=2.0).normalized_cells_per_s == 6.0
+        assert record(host_score=0.0).normalized_cells_per_s is None
+
 
 class TestHelpers:
     def test_sweep_id_shape(self):
@@ -144,6 +195,141 @@ class TestHelpers:
             [record(cells_executed=0, cells_cached=6)]
         )
         assert "no executed sweeps" in trend
+
+    def test_trend_with_empty_ledger(self):
+        assert "no executed sweeps" in throughput_trend([])
+
+    def test_trend_with_single_record_omits_sparkline(self):
+        trend = throughput_trend([record(cells_per_s=12.0)])
+        assert "12.0 → 12.0" in trend
+        assert "▁" not in trend and "█" not in trend
+
+    def test_trend_with_all_cached_ledger(self):
+        # Every sweep answered from the cache: nothing measured the
+        # engine, so the trend must say so instead of charting noise.
+        records = [
+            record(unix_time=float(i), cells_executed=0, cells_cached=6)
+            for i in range(3)
+        ]
+        assert "no executed sweeps" in throughput_trend(records)
+
+
+class TestSentinel:
+    def history(self, n=5, **last_overrides):
+        """n healthy comparable sweeps plus one configurable latest."""
+        records = [
+            record(
+                sweep_id=f"sweep-{i}", unix_time=float(i),
+                cells_per_s=10.0 + 0.1 * i,
+                phases=(("kernel compute", 0.55), ("result IPC", 0.05)),
+            )
+            for i in range(n)
+        ]
+        last = dict(
+            sweep_id="sweep-latest", unix_time=float(n),
+            cells_per_s=10.0,
+            phases=(("kernel compute", 0.55), ("result IPC", 0.05)),
+        )
+        last.update(last_overrides)
+        records.append(record(**last))
+        return records
+
+    def test_healthy_ledger_passes(self):
+        report = check_fleet(self.history())
+        assert report.checked and report.ok
+        assert report.window == 5
+        assert "sweep-latest" in report.reason
+        assert report.culprit_phase is None
+
+    def test_empty_ledger_is_unchecked_ok(self):
+        report = check_fleet([])
+        assert report.ok and not report.checked
+        assert "no executed sweeps" in report.reason
+
+    def test_first_sweep_has_no_baseline(self):
+        report = check_fleet([record()])
+        assert report.ok and not report.checked
+        assert "no comparable baseline" in report.reason
+
+    def test_all_cached_latest_not_misread_as_regression(self):
+        # A warm-cache re-run executes nothing; the sentinel must judge
+        # the newest *executed* sweep, not the cache's throughput.
+        records = self.history()
+        records.append(record(
+            sweep_id="warm", unix_time=99.0,
+            cells_executed=0, cells_cached=6, cells_per_s=900.0,
+        ))
+        report = check_fleet(records)
+        assert report.ok
+        assert report.latest.sweep_id == "sweep-latest"
+
+    def test_throughput_drop_fails_naming_culprit_phase(self):
+        report = check_fleet(self.history(
+            cells_per_s=1.0,
+            wall_s=5.0,
+            phases=(("kernel compute", 0.55), ("result IPC", 4.2)),
+        ))
+        assert report.checked and not report.ok
+        assert "throughput dropped" in report.reason
+        assert report.culprit_phase == "result IPC"
+        assert "result IPC" in report.reason
+        assert report.drop_pct == pytest.approx(90.0, abs=2.0)
+
+    def test_drop_within_bar_passes(self):
+        report = check_fleet(self.history(cells_per_s=9.0))
+        assert report.ok
+
+    def test_configurable_drop_bar(self):
+        report = check_fleet(self.history(cells_per_s=9.0), max_drop_pct=5.0)
+        assert not report.ok
+
+    def test_cache_hit_collapse_fails(self):
+        records = [
+            record(
+                sweep_id=f"sweep-{i}", unix_time=float(i),
+                cells_executed=2, cells_cached=4,
+            )
+            for i in range(5)
+        ]
+        records.append(record(
+            sweep_id="cold", unix_time=9.0,
+            cells_executed=6, cells_cached=0,
+        ))
+        report = check_fleet(records)
+        assert not report.ok
+        assert "cache-hit rate collapsed" in report.reason
+
+    def test_normalization_cancels_host_speed(self):
+        # The same sweep on a half-speed host: raw throughput halves,
+        # but so does the host score, so the sentinel stays green.
+        records = self.history()
+        records.append(record(
+            sweep_id="slow-host", unix_time=50.0,
+            cells_per_s=5.0, host_score=0.5,
+        ))
+        baseline_scored = [
+            record(
+                sweep_id=f"scored-{i}", unix_time=float(i),
+                cells_per_s=10.0, host_score=1.0,
+            )
+            for i in range(5)
+        ]
+        report = check_fleet(baseline_scored + [records[-1]])
+        assert report.ok, report.reason
+
+    def test_different_backend_not_compared(self):
+        records = self.history()
+        records.append(record(
+            sweep_id="ref", unix_time=60.0, backend="reference",
+            cells_per_s=0.5,
+        ))
+        report = check_fleet(records)
+        assert report.ok and not report.checked
+        assert "no comparable baseline" in report.reason
+
+    def test_window_limits_baseline(self):
+        report = check_fleet(self.history(n=10), window=3)
+        assert report.window == 3
 
 
 class TestEngineFleetRecord:

@@ -1,0 +1,126 @@
+"""Tests for the dependency-free fleet SVG charts."""
+
+import xml.etree.ElementTree as ET
+
+from repro.obs.fleet import FleetRecord
+from repro.obs.plot import (
+    PANEL_HEIGHT,
+    PANEL_WIDTH,
+    cache_hit_chart,
+    fleet_charts,
+    fleet_plot_svg,
+    phase_mix_chart,
+    throughput_chart,
+)
+
+
+def record(**overrides) -> FleetRecord:
+    defaults = dict(
+        sweep_id="20260809T120000-abcd",
+        unix_time=1_786_000_000.0,
+        command="table2",
+        policies=("best", "past-peg"),
+        workloads=("mpeg",),
+        machines=("itsy",),
+        seeds=3,
+        cells_total=6,
+        cells_executed=6,
+        cells_cached=0,
+        wall_s=0.5,
+        cells_per_s=12.0,
+        backend="fastpath",
+        jobs=2,
+    )
+    defaults.update(overrides)
+    return FleetRecord(**defaults)
+
+
+def ledger(n=4, **common):
+    return [
+        record(
+            sweep_id=f"sweep-{i}", unix_time=float(i),
+            cells_per_s=10.0 + i, git_sha=f"{i:07d}abc", **common
+        )
+        for i in range(n)
+    ]
+
+
+class TestDocument:
+    def test_plot_is_valid_xml(self):
+        svg = fleet_plot_svg(ledger())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert root.get("width") == str(PANEL_WIDTH)
+        assert root.get("height") == str(PANEL_HEIGHT * 3)
+
+    def test_plot_is_deterministic(self):
+        records = ledger()
+        assert fleet_plot_svg(records) == fleet_plot_svg(list(records))
+
+    def test_charts_are_standalone_svgs(self):
+        charts = fleet_charts(ledger())
+        assert len(charts) == 3
+        for chart in charts:
+            root = ET.fromstring(chart)
+            assert root.tag.endswith("svg")
+
+    def test_record_order_does_not_matter(self):
+        records = ledger()
+        assert fleet_plot_svg(records) == fleet_plot_svg(records[::-1])
+
+
+class TestDegenerateInputs:
+    def test_empty_ledger_still_renders(self):
+        svg = fleet_plot_svg([])
+        ET.fromstring(svg)
+        assert "no profiled sweeps in the ledger" in svg
+
+    def test_single_record_renders_a_point(self):
+        svg = throughput_chart([record()])
+        ET.fromstring(svg)
+        assert "<circle" in svg
+        assert "<polyline" not in svg  # one point, no line
+
+    def test_all_cached_sweeps_gap_the_throughput_series(self):
+        # Warm-cache sweeps executed nothing; their cells/s measures the
+        # cache, not the engine, so the line must skip them.
+        records = ledger()
+        records.append(record(
+            sweep_id="warm", unix_time=50.0,
+            cells_executed=0, cells_cached=6, cells_per_s=900.0,
+        ))
+        svg = throughput_chart(records)
+        ET.fromstring(svg)
+        # The y-scale would read ~900 if the cached sweep leaked in.
+        assert "900" not in svg
+
+
+class TestSeries:
+    def test_normalized_series_appears_when_calibrated(self):
+        plain = throughput_chart(ledger())
+        scored = throughput_chart(ledger(host_score=1.5))
+        assert "normalized cells/s" not in plain
+        assert "normalized cells/s" in scored
+
+    def test_cache_hit_axis_is_percent(self):
+        svg = cache_hit_chart(ledger(cells_executed=3, cells_cached=3))
+        assert "cache-hit %" in svg
+        assert "100%" in svg
+
+    def test_phase_mix_placeholder_without_profiles(self):
+        svg = phase_mix_chart(ledger())
+        ET.fromstring(svg)
+        assert "no profiled sweeps in the ledger" in svg
+
+    def test_phase_mix_stacks_recorded_phases(self):
+        svg = phase_mix_chart(ledger(
+            phases=(("kernel compute", 0.4), ("result IPC", 0.05)),
+        ))
+        ET.fromstring(svg)
+        assert "kernel compute" in svg
+        assert "result IPC" in svg
+        assert "<polygon" in svg
+
+    def test_commit_shas_label_the_x_axis(self):
+        svg = throughput_chart(ledger())
+        assert "0000000" in svg and "0000003" in svg

@@ -1,0 +1,220 @@
+"""Tests for the phase-level sweep profiler."""
+
+import pytest
+
+from repro.measure.parallel import (
+    PolicySpec,
+    ResultCache,
+    SweepCell,
+    SweepEngine,
+    WorkloadSpec,
+)
+from repro.obs.profile import (
+    PHASE_CACHE,
+    PHASE_COMPUTE,
+    PHASE_DIAGNOSE,
+    PHASE_IPC,
+    PHASE_ORDER,
+    PHASE_REDUCE,
+    PhaseProfile,
+    arm_worker_stamps,
+    drain_worker_stamps,
+    format_phase_table,
+    record_kernel_phase,
+)
+from repro.workloads.mpeg import MpegConfig
+
+
+class TestStampSink:
+    def test_disarmed_by_default(self):
+        record_kernel_phase(PHASE_REDUCE, 1.0, 2.0)  # no-op, must not raise
+        assert drain_worker_stamps() == ()
+
+    def test_arm_collect_drain(self):
+        arm_worker_stamps()
+        record_kernel_phase(PHASE_REDUCE, 1.0, 2.0)
+        record_kernel_phase(PHASE_DIAGNOSE, 2.0, 2.5)
+        stamps = drain_worker_stamps()
+        assert stamps == (
+            (PHASE_REDUCE, 1.0, 2.0),
+            (PHASE_DIAGNOSE, 2.0, 2.5),
+        )
+        # Draining disarms: later stamps vanish again.
+        record_kernel_phase(PHASE_REDUCE, 3.0, 4.0)
+        assert drain_worker_stamps() == ()
+
+
+class TestAccounting:
+    def test_simple_intervals_sum(self):
+        profile = PhaseProfile()
+        profile.add_interval(PHASE_CACHE, 0.0, 1.0)
+        profile.add_interval(PHASE_CACHE, 2.0, 2.5)
+        profile.add_interval(PHASE_IPC, 1.0, 1.25)
+        seconds = profile.phase_seconds()
+        assert seconds[PHASE_CACHE] == pytest.approx(1.5)
+        assert seconds[PHASE_IPC] == pytest.approx(0.25)
+
+    def test_zero_length_intervals_dropped(self):
+        profile = PhaseProfile()
+        profile.add_interval(PHASE_CACHE, 1.0, 1.0)
+        profile.add_interval(PHASE_CACHE, 2.0, 1.0)
+        assert profile.phase_seconds() == {}
+
+    def test_nested_interval_charged_exclusively(self):
+        # Reduction runs inside the compute interval: the inner phase
+        # keeps its time, the outer is charged only the remainder.
+        profile = PhaseProfile()
+        profile.add_group([
+            (PHASE_COMPUTE, 0.0, 10.0),
+            (PHASE_REDUCE, 7.0, 9.0),
+        ])
+        seconds = profile.phase_seconds()
+        assert seconds[PHASE_COMPUTE] == pytest.approx(8.0)
+        assert seconds[PHASE_REDUCE] == pytest.approx(2.0)
+
+    def test_identical_intervals_do_not_cancel(self):
+        # Two equal-length intervals contain each other; strictly-shorter
+        # subtraction must not zero both out.
+        profile = PhaseProfile()
+        profile.add_group([
+            (PHASE_COMPUTE, 0.0, 5.0),
+            (PHASE_REDUCE, 0.0, 5.0),
+        ])
+        seconds = profile.phase_seconds()
+        assert seconds[PHASE_COMPUTE] == pytest.approx(5.0)
+        assert seconds[PHASE_REDUCE] == pytest.approx(5.0)
+
+    def test_no_cross_group_subtraction(self):
+        # Two cells on different workers overlap in wall time without
+        # either nesting in the other.
+        profile = PhaseProfile()
+        profile.add_group([(PHASE_COMPUTE, 0.0, 10.0)])
+        profile.add_group([(PHASE_COMPUTE, 2.0, 8.0)])
+        assert profile.phase_seconds()[PHASE_COMPUTE] == pytest.approx(16.0)
+
+    def test_accounted_is_union_not_sum(self):
+        profile = PhaseProfile()
+        profile.add_group([(PHASE_COMPUTE, 0.0, 10.0)])
+        profile.add_group([(PHASE_COMPUTE, 5.0, 15.0)])
+        profile.add_interval(PHASE_IPC, 20.0, 21.0)
+        assert profile.accounted_s() == pytest.approx(16.0)
+        assert profile.coverage(20.0) == pytest.approx(0.8)
+
+    def test_coverage_of_zero_wall(self):
+        assert PhaseProfile().coverage(0.0) == 0.0
+
+    def test_rows_follow_canonical_order(self):
+        profile = PhaseProfile()
+        profile.add_interval(PHASE_IPC, 0.0, 1.0)
+        profile.add_interval(PHASE_COMPUTE, 0.0, 2.0)
+        rows = profile.rows()
+        assert [phase for phase, _, _ in rows] == [PHASE_COMPUTE, PHASE_IPC]
+        assert rows[0][2] == pytest.approx(2.0 / 3.0)
+
+
+class TestTable:
+    def test_format_phase_table(self):
+        text = format_phase_table(
+            {PHASE_COMPUTE: 1.5, PHASE_IPC: 0.5}, wall_s=4.0
+        )
+        lines = text.splitlines()
+        assert "of wall" in lines[0]
+        assert lines[1].startswith(PHASE_COMPUTE)
+        assert "37.5%" in lines[1]
+        assert "total accounted" in lines[-1]
+        assert "50.0%" in lines[-1]
+
+    def test_unknown_phase_sorts_last(self):
+        text = format_phase_table({"custom phase": 1.0, PHASE_IPC: 1.0})
+        lines = text.splitlines()
+        assert lines[1].startswith(PHASE_IPC)
+        assert lines[2].startswith("custom phase")
+
+    def test_profile_table_matches_format(self):
+        profile = PhaseProfile()
+        profile.add_interval(PHASE_COMPUTE, 0.0, 1.0)
+        assert profile.table(2.0) == format_phase_table(
+            profile.phase_seconds(), wall_s=2.0
+        )
+
+
+class TestEngineIntegration:
+    def cells(self, duration_s=20.0, seeds=(0, 1)):
+        workload = WorkloadSpec("mpeg", MpegConfig(duration_s=duration_s))
+        return [
+            SweepCell(workload=workload, policy=PolicySpec(name=policy),
+                      seed=seed, use_daq=False)
+            for policy in ("best", "past-peg")
+            for seed in seeds
+        ]
+
+    def test_serial_sweep_coverage_meets_bar(self):
+        # The acceptance criterion: on a serial sweep every pipeline
+        # stage runs in the engine process, so the recorded intervals
+        # must explain >= 95% of the measured wall time.
+        profile = PhaseProfile()
+        engine = SweepEngine(jobs=1, profile=profile)
+        engine.run(self.cells())
+        coverage = profile.coverage(engine.stats.wall_s)
+        assert coverage >= 0.95, (
+            f"phase profile covers {coverage:.1%} of sweep wall time"
+        )
+        seconds = profile.phase_seconds()
+        assert seconds[PHASE_COMPUTE] > 0
+        assert PHASE_REDUCE in seconds
+
+    def test_profiled_results_bitwise_equal(self):
+        cells = self.cells(duration_s=5.0)
+        plain = SweepEngine(jobs=1).run(cells)
+        profiled = SweepEngine(jobs=1, profile=PhaseProfile()).run(cells)
+        assert [r.to_json() for r in profiled] == [
+            r.to_json() for r in plain
+        ]
+
+    def test_pooled_sweep_records_pipeline_phases(self):
+        profile = PhaseProfile()
+        with SweepEngine(jobs=2, profile=profile, chunk_size=1) as engine:
+            engine.run(self.cells(duration_s=5.0))
+        seconds = profile.phase_seconds()
+        assert seconds[PHASE_COMPUTE] > 0
+        assert seconds[PHASE_IPC] > 0
+        assert "pool spin-up" in seconds
+        assert "chunk submission" in seconds
+
+    def test_cache_phase_recorded(self, tmp_path):
+        profile = PhaseProfile()
+        engine = SweepEngine(
+            jobs=1, profile=profile, cache=ResultCache(tmp_path / "cache")
+        )
+        cells = self.cells(duration_s=2.0, seeds=(0,))
+        engine.run(cells)
+        engine.run(cells)  # second pass hits the cache
+        assert profile.phase_seconds()[PHASE_CACHE] > 0
+        assert engine.stats.cache_hits == len(cells)
+
+    def test_diagnosed_sweep_stamps_diagnosis(self):
+        profile = PhaseProfile()
+        engine = SweepEngine(jobs=1, diagnose=True, profile=profile)
+        engine.run(self.cells(duration_s=2.0, seeds=(0,)))
+        assert profile.phase_seconds()[PHASE_DIAGNOSE] > 0
+
+    def test_fleet_record_carries_phases(self):
+        profile = PhaseProfile()
+        engine = SweepEngine(jobs=1, profile=profile)
+        engine.run(self.cells(duration_s=2.0, seeds=(0,)))
+        record = engine.fleet_record(command="unit-test")
+        assert record.phases
+        assert dict(record.phases)[PHASE_COMPUTE] == pytest.approx(
+            profile.phase_seconds()[PHASE_COMPUTE]
+        )
+        # Stored pairs are sorted for a deterministic ledger line.
+        assert list(record.phases) == sorted(record.phases)
+
+    def test_phase_order_covers_engine_phases(self):
+        # Every phase the engine can emit renders in canonical order.
+        profile = PhaseProfile()
+        engine = SweepEngine(jobs=2, diagnose=True, profile=profile)
+        with engine:
+            engine.run(self.cells(duration_s=2.0))
+        for phase in profile.phase_seconds():
+            assert phase in PHASE_ORDER

@@ -204,6 +204,28 @@ class TestPerfHistory:
         assert "<h2>Perf history</h2>" in text
         assert "fastpath 2.9x over full recorders" in text
 
+    def test_profile_overhead_renders(self):
+        text = render_report(
+            build_report(
+                [record()],
+                bench_records=[dict(
+                    benchmark="profile_overhead",
+                    machine="itsy",
+                    workload="mpeg",
+                    duration_s=60.0,
+                    profile_overhead_pct=0.0,
+                    max_profile_overhead_pct=5.0,
+                    phases_seen=5,
+                    coverage_pct=99.7,
+                )],
+            ),
+            FORMAT_MARKDOWN,
+        )
+        assert "phase profiling +0%" in text
+        assert "5 phases" in text
+        assert "99.7% wall accounted" in text
+        assert "<= 5.0%" in text
+
     def test_unknown_benchmark_falls_back_to_numeric_dump(self):
         text = render_report(
             build_report(
@@ -286,6 +308,34 @@ class TestLoadBenchRecords:
         records = load_bench_records([tmp_path])
         assert [r["unix_time"] for r in records] == [1.0, 5.0]
 
+    def test_equal_stamps_tie_break_on_path(self, tmp_path):
+        # Files written within the same mtime quantum (or sharing a
+        # recorded unix_time) must still come back in one deterministic
+        # order, whatever order the caller listed them in.
+        import os
+
+        a = self.write(tmp_path / "BENCH_a.json", benchmark="a")
+        b = self.write(tmp_path / "BENCH_b.json", benchmark="b")
+        os.utime(a, (1_000_000, 1_000_000))
+        os.utime(b, (1_000_000, 1_000_000))
+        forward = load_bench_records([a, b])
+        reverse = load_bench_records([b, a])
+        assert forward == reverse
+        assert [r["benchmark"] for r in forward] == ["a", "b"]
+
+    def test_equal_stamps_in_different_directories(self, tmp_path):
+        import os
+
+        (tmp_path / "one").mkdir()
+        (tmp_path / "two").mkdir()
+        a = self.write(tmp_path / "two" / "BENCH_x.json", benchmark="two")
+        b = self.write(tmp_path / "one" / "BENCH_x.json", benchmark="one")
+        for path in (a, b):
+            os.utime(path, (1_000_000, 1_000_000))
+        records = load_bench_records([a, b])
+        # Same basename, same stamp: the full path breaks the tie.
+        assert [r["benchmark"] for r in records] == ["one", "two"]
+
     def test_no_match_raises(self, tmp_path):
         with pytest.raises(ValueError, match="no benchmark records match"):
             load_bench_records([tmp_path / "BENCH_missing.json"])
@@ -347,6 +397,42 @@ class TestFleetHistory:
         assert "<h2>Fleet history</h2>" in text
         assert "throughput trend" in text
         assert "<td>20260809T120000-abcd</td>" in text
+
+    def test_normalized_column_renders_when_calibrated(self):
+        report = build_report(
+            [], fleet_records=[fleet_record(host_score=2.0)]
+        )
+        text = render_report(report, FORMAT_MARKDOWN)
+        assert "| norm/s |" in "\n".join(
+            line for line in text.splitlines() if line.startswith("| sweep")
+        )
+        assert f"| {21.4 / 2.0:.1f} |" in text
+
+    def test_phase_table_renders_from_ledger_phases(self):
+        report = build_report(
+            [],
+            fleet_records=[fleet_record(
+                phases=(("kernel compute", 0.4), ("result IPC", 0.05)),
+            )],
+        )
+        md = render_report(report, FORMAT_MARKDOWN)
+        assert "### Where the time went" in md
+        assert "kernel compute" in md
+        html = render_report(report, FORMAT_HTML)
+        assert "<h3>Where the time went</h3>" in html
+
+    def test_html_embeds_trend_charts(self):
+        text = render_report(
+            build_report([], fleet_records=[fleet_record()]), FORMAT_HTML
+        )
+        assert "<svg" in text
+        assert "Sweep throughput over commits" in text
+
+    def test_unprofiled_ledger_skips_phase_table(self):
+        text = render_report(
+            build_report([], fleet_records=[fleet_record()]), FORMAT_MARKDOWN
+        )
+        assert "Where the time went" not in text
 
     def test_fleet_only_report_skips_runs_table(self):
         text = render_report(

@@ -150,6 +150,21 @@ class TestProgressModel:
         assert straggler.elapsed_s == 7.1 - 3.0
         assert straggler.median_s == 1.0
 
+    def test_identical_wall_times_flag_nothing(self):
+        # A perfectly uniform sweep: every completed cell took exactly
+        # 1 s and the in-flight cell has run exactly that long.  The
+        # median equals the elapsed time, so nothing crosses the factor
+        # bar — uniform progress must never read as a straggler.
+        model = ProgressModel(total=10)
+        model.start(0.0)
+        replay(model, [
+            (HEARTBEAT_START, 1, 0, 0.0), (HEARTBEAT_DONE, 1, 0, 1.0),
+            (HEARTBEAT_START, 1, 1, 1.0), (HEARTBEAT_DONE, 1, 1, 2.0),
+            (HEARTBEAT_START, 1, 2, 2.0), (HEARTBEAT_DONE, 1, 2, 3.0),
+            (HEARTBEAT_START, 2, 3, 3.0),
+        ])
+        assert model.stragglers(4.0) == ()
+
     def test_stragglers_sorted_worst_first(self):
         model = ProgressModel(total=10)
         model.start(0.0)

@@ -480,6 +480,158 @@ class TestFleetCommand:
         assert "wrote" in capsys.readouterr().err
 
 
+class TestFleetSentinel:
+    """`repro fleet --check` / `--plot` and tolerant-reader warnings."""
+
+    def populate(self, ledger, capsys, runs=2):
+        # No cache: every sweep executes, so the records are comparable.
+        for _ in range(runs):
+            assert main(
+                ["run", "mpeg", "--policy", "best", "--duration", "1",
+                 "--jobs", "2", "--fleet", str(ledger)]
+            ) == 0
+        capsys.readouterr()
+
+    def degrade(self, ledger):
+        """Append a clone of the last sweep running 10x slower, with the
+        slowdown concentrated in the result-IPC phase."""
+        import dataclasses
+
+        from repro.obs.fleet import FleetLedger, read_fleet
+
+        last = read_fleet(ledger).records[-1]
+        phases = dict(last.phases)
+        phases["result IPC"] = phases.get("result IPC", 0.0) + 9 * last.wall_s
+        with FleetLedger(ledger) as out:
+            out.append(dataclasses.replace(
+                last,
+                sweep_id="degraded",
+                unix_time=last.unix_time + 60.0,
+                wall_s=last.wall_s * 10.0,
+                cells_per_s=last.cells_per_s / 10.0,
+                phases=tuple(sorted(phases.items())),
+            ))
+
+    def test_check_passes_on_healthy_ledger(self, tmp_path, capsys):
+        ledger = tmp_path / "fleet.jsonl"
+        self.populate(ledger, capsys)
+        assert main(["fleet", "--ledger", str(ledger), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet sentinel: ok" in out
+
+    def test_check_fails_on_degraded_ledger(self, tmp_path, capsys):
+        # The acceptance criterion: a synthetically-degraded ledger must
+        # turn the sentinel red and name the regressed phase.
+        ledger = tmp_path / "fleet.jsonl"
+        self.populate(ledger, capsys)
+        self.degrade(ledger)
+        code = main(["fleet", "--ledger", str(ledger), "--check"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "fleet sentinel: REGRESSION" in out
+        assert "throughput dropped" in out
+        assert "result IPC" in out
+
+    def test_check_on_fresh_ledger_is_unchecked_ok(self, tmp_path, capsys):
+        ledger = tmp_path / "fleet.jsonl"
+        self.populate(ledger, capsys, runs=1)
+        assert main(["fleet", "--ledger", str(ledger), "--check"]) == 0
+        assert "unchecked" in capsys.readouterr().out
+
+    def test_plot_writes_standalone_svg(self, tmp_path, capsys):
+        import xml.etree.ElementTree as ET
+
+        ledger = tmp_path / "fleet.jsonl"
+        self.populate(ledger, capsys)
+        plot = tmp_path / "fleet.svg"
+        assert main(
+            ["fleet", "--ledger", str(ledger), "--plot", str(plot)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "fleet plot:" in captured.err
+        root = ET.fromstring(plot.read_text())
+        assert root.tag.endswith("svg")
+
+    def test_phases_flag_prints_profile_table(self, capsys):
+        assert main(
+            ["run", "mpeg", "--policy", "best", "--duration", "1",
+             "--jobs", "2", "--no-fleet", "--phases"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "phase profile:" in err
+        assert "kernel compute" in err
+        assert "of wall" in err
+
+    def test_ledger_phases_recorded_by_default(self, tmp_path, capsys):
+        # The profiler always rides the engine, so ledger records carry
+        # phase attributions even without --phases.
+        from repro.obs.fleet import read_fleet
+
+        ledger = tmp_path / "fleet.jsonl"
+        self.populate(ledger, capsys, runs=1)
+        [rec] = read_fleet(ledger).records
+        assert "kernel compute" in rec.phase_seconds
+
+    def test_damaged_ledger_line_warns_on_stderr(self, tmp_path, capsys):
+        ledger = tmp_path / "fleet.jsonl"
+        self.populate(ledger, capsys)
+        with ledger.open("a") as handle:
+            handle.write("{not json\n")
+        assert main(["fleet", "--ledger", str(ledger)]) == 0
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err
+        assert "sweep id" in captured.out
+
+
+class TestCalibrateCommand:
+    """`repro calibrate` host-score measurement and caching."""
+
+    def test_calibrate_writes_score(self, tmp_path, capsys, monkeypatch):
+        from repro.obs.calibrate import load_calibration
+
+        path = tmp_path / "host.json"
+        monkeypatch.setenv("REPRO_HOST_CALIBRATION", str(path))
+        assert main(["calibrate", "--budget", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "host score" in out
+        cal = load_calibration(path)
+        assert cal is not None and cal.score > 0
+
+    def test_cached_calibration_respected(self, tmp_path, capsys,
+                                          monkeypatch):
+        path = tmp_path / "host.json"
+        monkeypatch.setenv("REPRO_HOST_CALIBRATION", str(path))
+        assert main(["calibrate", "--budget", "0.05"]) == 0
+        capsys.readouterr()
+        assert main(["calibrate", "--budget", "0.05"]) == 0
+        assert "already calibrated" in capsys.readouterr().out
+
+    def test_force_remeasures(self, tmp_path, capsys, monkeypatch):
+        path = tmp_path / "host.json"
+        monkeypatch.setenv("REPRO_HOST_CALIBRATION", str(path))
+        assert main(["calibrate", "--budget", "0.05"]) == 0
+        capsys.readouterr()
+        assert main(["calibrate", "--budget", "0.05", "--force"]) == 0
+        assert "host score" in capsys.readouterr().out
+
+    def test_sweep_stamps_host_score(self, tmp_path, capsys, monkeypatch):
+        from repro.obs.fleet import read_fleet
+
+        monkeypatch.setenv(
+            "REPRO_HOST_CALIBRATION", str(tmp_path / "host.json")
+        )
+        assert main(["calibrate", "--budget", "0.05"]) == 0
+        ledger = tmp_path / "fleet.jsonl"
+        assert main(
+            ["run", "mpeg", "--policy", "best", "--duration", "1",
+             "--jobs", "2", "--fleet", str(ledger)]
+        ) == 0
+        capsys.readouterr()
+        [rec] = read_fleet(ledger).records
+        assert rec.host_score > 0
+        assert rec.normalized_cells_per_s is not None
+
+
 class TestReportBenchSpecs:
     """`repro report --bench` accepts files, directories, and globs."""
 
@@ -518,6 +670,16 @@ class TestReportBenchSpecs:
         )
         assert code == 2
         assert "no benchmark records match" in capsys.readouterr().err
+
+    def test_damaged_run_log_line_warns_on_stderr(self, tmp_path, capsys):
+        log = self.run_log(tmp_path, capsys)
+        with log.open("a") as handle:
+            handle.write('{"torn')
+        assert main(["report", str(log)]) == 0
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err
+        assert "skipped unreadable run-log line" in captured.err
+        assert "# Sweep report" in captured.out
 
     def test_summary_counts_cache_hits(self, capsys, tmp_path):
         argv = [
